@@ -1,0 +1,49 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! orientation freedom (two adaptations per chiplet), boundary-standard
+//! checking (four merged adaptations per chiplet), and the symplectic
+//! consistency verifier (exact but quadratic).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dqec_chiplet::defect_model::DefectModel;
+use dqec_core::adapt::AdaptedPatch;
+use dqec_core::coords::Side;
+use dqec_core::layout::PatchLayout;
+use dqec_core::merge::merged_distance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(20);
+    let l = 13u32;
+    let layout = PatchLayout::memory(l);
+    let mut rng = StdRng::seed_from_u64(6);
+    let defects = DefectModel::LinkAndQubit.sample(&layout, 0.005, &mut rng);
+
+    group.bench_function("single_orientation", |b| {
+        b.iter(|| AdaptedPatch::new(layout.clone(), &defects))
+    });
+    group.bench_function("both_orientations", |b| {
+        b.iter(|| {
+            let a = AdaptedPatch::new(layout.clone(), &defects);
+            let s = AdaptedPatch::new(layout.clone(), &defects.swapped_orientation(l));
+            (a, s)
+        })
+    });
+    group.bench_function("boundary_standard_surgery_check", |b| {
+        b.iter(|| {
+            Side::ALL
+                .iter()
+                .map(|&s| merged_distance(&defects, l, s))
+                .collect::<Vec<_>>()
+        })
+    });
+    let patch = AdaptedPatch::new(layout.clone(), &defects);
+    group.bench_function("symplectic_verify", |b| {
+        b.iter(|| patch.verify_code_consistency())
+    });
+    group.finish();
+}
+
+criterion_group!(ablations, bench_ablations);
+criterion_main!(ablations);

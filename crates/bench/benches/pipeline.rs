@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the end-to-end decoding pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dqec_core::adapt::AdaptedPatch;
+use dqec_core::layout::PatchLayout;
+use dqec_core::{memory_z, Coord, DefectSet};
+use dqec_matching::MwpmDecoder;
+use dqec_sim::frame::FrameSampler;
+use dqec_sim::noise::NoiseModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for (name, defects) in [
+        ("defect_free_d7", DefectSet::new()),
+        ("super_stabilizer_d7", {
+            let mut d = DefectSet::new();
+            d.add_synd(Coord::new(6, 6));
+            d
+        }),
+    ] {
+        let patch = AdaptedPatch::new(PatchLayout::memory(7), &defects);
+        let exp = memory_z(&patch, 8).unwrap();
+        let noisy = NoiseModel::new(2e-3).apply(&exp.circuit);
+        group.bench_function(format!("decoder_build_{name}"), |b| {
+            b.iter(|| MwpmDecoder::new(&noisy))
+        });
+        let decoder = MwpmDecoder::new(&noisy);
+        let batch = FrameSampler::new(&noisy).sample(1024, &mut StdRng::seed_from_u64(5));
+        group.bench_function(format!("decode_1024_shots_{name}"), |b| {
+            b.iter(|| decoder.decode_batch(&batch))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(pipeline, bench_decode);
+criterion_main!(pipeline);

@@ -1,0 +1,67 @@
+//! Master harness: runs every figure/table reproduction binary in
+//! sequence with shared settings, writing each output to
+//! `results/<name>.tsv`.
+//!
+//! Usage: `cargo run --release -p dqec-bench --bin reproduce_all -- [--full] [--samples N] [--shots N]`
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "fig05_slopes",
+    "fig06_ler_curves",
+    "fig07_shortest_logicals",
+    "fig08_disabled_fraction",
+    "fig09_cluster_diameter",
+    "fig10_faulty_count",
+    "fig11_selection",
+    "fig12_linkonly",
+    "fig13_linkqubit",
+    "fig14_merge_example",
+    "fig15_boundary_standards",
+    "fig16_rotation",
+    "fig17_target17",
+    "fig18_min_overhead",
+    "fig19_distance_hist",
+    "fig20_stability_cutoff",
+    "table01_02_resources",
+    "table03_04_fidelity",
+];
+
+fn main() {
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    std::fs::create_dir_all("results").expect("create results dir");
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for name in BINARIES {
+        eprintln!("=== running {name} ===");
+        let started = std::time::Instant::now();
+        let output = Command::new(exe_dir.join(name))
+            .args(&passthrough)
+            .output();
+        match output {
+            Ok(out) if out.status.success() => {
+                let path = format!("results/{name}.tsv");
+                std::fs::write(&path, &out.stdout).expect("write results");
+                eprintln!("    -> {path} ({:.1?})", started.elapsed());
+            }
+            Ok(out) => {
+                eprintln!("    FAILED: {}", String::from_utf8_lossy(&out.stderr));
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("    could not launch (build with --bins first): {e}");
+                failures.push(*name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("all {} reproductions complete; outputs in results/", BINARIES.len());
+    } else {
+        eprintln!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,228 @@
+//! # dqec-bench
+//!
+//! Reproduction harness for every table and figure in the paper's
+//! evaluation. Each binary in `src/bin/` regenerates one figure/table
+//! and prints the same rows/series the paper reports (TSV on stdout).
+//!
+//! All binaries accept:
+//!
+//! * `--full` — paper-scale parameters (slow; hours for the
+//!   Monte-Carlo figures);
+//! * `--samples N` — chiplet samples per sweep point;
+//! * `--shots N` — Monte-Carlo shots per LER point;
+//! * `--seed N` — RNG seed.
+//!
+//! Default (quick) parameters reproduce the *shapes* of the paper's
+//! results in minutes; see `EXPERIMENTS.md` for recorded outputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dqec_chiplet::defect_model::DefectModel;
+use dqec_chiplet::experiment::{fit_loglog, memory_ler_curve};
+use dqec_core::adapt::AdaptedPatch;
+use dqec_core::indicators::PatchIndicators;
+use dqec_core::layout::PatchLayout;
+use dqec_core::DefectSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Command-line configuration shared by every reproduction binary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Paper-scale parameters when set.
+    pub full: bool,
+    /// Chiplet samples per sweep point.
+    pub samples: usize,
+    /// Monte-Carlo shots per LER point.
+    pub shots: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// Parses the standard arguments from `std::env::args`.
+    pub fn from_args() -> RunConfig {
+        let args: Vec<String> = std::env::args().collect();
+        let full = args.iter().any(|a| a == "--full");
+        let get = |flag: &str, default: usize| -> usize {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        let samples = get("--samples", if full { 10_000 } else { 1_000 });
+        let shots = get("--shots", if full { 2_000_000 } else { 20_000 });
+        let seed = get("--seed", 0x0a57_105) as u64;
+        RunConfig { full, samples, shots, seed }
+    }
+
+    /// The physical-error window used for slope fits: the paper's
+    /// 5·10⁻⁴…2·10⁻³ window in full mode, a shifted window in quick
+    /// mode so that failures are observable with few shots.
+    pub fn slope_window(&self) -> Vec<f64> {
+        if self.full {
+            vec![5e-4, 7.5e-4, 1.1e-3, 1.5e-3, 2e-3]
+        } else {
+            vec![3e-3, 4.5e-3, 6.75e-3]
+        }
+    }
+
+    /// Patch size and distance groups for the indicator studies: the
+    /// paper's l = 11 with d in 6..=10 in full mode, a lighter l = 9
+    /// with d in 5..=8 in quick mode (high-p decoding of l = 11 patches
+    /// is too expensive for a quick pass).
+    pub fn slope_patch(&self) -> (u32, std::ops::RangeInclusive<u32>) {
+        if self.full {
+            (11, 6..=10)
+        } else {
+            (9, 5..=8)
+        }
+    }
+
+    /// Patches sampled per distance group for the indicator studies
+    /// (the paper uses 50).
+    pub fn patches_per_group(&self) -> usize {
+        if self.full {
+            50
+        } else {
+            3
+        }
+    }
+}
+
+/// Prints the standard header for a reproduction binary.
+pub fn header(name: &str, what: &str, cfg: &RunConfig) {
+    println!("# {name}: {what}");
+    println!(
+        "# mode={} samples={} shots={} seed={}",
+        if cfg.full { "full (paper-scale)" } else { "quick (shape-reproduction)" },
+        cfg.samples,
+        cfg.shots,
+        cfg.seed
+    );
+}
+
+/// One defective patch with its measured log-log slope.
+#[derive(Debug, Clone)]
+pub struct SlopeRecord {
+    /// The patch's indicators.
+    pub indicators: PatchIndicators,
+    /// Fitted slope of ln(LER) vs ln(p), when measurable.
+    pub slope: Option<f64>,
+}
+
+/// Samples defective `l x l` chiplets (links and qubits faulty at the
+/// same rate, as in Fig. 5) until `per_group` patches of every adapted
+/// distance in `d_range` have been collected, then measures each
+/// patch's slope. Shared by the Fig. 5/7/8/9/10/11 binaries.
+pub fn slope_dataset(
+    l: u32,
+    d_range: std::ops::RangeInclusive<u32>,
+    cfg: &RunConfig,
+) -> Vec<SlopeRecord> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let layout = PatchLayout::memory(l);
+    let per_group = cfg.patches_per_group();
+    let mut groups: std::collections::BTreeMap<u32, Vec<AdaptedPatch>> =
+        d_range.clone().map(|d| (d, Vec::new())).collect();
+    // Mix of rates to populate all distance groups.
+    let rates = [0.004, 0.008, 0.015, 0.025];
+    let mut attempts = 0;
+    while groups.values().any(|v| v.len() < per_group) && attempts < 30_000 {
+        attempts += 1;
+        let rate = rates[attempts % rates.len()];
+        let defects = DefectModel::LinkAndQubit.sample(&layout, rate, &mut rng);
+        if defects.is_empty() {
+            continue;
+        }
+        let patch = AdaptedPatch::new(layout.clone(), &defects);
+        let ind = PatchIndicators::of(&patch);
+        if let Some(group) = groups.get_mut(&ind.distance()) {
+            if group.len() < per_group {
+                group.push(patch);
+            }
+        }
+    }
+    let ps = cfg.slope_window();
+    let mut out = Vec::new();
+    for (d, patches) in groups {
+        for (i, patch) in patches.into_iter().enumerate() {
+            let rounds = rounds_for(&patch);
+            let slope = memory_ler_curve(&patch, &ps, rounds, cfg.shots, cfg.seed + i as u64)
+                .ok()
+                .and_then(|curve| fit_loglog(&curve))
+                .map(|f| f.slope);
+            out.push(SlopeRecord {
+                indicators: PatchIndicators::of(&patch),
+                slope,
+            });
+        }
+        eprintln!("  [slope dataset] d={d} done");
+    }
+    out
+}
+
+/// The slope of the defect-free distance-`d` patch under the same
+/// protocol.
+pub fn defect_free_slope(d: u32, cfg: &RunConfig) -> Option<f64> {
+    let patch = AdaptedPatch::new(PatchLayout::memory(d), &DefectSet::new());
+    let ps = cfg.slope_window();
+    memory_ler_curve(&patch, &ps, d, cfg.shots, cfg.seed ^ 0xdefec7)
+        .ok()
+        .and_then(|curve| fit_loglog(&curve))
+        .map(|f| f.slope)
+}
+
+/// Syndrome rounds used for a patch's memory experiment: its size,
+/// bounded below by the gauge schedule requirement.
+pub fn rounds_for(patch: &AdaptedPatch) -> u32 {
+    let need = patch
+        .clusters()
+        .iter()
+        .filter(|c| c.has_gauges())
+        .map(|c| 2 * c.repetitions)
+        .max()
+        .unwrap_or(1);
+    patch.layout().width().max(need)
+}
+
+/// Formats an `f64` compactly for the TSV outputs.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 0.01 && v.abs() < 1e6 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_defaults() {
+        let cfg = RunConfig { full: false, samples: 100, shots: 1000, seed: 1 };
+        assert_eq!(cfg.slope_window().len(), 3);
+        assert_eq!(cfg.patches_per_group(), 3);
+    }
+
+    #[test]
+    fn rounds_respect_gauge_schedule() {
+        use dqec_core::Coord;
+        let mut d = DefectSet::new();
+        d.add_synd(Coord::new(6, 6));
+        let patch = AdaptedPatch::new(PatchLayout::memory(7), &d);
+        assert!(rounds_for(&patch) >= 4);
+    }
+
+    #[test]
+    fn fmt_is_compact() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.5), "0.5000");
+        assert!(fmt(1e-7).contains('e'));
+    }
+}

@@ -1,0 +1,42 @@
+//! # dqec-chiplet
+//!
+//! Modular chiplet architecture evaluation for defect-adapted surface
+//! codes (paper §4–5): fabrication defect models, post-selection
+//! criteria, yield and resource-overhead estimation, and Monte-Carlo
+//! logical-error-rate experiments with slope fits.
+//!
+//! # Examples
+//!
+//! Estimating the yield of l = 7 chiplets against a d = 5 target:
+//!
+//! ```
+//! use dqec_chiplet::criteria::QualityTarget;
+//! use dqec_chiplet::defect_model::DefectModel;
+//! use dqec_chiplet::yields::{sample_indicators, yield_from_indicators, SampleConfig};
+//!
+//! let config = SampleConfig {
+//!     samples: 200,
+//!     ..SampleConfig::new(7, DefectModel::LinkAndQubit, 0.005)
+//! };
+//! let indicators = sample_indicators(&config);
+//! let y = yield_from_indicators(&indicators, &QualityTarget::defect_free(5));
+//! assert!(y.fraction() > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod criteria;
+pub mod defect_model;
+pub mod device;
+pub mod experiment;
+pub mod yields;
+
+pub use criteria::{QualityTarget, Ranking};
+pub use defect_model::DefectModel;
+pub use device::{assemble_device, AssemblyReport, DeviceSpec};
+pub use experiment::{fit_loglog, memory_ler, stability_ler, LerPoint, SlopeFit};
+pub use yields::{
+    cost_per_logical, overhead_factor, sample_indicators, yield_from_indicators, SampleConfig,
+    YieldEstimate,
+};

@@ -1,0 +1,254 @@
+//! Chiplet sampling, yield estimation and resource overhead (paper §5).
+//!
+//! Yield = fraction of fabricated chiplets whose adapted code meets the
+//! quality target. The resource overhead of a design point is the
+//! average number of fabricated physical qubits per *accepted* logical
+//! qubit, reported relative to the ideal defect-free cost
+//! (`2 d_target² − 1`).
+
+use crate::criteria::QualityTarget;
+use crate::defect_model::DefectModel;
+use dqec_core::adapt::AdaptedPatch;
+use dqec_core::indicators::PatchIndicators;
+use dqec_core::layout::PatchLayout;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters of one chiplet sampling run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SampleConfig {
+    /// Chiplet width (patch is `l x l`).
+    pub l: u32,
+    /// Defect model.
+    pub model: DefectModel,
+    /// Per-component fabrication error rate.
+    pub rate: f64,
+    /// Number of chiplets to fabricate.
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Whether the architecture may swap data/syndrome roles by
+    /// rotating the chiplet (paper §4.1, Fig. 16): each chiplet is
+    /// evaluated in both orientations and the better one is used.
+    pub orientation_freedom: bool,
+}
+
+impl SampleConfig {
+    /// A default configuration for the given size/model/rate.
+    pub fn new(l: u32, model: DefectModel, rate: f64) -> Self {
+        SampleConfig { l, model, rate, samples: 2000, seed: 0x5eed, orientation_freedom: false }
+    }
+}
+
+/// Samples `config.samples` chiplets and returns each one's indicators
+/// (of the better orientation when `orientation_freedom` is set).
+///
+/// Work is spread over available CPU cores.
+pub fn sample_indicators(config: &SampleConfig) -> Vec<PatchIndicators> {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(16);
+    let per = config.samples.div_ceil(threads);
+    let mut out: Vec<PatchIndicators> = Vec::with_capacity(config.samples);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let n = per.min(config.samples.saturating_sub(t * per));
+            if n == 0 {
+                break;
+            }
+            let config = *config;
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(config.seed ^ (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let layout = PatchLayout::memory(config.l);
+                (0..n)
+                    .map(|_| evaluate_chiplet(&layout, &config, &mut rng))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            out.extend(h.join().expect("sampler thread panicked"));
+        }
+    });
+    out
+}
+
+fn evaluate_chiplet(
+    layout: &PatchLayout,
+    config: &SampleConfig,
+    rng: &mut StdRng,
+) -> PatchIndicators {
+    let defects = config.model.sample(layout, config.rate, rng);
+    let primary = PatchIndicators::of(&AdaptedPatch::new(layout.clone(), &defects));
+    if !config.orientation_freedom {
+        return primary;
+    }
+    let swapped = defects.swapped_orientation(config.l);
+    let secondary = PatchIndicators::of(&AdaptedPatch::new(layout.clone(), &swapped));
+    better(primary, secondary)
+}
+
+fn better(a: PatchIndicators, b: PatchIndicators) -> PatchIndicators {
+    let key = |p: &PatchIndicators| (p.distance(), -p.shortest_logical_count());
+    if key(&b).partial_cmp(&key(&a)) == Some(std::cmp::Ordering::Greater) {
+        b
+    } else {
+        a
+    }
+}
+
+/// A yield estimate from sampled chiplets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct YieldEstimate {
+    /// Accepted chiplets.
+    pub kept: usize,
+    /// Fabricated chiplets.
+    pub total: usize,
+}
+
+impl YieldEstimate {
+    /// The yield fraction.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.kept as f64 / self.total as f64
+        }
+    }
+}
+
+/// Computes the yield of a sampled population under a quality target.
+pub fn yield_from_indicators(
+    indicators: &[PatchIndicators],
+    target: &QualityTarget,
+) -> YieldEstimate {
+    YieldEstimate {
+        kept: indicators.iter().filter(|i| target.accepts(i)).count(),
+        total: indicators.len(),
+    }
+}
+
+/// Average fabricated physical qubits per accepted logical qubit.
+///
+/// Returns infinity at zero yield.
+pub fn cost_per_logical(l: u32, yield_fraction: f64) -> f64 {
+    let qubits = (2 * l * l - 1) as f64;
+    if yield_fraction <= 0.0 {
+        f64::INFINITY
+    } else {
+        qubits / yield_fraction
+    }
+}
+
+/// Overhead factor relative to the ideal defect-free cost of a
+/// distance-`d_target` logical qubit (`2 d² − 1` physical qubits).
+pub fn overhead_factor(l: u32, yield_fraction: f64, d_target: u32) -> f64 {
+    cost_per_logical(l, yield_fraction) / (2 * d_target * d_target - 1) as f64
+}
+
+/// Sweeps chiplet sizes and returns `(best_l, best_overhead_factor)`
+/// for a target distance, including the defect-intolerant `l = d`
+/// baseline in the candidates.
+pub fn optimal_chiplet_size(
+    model: DefectModel,
+    rate: f64,
+    d_target: u32,
+    candidate_ls: &[u32],
+    samples: usize,
+    seed: u64,
+    orientation_freedom: bool,
+) -> (u32, f64) {
+    let target = QualityTarget::defect_free(d_target);
+    let mut best = (d_target, f64::INFINITY);
+    for &l in candidate_ls {
+        let y = if l == d_target {
+            // Only the defect-free chiplets qualify at l = d.
+            model.defect_free_probability(&PatchLayout::memory(l), rate)
+        } else {
+            let config = SampleConfig { l, model, rate, samples, seed, orientation_freedom };
+            let inds = sample_indicators(&config);
+            yield_from_indicators(&inds, &target).fraction()
+        };
+        let f = overhead_factor(l, y, d_target);
+        if f < best.1 {
+            best = (l, f);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_gives_full_yield() {
+        let config = SampleConfig {
+            samples: 50,
+            ..SampleConfig::new(5, DefectModel::LinkAndQubit, 0.0)
+        };
+        let inds = sample_indicators(&config);
+        let y = yield_from_indicators(&inds, &QualityTarget::defect_free(5));
+        assert_eq!(y.fraction(), 1.0);
+    }
+
+    #[test]
+    fn yield_decreases_with_rate() {
+        let target = QualityTarget::defect_free(5);
+        let mut fractions = Vec::new();
+        for rate in [0.002, 0.02] {
+            let config = SampleConfig {
+                samples: 400,
+                ..SampleConfig::new(7, DefectModel::LinkAndQubit, rate)
+            };
+            let inds = sample_indicators(&config);
+            fractions.push(yield_from_indicators(&inds, &target).fraction());
+        }
+        assert!(fractions[0] > fractions[1], "{fractions:?}");
+    }
+
+    #[test]
+    fn larger_chiplets_tolerate_defects_for_fixed_target() {
+        // At a visible defect rate the l=7 chiplet has higher yield for
+        // a d=5 target than the intolerant l=5 chiplet.
+        let target = QualityTarget::defect_free(5);
+        let rate = 0.01;
+        let config =
+            SampleConfig { samples: 400, ..SampleConfig::new(7, DefectModel::LinkAndQubit, rate) };
+        let y7 = yield_from_indicators(&sample_indicators(&config), &target).fraction();
+        let y5 = DefectModel::LinkAndQubit
+            .defect_free_probability(&PatchLayout::memory(5), rate);
+        assert!(y7 > y5, "y7={y7} y5={y5}");
+    }
+
+    #[test]
+    fn orientation_freedom_never_hurts() {
+        let target = QualityTarget::defect_free(5);
+        let base = SampleConfig {
+            samples: 300,
+            ..SampleConfig::new(7, DefectModel::LinkAndQubit, 0.01)
+        };
+        let with = SampleConfig { orientation_freedom: true, ..base };
+        let y0 = yield_from_indicators(&sample_indicators(&base), &target).fraction();
+        let y1 = yield_from_indicators(&sample_indicators(&with), &target).fraction();
+        assert!(y1 + 0.03 >= y0, "orientation freedom reduced yield: {y0} -> {y1}");
+    }
+
+    #[test]
+    fn overhead_factor_at_full_yield_is_size_ratio() {
+        let f = overhead_factor(9, 1.0, 9);
+        assert!((f - 1.0).abs() < 1e-12);
+        let f = overhead_factor(11, 1.0, 9);
+        assert!((f - (241.0 / 161.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let config = SampleConfig {
+            samples: 64,
+            ..SampleConfig::new(5, DefectModel::LinkAndQubit, 0.02)
+        };
+        let a: Vec<u32> = sample_indicators(&config).iter().map(|i| i.distance()).collect();
+        let b: Vec<u32> = sample_indicators(&config).iter().map(|i| i.distance()).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,592 @@
+//! Syndrome-measurement circuit generation for adapted patches.
+//!
+//! Builds Stim-style circuits (on the `dqec-sim` IR) implementing the
+//! paper's measurement schedule: full stabilizers every round; around
+//! each defect cluster, X and Z gauge operators measured in alternating
+//! blocks whose length equals the cluster diameter (XZXZ… for single
+//! cells, XXZZ… for larger clusters, following Strikis et al.).
+//!
+//! Detectors: full faces compare consecutive rounds; gauge operators
+//! compare individually within a block and as super-stabilizer products
+//! across opposite-basis blocks; first/final rounds close against the
+//! |0…0> initialization and the transversal Z readout.
+
+use crate::adapt::AdaptedPatch;
+use crate::coords::Coord;
+use crate::error::CoreError;
+use crate::graphs::CheckGraph;
+use dqec_sim::circuit::{CheckBasis, Circuit, MeasRecord};
+use std::collections::BTreeMap;
+
+/// A generated experiment circuit (noiseless; apply a
+/// [`dqec_sim::NoiseModel`] before sampling).
+#[derive(Debug, Clone)]
+pub struct ExperimentCircuit {
+    /// The clean circuit with detectors and observable 0 defined.
+    pub circuit: Circuit,
+    /// Mapping from lattice coordinate to circuit qubit index.
+    pub qubit_of: BTreeMap<Coord, u32>,
+    /// Number of syndrome-measurement rounds.
+    pub rounds: u32,
+}
+
+/// The kind of experiment to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Experiment {
+    /// Z-basis memory: observable = logical Z readout.
+    MemoryZ,
+    /// Stability: observable = product of all X checks at one round.
+    Stability,
+}
+
+/// Builds a Z-basis memory experiment: initialize |0…0>, run `rounds`
+/// syndrome rounds, read all data in Z, track logical Z as observable 0.
+///
+/// # Errors
+///
+/// Fails when the patch is degenerate, no gauge-free logical-Z path
+/// exists, or `rounds` is too small for the gauge schedule (two full
+/// blocks are required when clusters exist).
+///
+/// # Examples
+///
+/// ```
+/// use dqec_core::adapt::AdaptedPatch;
+/// use dqec_core::circuit_gen::memory_z;
+/// use dqec_core::defect::DefectSet;
+/// use dqec_core::layout::PatchLayout;
+/// use dqec_sim::ReferenceSample;
+///
+/// let patch = AdaptedPatch::new(PatchLayout::memory(3), &DefectSet::new());
+/// let exp = memory_z(&patch, 3)?;
+/// // All detectors are deterministic in the noiseless circuit.
+/// assert!(ReferenceSample::violated_detectors(&exp.circuit).is_empty());
+/// # Ok::<(), dqec_core::CoreError>(())
+/// ```
+pub fn memory_z(patch: &AdaptedPatch, rounds: u32) -> Result<ExperimentCircuit, CoreError> {
+    build(patch, rounds, Experiment::MemoryZ)
+}
+
+/// Builds a stability experiment: initialize |0…0>, run `rounds` rounds,
+/// read data in Z; observable 0 is the product of every X check at the
+/// final round (deterministically +1 because the X checks multiply to
+/// identity on an all-X-boundary patch).
+///
+/// # Errors
+///
+/// Fails when the patch is degenerate, the live X checks do not
+/// multiply to identity, or `rounds` is too small for the schedule.
+pub fn stability(patch: &AdaptedPatch, rounds: u32) -> Result<ExperimentCircuit, CoreError> {
+    build(patch, rounds, Experiment::Stability)
+}
+
+fn build(
+    patch: &AdaptedPatch,
+    rounds: u32,
+    experiment: Experiment,
+) -> Result<ExperimentCircuit, CoreError> {
+    if !patch.is_valid() {
+        let reason = format!("{:?}", patch.status());
+        return Err(CoreError::DegeneratePatch { reason });
+    }
+    let max_reps = patch.clusters().iter().filter(|c| c.has_gauges()).map(|c| c.repetitions).max();
+    let needed = max_reps.map_or(1, |r| 2 * r);
+    if rounds < needed {
+        return Err(CoreError::TooFewRounds { requested: rounds, needed });
+    }
+
+    // For memory: route the logical-Z observable through a gauge-free
+    // shortest path of the X-check graph (Z chains connect the two
+    // Z-boundary voids).
+    let obs_path: Vec<Coord> = match experiment {
+        Experiment::MemoryZ => CheckGraph::build(patch, CheckBasis::X)?
+            .gauge_free_logical_support()
+            .ok_or(CoreError::NoObservablePath)?,
+        Experiment::Stability => {
+            // Verify the X checks multiply to identity.
+            let mut parity: BTreeMap<Coord, usize> = BTreeMap::new();
+            for f in all_live_faces(patch) {
+                if f.face_basis() == CheckBasis::X {
+                    for q in patch.face_live_support(f) {
+                        *parity.entry(q).or_insert(0) += 1;
+                    }
+                }
+            }
+            if let Some((q, _)) = parity.iter().find(|(_, &n)| n % 2 == 1) {
+                return Err(CoreError::MalformedSyndromeGraph {
+                    detail: format!("X checks do not multiply to identity (qubit {q})"),
+                });
+            }
+            Vec::new()
+        }
+    };
+
+    // Qubit numbering: live data first, then live faces.
+    let live_data = patch.live_data();
+    let live_faces: Vec<Coord> = all_live_faces(patch);
+    let mut qubit_of: BTreeMap<Coord, u32> = BTreeMap::new();
+    for (i, &c) in live_data.iter().chain(live_faces.iter()).enumerate() {
+        qubit_of.insert(c, i as u32);
+    }
+    let mut circuit = Circuit::new(qubit_of.len() as u32);
+    let q = |c: Coord| qubit_of[&c];
+
+    // Initialize all qubits in |0>.
+    for &c in live_data.iter().chain(live_faces.iter()) {
+        circuit.reset(q(c)).expect("qubit in range");
+    }
+    circuit.tick();
+
+    // Gauge bookkeeping.
+    let cluster_basis = |cluster: &crate::adapt::Cluster, t: u32| -> CheckBasis {
+        if (t / cluster.repetitions) % 2 == 0 {
+            CheckBasis::Z
+        } else {
+            CheckBasis::X
+        }
+    };
+    let mut prev_rec: BTreeMap<Coord, MeasRecord> = BTreeMap::new();
+    let mut prev_round: BTreeMap<Coord, u32> = BTreeMap::new();
+
+    for t in 0..rounds {
+        // Which faces are measured this round.
+        let mut measured: Vec<Coord> = patch
+            .full_faces()
+            .iter()
+            .copied()
+            .collect();
+        for cluster in patch.clusters() {
+            if !cluster.has_gauges() {
+                continue;
+            }
+            let basis = cluster_basis(cluster, t);
+            let gauges = match basis {
+                CheckBasis::X => &cluster.x_gauges,
+                CheckBasis::Z => &cluster.z_gauges,
+            };
+            measured.extend(gauges.iter().copied());
+        }
+        measured.sort_unstable();
+
+        // Ancilla preparation.
+        for &f in &measured {
+            if t > 0 {
+                // measure_reset below already reset ancillas at t-1; but
+                // gauge ancillas idle in opposite blocks keep their
+                // reset state, so nothing to do here.
+            }
+            if f.face_basis() == CheckBasis::X {
+                circuit.h(q(f)).expect("qubit in range");
+            }
+        }
+        circuit.tick();
+        // Four CX steps; the standard interleaving avoids data conflicts
+        // and hook-error distance loss: X faces touch NE,NW,SE,SW; Z
+        // faces NE,SE,NW,SW (y grows downward).
+        let x_order = [(1, -1), (-1, -1), (1, 1), (-1, 1)];
+        let z_order = [(1, -1), (1, 1), (-1, -1), (-1, 1)];
+        for step in 0..4 {
+            for &f in &measured {
+                let (dx, dy) = match f.face_basis() {
+                    CheckBasis::X => x_order[step],
+                    CheckBasis::Z => z_order[step],
+                };
+                let d = Coord::new(f.x + dx, f.y + dy);
+                if patch.is_live_data(d) {
+                    match f.face_basis() {
+                        CheckBasis::X => circuit.cx(q(f), q(d)).expect("distinct qubits"),
+                        CheckBasis::Z => circuit.cx(q(d), q(f)).expect("distinct qubits"),
+                    }
+                }
+            }
+            circuit.tick();
+        }
+        for &f in &measured {
+            if f.face_basis() == CheckBasis::X {
+                circuit.h(q(f)).expect("qubit in range");
+            }
+        }
+        circuit.tick();
+        // Measure (and reset for reuse).
+        let mut this_rec: BTreeMap<Coord, MeasRecord> = BTreeMap::new();
+        for &f in &measured {
+            let m = circuit.measure_reset(q(f)).expect("qubit in range");
+            this_rec.insert(f, m);
+        }
+        circuit.tick();
+
+        // Detectors for full faces.
+        for &f in patch.full_faces() {
+            let m = this_rec[&f];
+            let coord = (f.x, f.y, t as i32);
+            match (f.face_basis(), prev_rec.get(&f)) {
+                (CheckBasis::Z, None) => {
+                    circuit.add_detector(&[m], CheckBasis::Z, coord).expect("records exist");
+                }
+                (CheckBasis::X, None) => {}
+                (basis, Some(&p)) => {
+                    circuit.add_detector(&[m, p], basis, coord).expect("records exist");
+                }
+            }
+        }
+        // Detectors for gauges.
+        for cluster in patch.clusters() {
+            if !cluster.has_gauges() {
+                continue;
+            }
+            let basis = cluster_basis(cluster, t);
+            let gauges = match basis {
+                CheckBasis::X => &cluster.x_gauges,
+                CheckBasis::Z => &cluster.z_gauges,
+            };
+            let block_start = gauges
+                .iter()
+                .any(|g| prev_round.get(g).map_or(true, |&r| r != t.wrapping_sub(1)));
+            if !block_start {
+                // Within a block: individual repeats.
+                for &g in gauges {
+                    let coord = (g.x, g.y, t as i32);
+                    circuit
+                        .add_detector(&[this_rec[&g], prev_rec[&g]], basis, coord)
+                        .expect("records exist");
+                }
+            } else if basis == CheckBasis::Z && !prev_rec.contains_key(&gauges[0]) {
+                // First Z block: each Z gauge is deterministic in |0…0>.
+                for &g in gauges {
+                    circuit
+                        .add_detector(&[this_rec[&g]], basis, (g.x, g.y, t as i32))
+                        .expect("records exist");
+                }
+            } else if prev_rec.contains_key(&gauges[0]) {
+                // New block with an earlier same-basis block: compare
+                // super-stabilizer products.
+                let mut records: Vec<MeasRecord> = Vec::new();
+                for &g in gauges {
+                    records.push(this_rec[&g]);
+                    records.push(prev_rec[&g]);
+                }
+                let anchor = gauges[0];
+                circuit
+                    .add_detector(&records, basis, (anchor.x, anchor.y, t as i32))
+                    .expect("records exist");
+            }
+            // else: first X block — X gauges start out random.
+        }
+        for (f, m) in this_rec {
+            prev_rec.insert(f, m);
+            prev_round.insert(f, t);
+        }
+    }
+
+    // Final transversal Z readout of the data qubits.
+    let mut data_rec: BTreeMap<Coord, MeasRecord> = BTreeMap::new();
+    for &d in &live_data {
+        let m = circuit.measure(q(d)).expect("qubit in range");
+        data_rec.insert(d, m);
+    }
+    // Closing detectors for Z-type checks.
+    for &f in patch.full_faces() {
+        if f.face_basis() != CheckBasis::Z {
+            continue;
+        }
+        let mut records: Vec<MeasRecord> =
+            patch.face_live_support(f).iter().map(|d| data_rec[d]).collect();
+        records.push(prev_rec[&f]);
+        circuit
+            .add_detector(&records, CheckBasis::Z, (f.x, f.y, rounds as i32))
+            .expect("records exist");
+    }
+    for cluster in patch.clusters() {
+        if cluster.z_gauges.is_empty() {
+            continue;
+        }
+        let last_basis = cluster_basis(cluster, rounds - 1);
+        if last_basis == CheckBasis::Z {
+            // Ended on a Z block: per-gauge closure.
+            for &g in &cluster.z_gauges {
+                let mut records: Vec<MeasRecord> =
+                    patch.face_live_support(g).iter().map(|d| data_rec[d]).collect();
+                records.push(prev_rec[&g]);
+                circuit
+                    .add_detector(&records, CheckBasis::Z, (g.x, g.y, rounds as i32))
+                    .expect("records exist");
+            }
+        } else {
+            // Ended on an X block: close the Z super-stabilizer product.
+            let mut records: Vec<MeasRecord> = Vec::new();
+            for &g in &cluster.z_gauges {
+                records.extend(patch.face_live_support(g).iter().map(|d| data_rec[d]));
+                records.push(prev_rec[&g]);
+            }
+            let anchor = cluster.z_gauges[0];
+            circuit
+                .add_detector(&records, CheckBasis::Z, (anchor.x, anchor.y, rounds as i32))
+                .expect("records exist");
+        }
+    }
+
+    // Observable.
+    match experiment {
+        Experiment::MemoryZ => {
+            let records: Vec<MeasRecord> = obs_path.iter().map(|d| data_rec[d]).collect();
+            circuit.include_observable(0, &records).expect("records exist");
+        }
+        Experiment::Stability => {
+            let mut records: Vec<MeasRecord> = Vec::new();
+            for &f in patch.full_faces() {
+                if f.face_basis() == CheckBasis::X {
+                    records.push(prev_rec[&f]);
+                }
+            }
+            for cluster in patch.clusters() {
+                for &g in &cluster.x_gauges {
+                    records.push(*prev_rec.get(&g).ok_or(CoreError::TooFewRounds {
+                        requested: rounds,
+                        needed: 2 * cluster.repetitions,
+                    })?);
+                }
+            }
+            circuit.include_observable(0, &records).expect("records exist");
+        }
+    }
+
+    Ok(ExperimentCircuit { circuit, qubit_of, rounds })
+}
+
+fn all_live_faces(patch: &AdaptedPatch) -> Vec<Coord> {
+    let mut faces: Vec<Coord> = patch.full_faces().to_vec();
+    for cluster in patch.clusters() {
+        faces.extend(cluster.x_gauges.iter().copied());
+        faces.extend(cluster.z_gauges.iter().copied());
+    }
+    faces.sort_unstable();
+    faces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defect::DefectSet;
+    use crate::layout::PatchLayout;
+    use dqec_sim::ReferenceSample;
+
+    fn check_deterministic(patch: &AdaptedPatch, rounds: u32) {
+        let exp = memory_z(patch, rounds).expect("circuit builds");
+        let bad = ReferenceSample::violated_detectors(&exp.circuit);
+        assert!(bad.is_empty(), "non-deterministic detectors: {bad:?}");
+    }
+
+    #[test]
+    fn defect_free_memory_is_deterministic() {
+        for l in [3u32, 5] {
+            let patch = AdaptedPatch::new(PatchLayout::memory(l), &DefectSet::new());
+            check_deterministic(&patch, l);
+        }
+    }
+
+    #[test]
+    fn defect_free_detector_count() {
+        // d rounds: Z checks give (d^2-1)/2 * (rounds+1) detectors
+        // (first round + comparisons + final closure); X checks give
+        // (d^2-1)/2 * (rounds-1).
+        let l = 3u32;
+        let rounds = 4u32;
+        let patch = AdaptedPatch::new(PatchLayout::memory(l), &DefectSet::new());
+        let exp = memory_z(&patch, rounds).unwrap();
+        let half = ((l * l - 1) / 2) as usize;
+        let expected = half * (rounds as usize + 1) + half * (rounds as usize - 1);
+        assert_eq!(exp.circuit.detectors().len(), expected);
+        assert_eq!(exp.circuit.observables().len(), 1);
+    }
+
+    #[test]
+    fn single_data_defect_memory_is_deterministic() {
+        let mut d = DefectSet::new();
+        d.add_data(Coord::new(5, 5));
+        let patch = AdaptedPatch::new(PatchLayout::memory(5), &d);
+        check_deterministic(&patch, 4);
+    }
+
+    #[test]
+    fn syndrome_defect_memory_is_deterministic() {
+        let mut d = DefectSet::new();
+        d.add_synd(Coord::new(6, 6));
+        let patch = AdaptedPatch::new(PatchLayout::memory(7), &d);
+        // repetitions = 2 -> blocks ZZXXZZ...
+        check_deterministic(&patch, 8);
+    }
+
+    #[test]
+    fn boundary_defect_memory_is_deterministic() {
+        let mut d = DefectSet::new();
+        d.add_data(Coord::new(5, 1));
+        let patch = AdaptedPatch::new(PatchLayout::memory(5), &d);
+        check_deterministic(&patch, 5);
+    }
+
+    #[test]
+    fn too_few_rounds_is_an_error() {
+        let mut d = DefectSet::new();
+        d.add_synd(Coord::new(6, 6));
+        let patch = AdaptedPatch::new(PatchLayout::memory(7), &d);
+        assert!(matches!(
+            memory_z(&patch, 2),
+            Err(CoreError::TooFewRounds { needed: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn stability_circuit_is_deterministic() {
+        let patch = AdaptedPatch::new(PatchLayout::stability(4, 4), &DefectSet::new());
+        let exp = stability(&patch, 4).unwrap();
+        let bad = ReferenceSample::violated_detectors(&exp.circuit);
+        assert!(bad.is_empty(), "non-deterministic detectors: {bad:?}");
+        // The observable itself must be deterministic: compare across
+        // differently-resolved reference runs.
+        let base = ReferenceSample::of(&exp.circuit);
+        let alt = ReferenceSample::of_choosing(&exp.circuit, |i| i % 2 == 1);
+        let parity = |r: &ReferenceSample| {
+            exp.circuit.observables()[0]
+                .iter()
+                .fold(false, |acc, &m| acc ^ r.outcomes[m as usize])
+        };
+        assert_eq!(parity(&base), parity(&alt), "stability observable must be deterministic");
+        assert!(!parity(&base), "product of all X checks is +1");
+    }
+
+    #[test]
+    fn stability_with_center_defect_is_deterministic() {
+        let mut d = DefectSet::new();
+        d.add_data(Coord::new(5, 5));
+        let patch = AdaptedPatch::new(PatchLayout::stability(6, 6), &d);
+        let exp = stability(&patch, 6).unwrap();
+        let bad = ReferenceSample::violated_detectors(&exp.circuit);
+        assert!(bad.is_empty(), "non-deterministic detectors: {bad:?}");
+    }
+
+    #[test]
+    fn degenerate_patch_is_rejected() {
+        let mut d = DefectSet::new();
+        for site in PatchLayout::memory(3).data_sites() {
+            d.add_data(site);
+        }
+        let patch = AdaptedPatch::new(PatchLayout::memory(3), &d);
+        assert!(matches!(memory_z(&patch, 3), Err(CoreError::DegeneratePatch { .. })));
+    }
+
+    #[test]
+    fn random_defective_circuits_are_deterministic() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let layout = PatchLayout::memory(7);
+        let data: Vec<Coord> = layout.data_sites().collect();
+        let faces: Vec<Coord> = layout.face_sites().collect();
+        let mut built = 0;
+        for _ in 0..60 {
+            let mut d = DefectSet::new();
+            for &c in &data {
+                if rng.gen_bool(0.03) {
+                    d.add_data(c);
+                }
+            }
+            for &c in &faces {
+                if rng.gen_bool(0.03) {
+                    d.add_synd(c);
+                }
+            }
+            let patch = AdaptedPatch::new(PatchLayout::memory(7), &d);
+            if !patch.is_valid() {
+                continue;
+            }
+            let reps = patch
+                .clusters()
+                .iter()
+                .filter(|c| c.has_gauges())
+                .map(|c| c.repetitions)
+                .max()
+                .unwrap_or(1);
+            match memory_z(&patch, (2 * reps).max(4)) {
+                Ok(exp) => {
+                    built += 1;
+                    let bad = ReferenceSample::violated_detectors(&exp.circuit);
+                    assert!(bad.is_empty(), "bad detectors for {d:?}: {bad:?}");
+                }
+                Err(CoreError::NoObservablePath) => {}
+                Err(e) => panic!("unexpected error for {d:?}: {e}"),
+            }
+        }
+        assert!(built > 20, "only {built} circuits built");
+    }
+}
+
+#[cfg(test)]
+mod closure_tests {
+    use super::*;
+    use crate::defect::DefectSet;
+    use crate::layout::PatchLayout;
+    use dqec_sim::ReferenceSample;
+
+    /// Rounds chosen so the schedule ends mid-X-block: the final Z
+    /// closure must use the super-stabilizer product branch.
+    #[test]
+    fn final_readout_closes_through_x_block() {
+        let mut d = DefectSet::new();
+        d.add_synd(Coord::new(6, 6)); // reps = 2: blocks ZZXXZZ...
+        let patch = AdaptedPatch::new(PatchLayout::memory(7), &d);
+        for rounds in [4u32, 5, 6, 7, 8] {
+            // rounds=4 ends after XX; rounds=6 after ZZ; both must close.
+            let exp = memory_z(&patch, rounds).unwrap();
+            let bad = ReferenceSample::violated_detectors(&exp.circuit);
+            assert!(bad.is_empty(), "rounds={rounds}: {bad:?}");
+        }
+    }
+
+    /// Alternating single-cell schedule (reps = 1) across many rounds.
+    #[test]
+    fn alternating_schedule_all_roundcounts() {
+        let mut d = DefectSet::new();
+        d.add_data(Coord::new(5, 5));
+        let patch = AdaptedPatch::new(PatchLayout::memory(5), &d);
+        for rounds in 2..=7u32 {
+            let exp = memory_z(&patch, rounds).unwrap();
+            let bad = ReferenceSample::violated_detectors(&exp.circuit);
+            assert!(bad.is_empty(), "rounds={rounds}: {bad:?}");
+        }
+    }
+
+    /// Two clusters with different repetition counts coexist.
+    #[test]
+    fn mixed_cluster_schedules_are_deterministic() {
+        let mut d = DefectSet::new();
+        d.add_data(Coord::new(5, 5)); // reps 1
+        d.add_synd(Coord::new(12, 12)); // reps 2
+        let patch = AdaptedPatch::new(PatchLayout::memory(9), &d);
+        assert!(patch.is_valid());
+        let exp = memory_z(&patch, 8).unwrap();
+        let bad = ReferenceSample::violated_detectors(&exp.circuit);
+        assert!(bad.is_empty(), "{bad:?}");
+    }
+
+    /// Every qubit is touched at most once per CX step (the interleaved
+    /// dance must never double-book a data qubit).
+    #[test]
+    fn cx_steps_never_conflict() {
+        use dqec_sim::circuit::Op;
+        let mut d = DefectSet::new();
+        d.add_synd(Coord::new(6, 6));
+        let patch = AdaptedPatch::new(PatchLayout::memory(7), &d);
+        let exp = memory_z(&patch, 4).unwrap();
+        let mut in_step: std::collections::HashSet<u32> = Default::default();
+        for op in exp.circuit.ops() {
+            match op {
+                Op::Tick => in_step.clear(),
+                Op::Gate2 { a, b, .. } => {
+                    assert!(in_step.insert(*a), "qubit {a} double-booked in a step");
+                    assert!(in_step.insert(*b), "qubit {b} double-booked in a step");
+                }
+                _ => {}
+            }
+        }
+    }
+}

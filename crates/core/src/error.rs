@@ -1,0 +1,73 @@
+//! Error types for defect-adapted code construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while building experiments on adapted patches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The patch is degenerate (adaptation failed) and cannot host an
+    /// experiment.
+    DegeneratePatch {
+        /// Human-readable degeneracy reason.
+        reason: String,
+    },
+    /// No logical-operator path avoiding gauge clusters exists, so a
+    /// commuting observable cannot be routed.
+    NoObservablePath,
+    /// The requested round count is too small for the patch's gauge
+    /// schedule.
+    TooFewRounds {
+        /// Rounds requested.
+        requested: u32,
+        /// Minimum rounds needed (two full gauge blocks).
+        needed: u32,
+    },
+    /// The patch's syndrome graph does not have the expected boundary
+    /// structure (e.g. the defects cut the patch in two).
+    MalformedSyndromeGraph {
+        /// Description of the anomaly.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DegeneratePatch { reason } => {
+                write!(f, "patch is degenerate: {reason}")
+            }
+            CoreError::NoObservablePath => {
+                write!(f, "no gauge-free path exists for the logical observable")
+            }
+            CoreError::TooFewRounds { requested, needed } => {
+                write!(f, "{requested} rounds requested but the gauge schedule needs {needed}")
+            }
+            CoreError::MalformedSyndromeGraph { detail } => {
+                write!(f, "malformed syndrome graph: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::TooFewRounds { requested: 1, needed: 4 };
+        assert!(e.to_string().contains("4"));
+        let e = CoreError::DegeneratePatch { reason: "x".into() };
+        assert!(e.to_string().contains("degenerate"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

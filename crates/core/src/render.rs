@@ -1,0 +1,124 @@
+//! ASCII rendering of adapted patches, for diagnostics and examples.
+//!
+//! Legend: `.` active data qubit, `#` disabled site, `Z`/`X` full
+//! stabilizers, `z`/`x` gauge operators, space for sites outside the
+//! layout.
+
+use crate::adapt::AdaptedPatch;
+use crate::coords::Coord;
+use dqec_sim::circuit::CheckBasis;
+
+/// Renders the patch as an ASCII map, one lattice row per line.
+///
+/// # Examples
+///
+/// ```
+/// use dqec_core::adapt::AdaptedPatch;
+/// use dqec_core::defect::DefectSet;
+/// use dqec_core::layout::PatchLayout;
+/// use dqec_core::render::render_patch;
+///
+/// let patch = AdaptedPatch::new(PatchLayout::memory(3), &DefectSet::new());
+/// let art = render_patch(&patch);
+/// assert!(art.contains('Z') && art.contains('X') && art.contains('.'));
+/// ```
+pub fn render_patch(patch: &AdaptedPatch) -> String {
+    let layout = patch.layout();
+    let (w, h) = (2 * layout.width() as i32, 2 * layout.height() as i32);
+    let mut out = String::new();
+    for y in 0..=h {
+        for x in 0..=w {
+            out.push(site_char(patch, Coord::new(x, y)));
+        }
+        // Trim trailing spaces for stable snapshots.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn site_char(patch: &AdaptedPatch, c: Coord) -> char {
+    let layout = patch.layout();
+    if c.is_data_site() && layout.contains_data(c) {
+        if patch.is_live_data(c) {
+            '.'
+        } else {
+            '#'
+        }
+    } else if c.is_face_site() && layout.contains_face(c) {
+        if !patch.is_live_face(c) {
+            return '#';
+        }
+        let gauge = patch.gauge_cluster_of(c).is_some();
+        match (c.face_basis(), gauge) {
+            (CheckBasis::Z, false) => 'Z',
+            (CheckBasis::Z, true) => 'z',
+            (CheckBasis::X, false) => 'X',
+            (CheckBasis::X, true) => 'x',
+        }
+    } else {
+        ' '
+    }
+}
+
+/// Summarizes the patch in one line: size, live counts, clusters,
+/// status.
+pub fn summarize_patch(patch: &AdaptedPatch) -> String {
+    format!(
+        "{}x{} patch: {} live data, {} full checks, {} gauge clusters, {}",
+        patch.layout().width(),
+        patch.layout().height(),
+        patch.num_live_data(),
+        patch.full_faces().len(),
+        patch.clusters().iter().filter(|c| c.has_gauges()).count(),
+        if patch.is_valid() { "valid" } else { "degenerate" }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defect::DefectSet;
+    use crate::layout::PatchLayout;
+
+    #[test]
+    fn defect_free_map_has_no_dead_sites() {
+        let patch = AdaptedPatch::new(PatchLayout::memory(5), &DefectSet::new());
+        let art = render_patch(&patch);
+        assert!(!art.contains('#'));
+        assert!(!art.contains('z') && !art.contains('x'));
+        assert_eq!(art.matches('.').count(), 25);
+        assert_eq!(art.lines().count(), 11);
+    }
+
+    #[test]
+    fn defective_map_marks_dead_and_gauges() {
+        let mut d = DefectSet::new();
+        d.add_data(Coord::new(5, 5));
+        let patch = AdaptedPatch::new(PatchLayout::memory(5), &d);
+        let art = render_patch(&patch);
+        assert_eq!(art.matches('#').count(), 1);
+        assert_eq!(art.matches('z').count(), 2);
+        assert_eq!(art.matches('x').count(), 2);
+    }
+
+    #[test]
+    fn summary_mentions_validity() {
+        let patch = AdaptedPatch::new(PatchLayout::memory(3), &DefectSet::new());
+        let s = summarize_patch(&patch);
+        assert!(s.contains("valid"));
+        assert!(s.contains("9 live data"));
+    }
+
+    #[test]
+    fn d3_symbol_counts() {
+        let patch = AdaptedPatch::new(PatchLayout::memory(3), &DefectSet::new());
+        let art = render_patch(&patch);
+        let count = |ch: char| art.matches(ch).count();
+        assert_eq!(count('X'), 4);
+        assert_eq!(count('Z'), 4);
+        assert_eq!(count('.'), 9);
+    }
+}

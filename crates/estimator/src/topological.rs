@@ -1,0 +1,45 @@
+//! The Gidney–Ekerå topological error model.
+
+/// Logical error rate of one distance-`d` surface code patch per code
+/// cycle at physical gate error `p` (Gidney–Ekerå 2021, §2.13):
+/// `0.1 · (100 p)^((d+1)/2)`.
+///
+/// # Examples
+///
+/// ```
+/// use dqec_estimator::topological::logical_error_per_patch_cycle;
+///
+/// let e27 = logical_error_per_patch_cycle(27, 1e-3);
+/// assert!((e27 - 1e-15).abs() < 1e-16);
+/// ```
+pub fn logical_error_per_patch_cycle(d: u32, p: f64) -> f64 {
+    0.1 * (100.0 * p).powf((d as f64 + 1.0) / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halves_per_two_distance_steps_at_p_1e3() {
+        // At p = 1e-3, each +2 of distance suppresses by 10x.
+        let a = logical_error_per_patch_cycle(25, 1e-3);
+        let b = logical_error_per_patch_cycle(27, 1e-3);
+        assert!((a / b - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn increases_with_p() {
+        assert!(
+            logical_error_per_patch_cycle(27, 2e-3) > logical_error_per_patch_cycle(27, 1e-3)
+        );
+    }
+
+    #[test]
+    fn matches_paper_budget() {
+        // 14238 patches x 25e9 cycles at d=27, p=1e-3 gives ~73% fidelity.
+        let eps = logical_error_per_patch_cycle(27, 1e-3);
+        let fidelity = (-14238.0 * 25e9 * eps).exp();
+        assert!((fidelity - 0.70).abs() < 0.05, "fidelity {fidelity}");
+    }
+}

@@ -1,0 +1,662 @@
+//! Exact maximum/minimum weight perfect matching on dense graphs.
+//!
+//! Implements the classic O(n³) primal–dual blossom algorithm for
+//! maximum-weight matching on general graphs (Galil's formulation with
+//! lazy dual adjustment). Minimum-weight *perfect* matching — what an
+//! MWPM decoder needs — is obtained by negating weights against a large
+//! constant, which makes every edge profitable and therefore makes
+//! maximum-weight matchings perfect on complete even-order graphs.
+//!
+//! The decoder calls this per shot on the complete graph over flagged
+//! detectors plus virtual boundary copies; typical sizes are tens of
+//! vertices, far below the algorithm's comfortable range.
+
+/// Result of a perfect matching computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfectMatching {
+    /// `mate[v]` is the vertex matched to `v`.
+    pub mate: Vec<usize>,
+}
+
+/// Computes a minimum-weight perfect matching of the complete graph on
+/// `n` vertices (n even) with the given dense weight matrix.
+///
+/// Weights are arbitrary finite `f64`s; they are scaled internally to
+/// integers, so ties may be broken arbitrarily within a relative
+/// precision of about 1e-9 of the weight range.
+///
+/// # Panics
+///
+/// Panics if `n` is odd, if `weights` is not `n × n`, or if any weight
+/// is not finite.
+///
+/// # Examples
+///
+/// ```
+/// use dqec_matching::blossom::min_weight_perfect_matching;
+///
+/// // 4 vertices: cheap edges (0,1) and (2,3).
+/// let w = vec![
+///     vec![0.0, 1.0, 10.0, 10.0],
+///     vec![1.0, 0.0, 10.0, 10.0],
+///     vec![10.0, 10.0, 0.0, 2.0],
+///     vec![10.0, 10.0, 2.0, 0.0],
+/// ];
+/// let m = min_weight_perfect_matching(&w);
+/// assert_eq!(m.mate[0], 1);
+/// assert_eq!(m.mate[2], 3);
+/// ```
+pub fn min_weight_perfect_matching(weights: &[Vec<f64>]) -> PerfectMatching {
+    let n = weights.len();
+    assert!(n % 2 == 0, "perfect matching needs an even vertex count, got {n}");
+    if n == 0 {
+        return PerfectMatching { mate: Vec::new() };
+    }
+    for row in weights {
+        assert_eq!(row.len(), n, "weight matrix must be square");
+        for &w in row {
+            assert!(w.is_finite(), "weights must be finite, got {w}");
+        }
+    }
+    // Scale to integers. Use a resolution fine enough to keep ordering.
+    let mut max_abs = 0.0f64;
+    for row in weights {
+        for &w in row {
+            max_abs = max_abs.max(w.abs());
+        }
+    }
+    let scale = if max_abs == 0.0 { 1.0 } else { 1e9 / max_abs };
+    // Transform min -> max: w' = big - w, all >= 1.
+    let big: i64 = (max_abs * scale).round() as i64 + 2;
+    let mut g = vec![vec![0i64; n + 1]; n + 1];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                g[i + 1][j + 1] = big - (weights[i][j] * scale).round() as i64;
+                debug_assert!(g[i + 1][j + 1] >= 1);
+            }
+        }
+    }
+    let mate1 = max_weight_matching_1idx(n, &g);
+    let mate: Vec<usize> = (1..=n)
+        .map(|v| {
+            assert!(mate1[v] != 0, "matching is not perfect; this cannot happen on complete graphs");
+            mate1[v] - 1
+        })
+        .collect();
+    PerfectMatching { mate }
+}
+
+/// Maximum-weight matching on a 1-indexed dense graph; `g[u][v]` is the
+/// weight of edge (u, v), 0 meaning "no edge". Returns the 1-indexed
+/// mate array (0 = unmatched).
+fn max_weight_matching_1idx(n: usize, w: &[Vec<i64>]) -> Vec<usize> {
+    Solver::new(n, w).run()
+}
+
+#[derive(Clone, Copy, Default)]
+struct Edge {
+    u: usize,
+    v: usize,
+    w: i64,
+}
+
+struct Solver {
+    n: usize,
+    n_x: usize,
+    g: Vec<Vec<Edge>>,
+    lab: Vec<i64>,
+    mate: Vec<usize>,
+    slack: Vec<usize>,
+    st: Vec<usize>,
+    pa: Vec<usize>,
+    flower_from: Vec<Vec<usize>>,
+    s: Vec<i8>,
+    vis: Vec<u32>,
+    vis_t: u32,
+    flower: Vec<Vec<usize>>,
+    q: std::collections::VecDeque<usize>,
+}
+
+impl Solver {
+    fn new(n: usize, w: &[Vec<i64>]) -> Self {
+        let m = 2 * n + 1;
+        let mut g = vec![vec![Edge::default(); m]; m];
+        for u in 1..=n {
+            for v in 1..=n {
+                g[u][v] = Edge { u, v, w: w[u][v] };
+            }
+        }
+        Solver {
+            n,
+            n_x: n,
+            g,
+            lab: vec![0; m],
+            mate: vec![0; m],
+            slack: vec![0; m],
+            st: (0..m).collect(),
+            pa: vec![0; m],
+            flower_from: vec![vec![0; n + 1]; m],
+            s: vec![-1; m],
+            vis: vec![0; m],
+            vis_t: 0,
+            flower: vec![Vec::new(); m],
+            q: std::collections::VecDeque::new(),
+        }
+    }
+
+    #[inline]
+    fn e_delta(&self, e: &Edge) -> i64 {
+        self.lab[e.u] + self.lab[e.v] - self.g[e.u][e.v].w * 2
+    }
+
+    fn update_slack(&mut self, u: usize, x: usize) {
+        if self.slack[x] == 0
+            || self.e_delta(&self.g[u][x]) < self.e_delta(&self.g[self.slack[x]][x])
+        {
+            self.slack[x] = u;
+        }
+    }
+
+    fn set_slack(&mut self, x: usize) {
+        self.slack[x] = 0;
+        for u in 1..=self.n {
+            if self.g[u][x].w > 0 && self.st[u] != x && self.s[self.st[u]] == 0 {
+                self.update_slack(u, x);
+            }
+        }
+    }
+
+    fn q_push(&mut self, x: usize) {
+        if x <= self.n {
+            self.q.push_back(x);
+        } else {
+            let children = self.flower[x].clone();
+            for y in children {
+                self.q_push(y);
+            }
+        }
+    }
+
+    fn set_st(&mut self, x: usize, b: usize) {
+        self.st[x] = b;
+        if x > self.n {
+            let children = self.flower[x].clone();
+            for y in children {
+                self.set_st(y, b);
+            }
+        }
+    }
+
+    fn get_pr(&mut self, b: usize, xr: usize) -> usize {
+        let pr = self.flower[b].iter().position(|&y| y == xr).expect("xr in flower");
+        if pr % 2 == 1 {
+            self.flower[b][1..].reverse();
+            self.flower[b].len() - pr
+        } else {
+            pr
+        }
+    }
+
+    fn set_match(&mut self, u: usize, v: usize) {
+        self.mate[u] = self.g[u][v].v;
+        if u > self.n {
+            let e = self.g[u][v];
+            let xr = self.flower_from[u][e.u];
+            let pr = self.get_pr(u, xr);
+            for i in 0..pr {
+                let a = self.flower[u][i];
+                let b = self.flower[u][i ^ 1];
+                self.set_match(a, b);
+            }
+            self.set_match(xr, v);
+            self.flower[u].rotate_left(pr);
+        }
+    }
+
+    fn augment(&mut self, mut u: usize, mut v: usize) {
+        loop {
+            let xnv = self.st[self.mate[u]];
+            self.set_match(u, v);
+            if xnv == 0 {
+                return;
+            }
+            let pa_xnv = self.st[self.pa[xnv]];
+            self.set_match(xnv, pa_xnv);
+            u = pa_xnv;
+            v = xnv;
+        }
+    }
+
+    fn get_lca(&mut self, mut u: usize, mut v: usize) -> usize {
+        self.vis_t += 1;
+        let t = self.vis_t;
+        while u != 0 || v != 0 {
+            if u != 0 {
+                if self.vis[u] == t {
+                    return u;
+                }
+                self.vis[u] = t;
+                u = self.st[self.mate[u]];
+                if u != 0 {
+                    u = self.st[self.pa[u]];
+                }
+            }
+            std::mem::swap(&mut u, &mut v);
+        }
+        0
+    }
+
+    fn add_blossom(&mut self, u: usize, lca: usize, v: usize) {
+        let mut b = self.n + 1;
+        while b <= self.n_x && self.st[b] != 0 {
+            b += 1;
+        }
+        if b > self.n_x {
+            self.n_x += 1;
+        }
+        self.lab[b] = 0;
+        self.s[b] = 0;
+        self.mate[b] = self.mate[lca];
+        self.flower[b] = vec![lca];
+        let mut x = u;
+        while x != lca {
+            self.flower[b].push(x);
+            let y = self.st[self.mate[x]];
+            self.flower[b].push(y);
+            self.q_push(y);
+            x = self.st[self.pa[y]];
+        }
+        self.flower[b][1..].reverse();
+        let mut x = v;
+        while x != lca {
+            self.flower[b].push(x);
+            let y = self.st[self.mate[x]];
+            self.flower[b].push(y);
+            self.q_push(y);
+            x = self.st[self.pa[y]];
+        }
+        let fl = self.flower[b].clone();
+        self.set_st(b, b);
+        for x in 1..=self.n_x {
+            self.g[b][x].w = 0;
+            self.g[x][b].w = 0;
+        }
+        for x in 1..=self.n {
+            self.flower_from[b][x] = 0;
+        }
+        for &xs in &fl {
+            for x in 1..=self.n_x {
+                if self.g[b][x].w == 0
+                    || self.e_delta(&self.g[xs][x]) < self.e_delta(&self.g[b][x])
+                {
+                    self.g[b][x] = self.g[xs][x];
+                    self.g[x][b] = self.g[x][xs];
+                }
+            }
+            for x in 1..=self.n {
+                if self.flower_from[xs][x] != 0 {
+                    self.flower_from[b][x] = xs;
+                }
+            }
+        }
+        self.set_slack(b);
+    }
+
+    fn expand_blossom(&mut self, b: usize) {
+        let fl = self.flower[b].clone();
+        for &x in &fl {
+            self.set_st(x, x);
+        }
+        let xr = self.flower_from[b][self.g[b][self.pa[b]].u];
+        let pr = self.get_pr(b, xr);
+        let fl = self.flower[b].clone();
+        let mut i = 0;
+        while i < pr {
+            let xs = fl[i];
+            let xns = fl[i + 1];
+            self.pa[xs] = self.g[xns][xs].u;
+            self.s[xs] = 1;
+            self.s[xns] = 0;
+            self.slack[xs] = 0;
+            self.set_slack(xns);
+            self.q_push(xns);
+            i += 2;
+        }
+        self.s[xr] = 1;
+        self.pa[xr] = self.pa[b];
+        for &xs in fl.iter().skip(pr + 1) {
+            self.s[xs] = -1;
+            self.set_slack(xs);
+        }
+        self.st[b] = 0;
+    }
+
+    fn on_found_edge(&mut self, e: Edge) -> bool {
+        let u = self.st[e.u];
+        let v = self.st[e.v];
+        if self.s[v] == -1 {
+            self.pa[v] = e.u;
+            self.s[v] = 1;
+            let nu = self.st[self.mate[v]];
+            self.slack[v] = 0;
+            self.slack[nu] = 0;
+            self.s[nu] = 0;
+            self.q_push(nu);
+        } else if self.s[v] == 0 {
+            let lca = self.get_lca(u, v);
+            if lca == 0 {
+                self.augment(u, v);
+                self.augment(v, u);
+                return true;
+            }
+            self.add_blossom(u, lca, v);
+        }
+        false
+    }
+
+    fn matching_round(&mut self) -> bool {
+        for x in 1..=self.n_x {
+            self.s[x] = -1;
+            self.slack[x] = 0;
+        }
+        self.q.clear();
+        for x in 1..=self.n_x {
+            if self.st[x] == x && self.mate[x] == 0 {
+                self.pa[x] = 0;
+                self.s[x] = 0;
+                self.q_push(x);
+            }
+        }
+        if self.q.is_empty() {
+            return false;
+        }
+        loop {
+            while let Some(u) = self.q.pop_front() {
+                if self.s[self.st[u]] == 1 {
+                    continue;
+                }
+                for v in 1..=self.n {
+                    if self.g[u][v].w > 0 && self.st[u] != self.st[v] {
+                        if self.e_delta(&self.g[u][v]) == 0 {
+                            if self.on_found_edge(self.g[u][v]) {
+                                return true;
+                            }
+                        } else {
+                            let sv = self.st[v];
+                            self.update_slack(u, sv);
+                        }
+                    }
+                }
+            }
+            let mut d = i64::MAX;
+            for b in self.n + 1..=self.n_x {
+                if self.st[b] == b && self.s[b] == 1 {
+                    d = d.min(self.lab[b] / 2);
+                }
+            }
+            for x in 1..=self.n_x {
+                if self.st[x] == x && self.slack[x] != 0 {
+                    let delta = self.e_delta(&self.g[self.slack[x]][x]);
+                    if self.s[x] == -1 {
+                        d = d.min(delta);
+                    } else if self.s[x] == 0 {
+                        d = d.min(delta / 2);
+                    }
+                }
+            }
+            for u in 1..=self.n {
+                match self.s[self.st[u]] {
+                    0 => {
+                        if self.lab[u] <= d {
+                            return false;
+                        }
+                        self.lab[u] -= d;
+                    }
+                    1 => self.lab[u] += d,
+                    _ => {}
+                }
+            }
+            for b in self.n + 1..=self.n_x {
+                if self.st[b] == b {
+                    if self.s[b] == 0 {
+                        self.lab[b] += d * 2;
+                    } else if self.s[b] == 1 {
+                        self.lab[b] -= d * 2;
+                    }
+                }
+            }
+            self.q.clear();
+            for x in 1..=self.n_x {
+                if self.st[x] == x
+                    && self.slack[x] != 0
+                    && self.st[self.slack[x]] != x
+                    && self.e_delta(&self.g[self.slack[x]][x]) == 0
+                {
+                    let e = self.g[self.slack[x]][x];
+                    if self.on_found_edge(e) {
+                        return true;
+                    }
+                }
+            }
+            for b in self.n + 1..=self.n_x {
+                if self.st[b] == b && self.s[b] == 1 && self.lab[b] == 0 {
+                    self.expand_blossom(b);
+                }
+            }
+        }
+    }
+
+    fn run(mut self) -> Vec<usize> {
+        for u in 1..=self.n {
+            self.mate[u] = 0;
+            for v in 1..=self.n {
+                self.flower_from[u][v] = if u == v { u } else { 0 };
+            }
+        }
+        let mut w_max = 0;
+        for u in 1..=self.n {
+            for v in 1..=self.n {
+                w_max = w_max.max(self.g[u][v].w);
+            }
+        }
+        for u in 1..=self.n {
+            self.lab[u] = w_max;
+        }
+        while self.matching_round() {}
+        let mut mate = vec![0usize; self.n + 1];
+        mate[1..(self.n + 1)].copy_from_slice(&self.mate[1..(self.n + 1)]);
+        mate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force minimum-weight perfect matching by recursion.
+    fn brute_force(weights: &[Vec<f64>]) -> f64 {
+        let n = weights.len();
+        let mut used = vec![false; n];
+        fn rec(used: &mut [bool], w: &[Vec<f64>]) -> f64 {
+            let Some(i) = used.iter().position(|&u| !u) else {
+                return 0.0;
+            };
+            used[i] = true;
+            let mut best = f64::INFINITY;
+            for j in i + 1..used.len() {
+                if !used[j] {
+                    used[j] = true;
+                    best = best.min(w[i][j] + rec(used, w));
+                    used[j] = false;
+                }
+            }
+            used[i] = false;
+            best
+        }
+        rec(&mut used, weights)
+    }
+
+    fn matching_cost(weights: &[Vec<f64>], m: &PerfectMatching) -> f64 {
+        let n = weights.len();
+        let mut seen = vec![false; n];
+        let mut total = 0.0;
+        for v in 0..n {
+            let u = m.mate[v];
+            assert_eq!(m.mate[u], v, "mate must be symmetric");
+            assert_ne!(u, v);
+            if !seen[v] && !seen[u] {
+                seen[v] = true;
+                seen[u] = true;
+                total += weights[v][u];
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "matching must be perfect");
+        total
+    }
+
+    #[test]
+    fn empty_graph() {
+        let m = min_weight_perfect_matching(&[]);
+        assert!(m.mate.is_empty());
+    }
+
+    #[test]
+    fn two_vertices() {
+        let w = vec![vec![0.0, 3.5], vec![3.5, 0.0]];
+        let m = min_weight_perfect_matching(&w);
+        assert_eq!(m.mate, vec![1, 0]);
+    }
+
+    #[test]
+    fn four_vertices_prefers_cheap_pairs() {
+        let w = vec![
+            vec![0.0, 1.0, 4.0, 4.0],
+            vec![1.0, 0.0, 4.0, 4.0],
+            vec![4.0, 4.0, 0.0, 1.0],
+            vec![4.0, 4.0, 1.0, 0.0],
+        ];
+        let m = min_weight_perfect_matching(&w);
+        assert_eq!(matching_cost(&w, &m), 2.0);
+    }
+
+    #[test]
+    fn forced_odd_cycle_structure() {
+        // A 6-vertex graph where the best matching must "cross" an odd
+        // cycle: vertices 0,1,2 form a cheap triangle but must each pair
+        // outward.
+        let inf = 100.0;
+        let mut w = vec![vec![inf; 6]; 6];
+        for i in 0..6 {
+            w[i][i] = 0.0;
+        }
+        let mut set = |a: usize, b: usize, c: f64, w: &mut Vec<Vec<f64>>| {
+            w[a][b] = c;
+            w[b][a] = c;
+        };
+        set(0, 1, 1.0, &mut w);
+        set(1, 2, 1.0, &mut w);
+        set(0, 2, 1.0, &mut w);
+        set(0, 3, 2.0, &mut w);
+        set(1, 4, 2.0, &mut w);
+        set(2, 5, 2.0, &mut w);
+        set(3, 4, 50.0, &mut w);
+        set(4, 5, 50.0, &mut w);
+        set(3, 5, 50.0, &mut w);
+        let m = min_weight_perfect_matching(&w);
+        // Best: one triangle edge + one outward + one expensive, e.g.
+        // (0,1)+(2,5)+(3,4) = 1+2+50 = 53.
+        assert_eq!(matching_cost(&w, &m), brute_force(&w));
+    }
+
+    #[test]
+    fn random_graphs_match_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..200 {
+            let n = 2 * rng.gen_range(1..=5);
+            let mut w = vec![vec![0.0; n]; n];
+            for i in 0..n {
+                for j in i + 1..n {
+                    let c = rng.gen_range(0.0..10.0f64);
+                    // Round to avoid brute-force/scaled-integer tie
+                    // disagreement in cost comparison.
+                    let c = (c * 16.0).round() / 16.0;
+                    w[i][j] = c;
+                    w[j][i] = c;
+                }
+            }
+            let m = min_weight_perfect_matching(&w);
+            let got = matching_cost(&w, &m);
+            let want = brute_force(&w);
+            assert!(
+                (got - want).abs() < 1e-6,
+                "trial {trial}: got {got}, want {want} (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weights_are_fine() {
+        let w = vec![vec![0.0; 4]; 4];
+        let m = min_weight_perfect_matching(&w);
+        assert_eq!(matching_cost(&w, &m), 0.0);
+    }
+
+    #[test]
+    fn negative_weights_are_fine() {
+        let w = vec![
+            vec![0.0, -5.0, 2.0, 2.0],
+            vec![-5.0, 0.0, 2.0, 2.0],
+            vec![2.0, 2.0, 0.0, -1.0],
+            vec![2.0, 2.0, -1.0, 0.0],
+        ];
+        let m = min_weight_perfect_matching(&w);
+        assert_eq!(matching_cost(&w, &m), -6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even vertex count")]
+    fn odd_count_panics() {
+        let w = vec![vec![0.0; 3]; 3];
+        let _ = min_weight_perfect_matching(&w);
+    }
+
+    #[test]
+    fn larger_random_instance_is_consistent() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 40;
+        let mut w = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let c = rng.gen_range(0.0..1.0f64);
+                w[i][j] = c;
+                w[j][i] = c;
+            }
+        }
+        let m = min_weight_perfect_matching(&w);
+        // Sanity: perfect and symmetric (checked inside), cost below a
+        // greedy upper bound.
+        let cost = matching_cost(&w, &m);
+        let mut greedy_used = vec![false; n];
+        let mut greedy_cost = 0.0;
+        for i in 0..n {
+            if greedy_used[i] {
+                continue;
+            }
+            let mut best = (f64::INFINITY, usize::MAX);
+            for j in i + 1..n {
+                if !greedy_used[j] && w[i][j] < best.0 {
+                    best = (w[i][j], j);
+                }
+            }
+            greedy_used[i] = true;
+            greedy_used[best.1] = true;
+            greedy_cost += best.0;
+        }
+        assert!(cost <= greedy_cost + 1e-9, "blossom ({cost}) beat by greedy ({greedy_cost})");
+    }
+}

@@ -1,0 +1,291 @@
+//! The end-to-end MWPM decoder.
+//!
+//! Combines the two CSS decoding graphs: each shot's detection events
+//! are split by basis, matched independently with the blossom algorithm
+//! over cached shortest-path weights, and the predicted observable flips
+//! are XORed together.
+
+use crate::blossom::min_weight_perfect_matching;
+use crate::graph::DecodingGraph;
+use dqec_sim::circuit::{CheckBasis, Circuit};
+use dqec_sim::dem::DetectorErrorModel;
+use dqec_sim::frame::ShotBatch;
+
+/// Outcome statistics of decoding a batch of shots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Number of shots decoded.
+    pub shots: usize,
+    /// Per-observable counts of logical failures (prediction != actual).
+    pub failures: Vec<usize>,
+}
+
+impl DecodeStats {
+    /// Logical error rate of observable `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no shots were decoded or `obs` is out of range.
+    pub fn logical_error_rate(&self, obs: usize) -> f64 {
+        assert!(self.shots > 0, "no shots decoded");
+        self.failures[obs] as f64 / self.shots as f64
+    }
+
+    /// 95% Wilson confidence interval for observable `obs`'s LER.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no shots were decoded or `obs` is out of range.
+    pub fn wilson_interval(&self, obs: usize) -> (f64, f64) {
+        assert!(self.shots > 0, "no shots decoded");
+        let n = self.shots as f64;
+        let p = self.failures[obs] as f64 / n;
+        let z = 1.96f64;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+}
+
+/// A minimum-weight perfect-matching decoder for a fixed noisy circuit.
+///
+/// # Examples
+///
+/// ```
+/// use dqec_matching::MwpmDecoder;
+/// use dqec_sim::circuit::{CheckBasis, Circuit, Noise1};
+/// use dqec_sim::frame::FrameSampler;
+/// use rand::SeedableRng;
+///
+/// // Two-round repetition-ish toy circuit.
+/// let mut c = Circuit::new(2);
+/// c.reset(0)?;
+/// c.reset(1)?;
+/// c.noise1(Noise1::XError, 0, 0.05)?;
+/// c.cx(0, 1)?;
+/// let m = c.measure_reset(1)?;
+/// c.add_detector(&[m], CheckBasis::Z, (0, 0, 0))?;
+/// let d = c.measure(0)?;
+/// c.add_detector(&[m, d], CheckBasis::Z, (0, 0, 1))?;
+/// c.include_observable(0, &[d])?;
+///
+/// let decoder = MwpmDecoder::new(&c);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let batch = FrameSampler::new(&c).sample(2000, &mut rng);
+/// let stats = decoder.decode_batch(&batch);
+/// // A single qubit's flip is always detected and corrected here.
+/// assert_eq!(stats.failures[0], 0);
+/// # Ok::<(), dqec_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MwpmDecoder {
+    z_graph: DecodingGraph,
+    x_graph: DecodingGraph,
+    det_basis: Vec<CheckBasis>,
+    num_observables: usize,
+}
+
+impl MwpmDecoder {
+    /// Builds a decoder for `circuit` by extracting its detector error
+    /// model and constructing both basis graphs.
+    pub fn new(circuit: &Circuit) -> Self {
+        let dem = DetectorErrorModel::from_circuit(circuit);
+        Self::with_dem(circuit, &dem)
+    }
+
+    /// Builds a decoder from a precomputed DEM.
+    pub fn with_dem(circuit: &Circuit, dem: &DetectorErrorModel) -> Self {
+        let (z_mask, x_mask) = DecodingGraph::split_observables(circuit, dem);
+        MwpmDecoder {
+            z_graph: DecodingGraph::build_with_observables(circuit, dem, CheckBasis::Z, z_mask),
+            x_graph: DecodingGraph::build_with_observables(circuit, dem, CheckBasis::X, x_mask),
+            det_basis: circuit.detectors().iter().map(|d| d.basis).collect(),
+            num_observables: circuit.observables().len(),
+        }
+    }
+
+    /// The Z-basis decoding graph.
+    pub fn z_graph(&self) -> &DecodingGraph {
+        &self.z_graph
+    }
+
+    /// The X-basis decoding graph.
+    pub fn x_graph(&self) -> &DecodingGraph {
+        &self.x_graph
+    }
+
+    /// Predicts the observable flips for one shot's detection events
+    /// (flagged detector ids, any basis, ascending or not).
+    pub fn decode_events(&self, events: &[u32]) -> u64 {
+        let mut z_events = Vec::new();
+        let mut x_events = Vec::new();
+        for &d in events {
+            match self.det_basis[d as usize] {
+                CheckBasis::Z => z_events.push(d),
+                CheckBasis::X => x_events.push(d),
+            }
+        }
+        decode_one(&self.z_graph, &z_events) ^ decode_one(&self.x_graph, &x_events)
+    }
+
+    /// Decodes every shot of a batch and tallies logical failures.
+    pub fn decode_batch(&self, batch: &ShotBatch) -> DecodeStats {
+        let shots = batch.detectors.shots();
+        let mut failures = vec![0usize; self.num_observables];
+        let events_by_shot = batch.detection_events_by_shot();
+        for (shot, events) in events_by_shot.iter().enumerate() {
+            let predicted = self.decode_events(events);
+            for (o, f) in failures.iter_mut().enumerate() {
+                let actual = batch.observables.get(o, shot);
+                let pred = (predicted >> o) & 1 == 1;
+                if actual != pred {
+                    *f += 1;
+                }
+            }
+        }
+        DecodeStats { shots, failures }
+    }
+}
+
+/// Matches one basis's events and returns the predicted observable mask.
+fn decode_one(graph: &DecodingGraph, events: &[u32]) -> u64 {
+    let nodes: Vec<u32> = events
+        .iter()
+        .filter_map(|&d| graph.node_of_detector(d))
+        .collect();
+    let k = nodes.len();
+    if k == 0 {
+        return 0;
+    }
+    // Complete graph on k real + k virtual boundary copies.
+    let m = 2 * k;
+    let mut w = vec![vec![0.0f64; m]; m];
+    for i in 0..k {
+        for j in 0..k {
+            if i != j {
+                w[i][j] = graph.distance(Some(nodes[i]), Some(nodes[j]));
+            }
+        }
+        let db = graph.distance(Some(nodes[i]), None);
+        for j in 0..k {
+            w[i][k + j] = db;
+            w[k + j][i] = db;
+        }
+    }
+    // virtual-virtual edges are free (already 0).
+    let matching = min_weight_perfect_matching(&w);
+    let mut obs = 0u64;
+    for i in 0..k {
+        let mate = matching.mate[i];
+        if mate < k {
+            if i < mate {
+                obs ^= graph.path_observables(Some(nodes[i]), Some(nodes[mate]));
+            }
+        } else {
+            obs ^= graph.path_observables(Some(nodes[i]), None);
+        }
+    }
+    obs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqec_sim::circuit::Noise1;
+    use dqec_sim::frame::FrameSampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Distance-3 repetition code over `rounds` rounds with data-flip
+    /// probability `p` per round; observable = data qubit 0.
+    fn repetition(rounds: usize, p: f64) -> Circuit {
+        let mut c = Circuit::new(5);
+        for q in 0..5 {
+            c.reset(q).unwrap();
+        }
+        let mut prev: Option<[dqec_sim::MeasRecord; 2]> = None;
+        for t in 0..rounds {
+            for q in 0..3 {
+                c.noise1(Noise1::XError, q, p).unwrap();
+            }
+            c.cx(0, 3).unwrap();
+            c.cx(1, 3).unwrap();
+            c.cx(1, 4).unwrap();
+            c.cx(2, 4).unwrap();
+            let m3 = c.measure_reset(3).unwrap();
+            let m4 = c.measure_reset(4).unwrap();
+            match prev {
+                None => {
+                    c.add_detector(&[m3], CheckBasis::Z, (0, 0, t as i32)).unwrap();
+                    c.add_detector(&[m4], CheckBasis::Z, (1, 0, t as i32)).unwrap();
+                }
+                Some([p3, p4]) => {
+                    c.add_detector(&[m3, p3], CheckBasis::Z, (0, 0, t as i32)).unwrap();
+                    c.add_detector(&[m4, p4], CheckBasis::Z, (1, 0, t as i32)).unwrap();
+                }
+            }
+            prev = Some([m3, m4]);
+        }
+        let d0 = c.measure(0).unwrap();
+        let d1 = c.measure(1).unwrap();
+        let d2 = c.measure(2).unwrap();
+        let [p3, p4] = prev.unwrap();
+        c.add_detector(&[d0, d1, p3], CheckBasis::Z, (0, 0, rounds as i32)).unwrap();
+        c.add_detector(&[d1, d2, p4], CheckBasis::Z, (1, 0, rounds as i32)).unwrap();
+        c.include_observable(0, &[d0]).unwrap();
+        c
+    }
+
+    #[test]
+    fn noiseless_batch_has_no_failures() {
+        let c = repetition(3, 0.0);
+        let decoder = MwpmDecoder::new(&c);
+        let batch = FrameSampler::new(&c).sample(500, &mut StdRng::seed_from_u64(1));
+        let stats = decoder.decode_batch(&batch);
+        assert_eq!(stats.failures[0], 0);
+    }
+
+    #[test]
+    fn single_flips_are_always_corrected() {
+        // With p small, shots containing exactly one data error must be
+        // corrected; the LER should be well below the physical rate.
+        let p = 0.02;
+        let c = repetition(3, p);
+        let decoder = MwpmDecoder::new(&c);
+        let batch = FrameSampler::new(&c).sample(20_000, &mut StdRng::seed_from_u64(2));
+        let stats = decoder.decode_batch(&batch);
+        let ler = stats.logical_error_rate(0);
+        assert!(ler < p / 2.0, "LER {ler} should be well below p {p}");
+    }
+
+    #[test]
+    fn ler_decreases_with_lower_p() {
+        let mut lers = Vec::new();
+        for &p in &[0.08, 0.04, 0.02] {
+            let c = repetition(3, p);
+            let decoder = MwpmDecoder::new(&c);
+            let batch =
+                FrameSampler::new(&c).sample(30_000, &mut StdRng::seed_from_u64(99));
+            lers.push(decoder.decode_batch(&batch).logical_error_rate(0));
+        }
+        assert!(lers[0] > lers[1] && lers[1] > lers[2], "{lers:?}");
+    }
+
+    #[test]
+    fn empty_events_predict_nothing() {
+        let c = repetition(2, 0.01);
+        let decoder = MwpmDecoder::new(&c);
+        assert_eq!(decoder.decode_events(&[]), 0);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_point_estimate() {
+        let stats = DecodeStats { shots: 1000, failures: vec![37] };
+        let (lo, hi) = stats.wilson_interval(0);
+        let p = stats.logical_error_rate(0);
+        assert!(lo < p && p < hi);
+        assert!(lo > 0.02 && hi < 0.06);
+    }
+}

@@ -1,0 +1,527 @@
+//! Per-basis decoding graphs derived from a detector error model.
+//!
+//! CSS decoding splits detectors into an X graph and a Z graph. Error
+//! mechanisms become edges: a mechanism flipping two same-basis
+//! detectors is an internal edge, one flipping a single detector is a
+//! boundary edge, and rarer multi-detector mechanisms (hook errors) are
+//! decomposed into known edges, mirroring Stim's `decompose_errors`.
+
+use dqec_sim::circuit::{CheckBasis, Circuit};
+use dqec_sim::dem::DetectorErrorModel;
+use std::collections::HashMap;
+
+/// Smallest probability an edge is allowed to carry (avoids infinite
+/// weights).
+const P_FLOOR: f64 = 1e-14;
+/// Largest probability (keeps weights positive).
+const P_CEIL: f64 = 0.4999;
+/// Stand-in weight for unreachable node pairs.
+const UNREACHABLE: f64 = 1e12;
+
+/// One edge of a decoding graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphEdge {
+    /// First endpoint (node id).
+    pub a: u32,
+    /// Second endpoint, or `None` for the virtual boundary.
+    pub b: Option<u32>,
+    /// Combined firing probability.
+    pub probability: f64,
+    /// Observables flipped when this edge fires.
+    pub observables: u64,
+}
+
+/// Diagnostics accumulated while building a graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphDiagnostics {
+    /// Mechanisms whose same-basis symptom had more than two detectors
+    /// and were decomposed into existing edges.
+    pub decomposed_mechanisms: usize,
+    /// Mechanisms that could not be decomposed and fell back to
+    /// consecutive pairing.
+    pub undecomposable_mechanisms: usize,
+    /// Parallel edges that disagreed on their observable mask.
+    pub conflicting_observable_edges: usize,
+    /// Mechanisms flipping a tracked observable with an empty symptom in
+    /// both bases (true undetectable logical errors).
+    pub undetectable_logical_mechanisms: usize,
+}
+
+/// A single-basis matching graph with cached all-pairs shortest paths.
+#[derive(Debug, Clone)]
+pub struct DecodingGraph {
+    basis: CheckBasis,
+    node_of_det: Vec<Option<u32>>,
+    det_of_node: Vec<u32>,
+    edges: Vec<GraphEdge>,
+    /// Row-major `(n+1) x (n+1)` distances; index `n` is the boundary.
+    dist: Vec<f64>,
+    /// Observable parity along the corresponding shortest path.
+    parity: Vec<u64>,
+    diagnostics: GraphDiagnostics,
+}
+
+impl DecodingGraph {
+    /// Builds the decoding graph for `basis` from a circuit's DEM,
+    /// responsible for every observable.
+    ///
+    /// Prefer [`DecodingGraph::build_with_observables`]: in CSS decoding
+    /// each observable must be owned by exactly one basis graph.
+    pub fn build(circuit: &Circuit, dem: &DetectorErrorModel, basis: CheckBasis) -> Self {
+        Self::build_with_observables(circuit, dem, basis, u64::MAX)
+    }
+
+    /// Determines which basis should own each observable: the basis
+    /// whose detectors see *every* mechanism that flips it. (A logical-Z
+    /// readout is flipped by X-type errors, which always trip Z checks;
+    /// Y errors additionally trip X checks, so the X basis fails the
+    /// "every mechanism" test.) Returns `(z_mask, x_mask)`.
+    pub fn split_observables(circuit: &Circuit, dem: &DetectorErrorModel) -> (u64, u64) {
+        let det_basis: Vec<CheckBasis> = circuit.detectors().iter().map(|d| d.basis).collect();
+        let mut always_z = u64::MAX;
+        let mut always_x = u64::MAX;
+        for mech in &dem.mechanisms {
+            if mech.observables == 0 {
+                continue;
+            }
+            let mut has = [false, false]; // [z, x]
+            for &d in &mech.detectors {
+                match det_basis[d as usize] {
+                    CheckBasis::Z => has[0] = true,
+                    CheckBasis::X => has[1] = true,
+                }
+            }
+            if !has[0] {
+                always_z &= !mech.observables;
+            }
+            if !has[1] {
+                always_x &= !mech.observables;
+            }
+        }
+        // Own what you always see; ties go to Z; orphans (seen by
+        // neither) also go to Z so they are at least counted once.
+        let z_mask = always_z;
+        let x_mask = always_x & !always_z;
+        (z_mask | !(always_z | always_x), x_mask)
+    }
+
+    /// Builds the decoding graph for `basis`, owning only the
+    /// observables in `obs_mask`.
+    pub fn build_with_observables(
+        circuit: &Circuit,
+        dem: &DetectorErrorModel,
+        basis: CheckBasis,
+        obs_mask: u64,
+    ) -> Self {
+        let det_basis: Vec<CheckBasis> = circuit.detectors().iter().map(|d| d.basis).collect();
+        let mut node_of_det: Vec<Option<u32>> = vec![None; det_basis.len()];
+        let mut det_of_node: Vec<u32> = Vec::new();
+        for (d, &b) in det_basis.iter().enumerate() {
+            if b == basis {
+                node_of_det[d] = Some(det_of_node.len() as u32);
+                det_of_node.push(d as u32);
+            }
+        }
+        let n = det_of_node.len();
+        let mut diagnostics = GraphDiagnostics::default();
+
+        // Key: (a, b) with a < b, or (a, u32::MAX) for boundary.
+        type Key = (u32, u32);
+        #[derive(Default)]
+        struct Accum {
+            p: f64,
+            obs_votes: HashMap<u64, f64>,
+        }
+        let mut accum: HashMap<Key, Accum> = HashMap::new();
+        let key_of = |dets: &[u32]| -> Key {
+            match dets {
+                [a] => (*a, u32::MAX),
+                [a, b] => (*a.min(b), *a.max(b)),
+                _ => unreachable!(),
+            }
+        };
+        let add_edge = |nodes: &[u32], p: f64, obs: u64, accum: &mut HashMap<Key, Accum>| {
+            let e = accum.entry(key_of(nodes)).or_default();
+            e.p = e.p * (1.0 - p) + p * (1.0 - e.p);
+            *e.obs_votes.entry(obs).or_insert(0.0) += p;
+        };
+
+        // Pass 1: simple mechanisms (<= 2 same-basis detectors).
+        let mut deferred: Vec<(&Vec<u32>, u64, f64)> = Vec::new();
+        for mech in &dem.mechanisms {
+            let nodes: Vec<u32> = mech
+                .detectors
+                .iter()
+                .filter_map(|&d| node_of_det[d as usize])
+                .collect();
+            // An observable flip is charged to the graph that detects it;
+            // if neither basis sees the mechanism at all it is a genuine
+            // undetectable logical error.
+            if nodes.is_empty() {
+                if mech.observables != 0 && mech.detectors.is_empty() {
+                    diagnostics.undetectable_logical_mechanisms += 1;
+                }
+                continue;
+            }
+            let obs = mech.observables & obs_mask;
+            match nodes.len() {
+                1 | 2 => add_edge(&nodes, mech.probability, obs, &mut accum),
+                _ => deferred.push((&mech.detectors, obs, mech.probability)),
+            }
+        }
+
+        // Pass 2: decompose multi-detector mechanisms into known edges.
+        let known: std::collections::HashSet<Key> = accum.keys().copied().collect();
+        for (dets, obs, p) in deferred {
+            let nodes: Vec<u32> = dets
+                .iter()
+                .filter_map(|&d| node_of_det[d as usize])
+                .collect();
+            if let Some(parts) = decompose(&nodes, &known) {
+                diagnostics.decomposed_mechanisms += 1;
+                // Assign the observable to the first component (the vote
+                // mechanism resolves disagreements below).
+                for (i, part) in parts.iter().enumerate() {
+                    let part_obs = if i == 0 { obs } else { 0 };
+                    add_edge(part, p, part_obs, &mut accum);
+                }
+            } else {
+                diagnostics.undecomposable_mechanisms += 1;
+                let mut i = 0;
+                while i < nodes.len() {
+                    let part: Vec<u32> = nodes[i..(i + 2).min(nodes.len())].to_vec();
+                    let part_obs = if i == 0 { obs } else { 0 };
+                    add_edge(&part, p, part_obs, &mut accum);
+                    i += 2;
+                }
+            }
+        }
+
+        // Finalize edges: pick the dominant observable mask per edge.
+        let mut edges = Vec::with_capacity(accum.len());
+        for ((a, b), acc) in accum {
+            let (&obs, _) = acc
+                .obs_votes
+                .iter()
+                .max_by(|x, y| x.1.partial_cmp(y.1).expect("finite votes"))
+                .expect("at least one vote");
+            if acc.obs_votes.len() > 1 {
+                diagnostics.conflicting_observable_edges += 1;
+            }
+            edges.push(GraphEdge {
+                a,
+                b: (b != u32::MAX).then_some(b),
+                probability: acc.p,
+                observables: obs,
+            });
+        }
+        edges.sort_by(|e, f| (e.a, e.b).cmp(&(f.a, f.b)));
+
+        let (dist, parity) = all_pairs(n, &edges);
+        DecodingGraph { basis, node_of_det, det_of_node, edges, dist, parity, diagnostics }
+    }
+
+    /// The basis this graph decodes.
+    pub fn basis(&self) -> CheckBasis {
+        self.basis
+    }
+
+    /// The number of real (non-boundary) nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.det_of_node.len()
+    }
+
+    /// The edges of the graph.
+    pub fn edges(&self) -> &[GraphEdge] {
+        &self.edges
+    }
+
+    /// Build-time diagnostics.
+    pub fn diagnostics(&self) -> &GraphDiagnostics {
+        &self.diagnostics
+    }
+
+    /// Maps a detector id to this graph's node id (if it has this basis).
+    pub fn node_of_detector(&self, det: u32) -> Option<u32> {
+        self.node_of_det.get(det as usize).copied().flatten()
+    }
+
+    /// Shortest-path weight between two nodes (`None` = boundary).
+    pub fn distance(&self, a: Option<u32>, b: Option<u32>) -> f64 {
+        let n = self.num_nodes();
+        let ia = a.map_or(n, |x| x as usize);
+        let ib = b.map_or(n, |x| x as usize);
+        self.dist[ia * (n + 1) + ib]
+    }
+
+    /// Observable parity along the shortest path between two nodes.
+    pub fn path_observables(&self, a: Option<u32>, b: Option<u32>) -> u64 {
+        let n = self.num_nodes();
+        let ia = a.map_or(n, |x| x as usize);
+        let ib = b.map_or(n, |x| x as usize);
+        self.parity[ia * (n + 1) + ib]
+    }
+
+    /// The graphlike circuit-level distance for observable `obs`: the
+    /// minimum number of error mechanisms (edges) whose combined
+    /// symptom is trivial but which flip the observable — i.e. the
+    /// shortest undetectable logical error under this noise model.
+    ///
+    /// Computed by Dijkstra on the parity-doubled graph with unit edge
+    /// weights: an undetectable logical is a closed walk (through the
+    /// boundary or around a cycle) with odd observable parity. Returns
+    /// `None` when no such error exists in the graph.
+    pub fn graphlike_distance(&self, obs: u32) -> Option<u32> {
+        use std::collections::BinaryHeap;
+        let n = self.num_nodes() + 1; // + boundary
+        let mut adj: Vec<Vec<(usize, bool)>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            let b = e.b.map_or(n - 1, |x| x as usize);
+            let flips = (e.observables >> obs) & 1 == 1;
+            adj[e.a as usize].push((b, flips));
+            adj[b].push((e.a as usize, flips));
+        }
+        // State (node, parity); start at every node with parity 0 and
+        // look for returning to the same node with parity 1. Starting
+        // from the boundary covers boundary-to-boundary strings; cycle
+        // cases are covered by starting from each edge's endpoint.
+        let mut best: Option<u32> = None;
+        for start in 0..n {
+            let mut dist = vec![[u32::MAX; 2]; n];
+            dist[start][0] = 0;
+            let mut heap: BinaryHeap<std::cmp::Reverse<(u32, usize, u8)>> = BinaryHeap::new();
+            heap.push(std::cmp::Reverse((0, start, 0)));
+            while let Some(std::cmp::Reverse((d, v, p))) = heap.pop() {
+                if d > dist[v][p as usize] {
+                    continue;
+                }
+                for &(w, flips) in &adj[v] {
+                    let np = p ^ (flips as u8);
+                    let nd = d + 1;
+                    if nd < dist[w][np as usize] {
+                        dist[w][np as usize] = nd;
+                        heap.push(std::cmp::Reverse((nd, w, np)));
+                    }
+                }
+            }
+            if dist[start][1] != u32::MAX {
+                best = Some(best.map_or(dist[start][1], |b| b.min(dist[start][1])));
+            }
+        }
+        best
+    }
+}
+
+/// Edge probability -> matching weight.
+fn weight_of(p: f64) -> f64 {
+    let p = p.clamp(P_FLOOR, P_CEIL);
+    ((1.0 - p) / p).ln()
+}
+
+/// Tries to split `nodes` (sorted, len >= 3) into parts that all exist
+/// as known edges; parts are pairs or boundary singletons.
+fn decompose(nodes: &[u32], known: &std::collections::HashSet<(u32, u32)>) -> Option<Vec<Vec<u32>>> {
+    if nodes.is_empty() {
+        return Some(Vec::new());
+    }
+    let first = nodes[0];
+    // Option A: first matches the boundary.
+    if known.contains(&(first, u32::MAX)) {
+        let rest: Vec<u32> = nodes[1..].to_vec();
+        if let Some(mut parts) = decompose(&rest, known) {
+            parts.insert(0, vec![first]);
+            return Some(parts);
+        }
+    }
+    // Option B: pair first with a later node.
+    for i in 1..nodes.len() {
+        let other = nodes[i];
+        let key = (first.min(other), first.max(other));
+        if known.contains(&key) {
+            let rest: Vec<u32> = nodes[1..]
+                .iter()
+                .copied()
+                .filter(|&x| x != other)
+                .collect();
+            if let Some(mut parts) = decompose(&rest, known) {
+                parts.insert(0, vec![first, other]);
+                return Some(parts);
+            }
+        }
+    }
+    None
+}
+
+/// All-pairs Dijkstra over `n` real nodes plus the boundary (index `n`).
+fn all_pairs(n: usize, edges: &[GraphEdge]) -> (Vec<f64>, Vec<u64>) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let total = n + 1;
+    let mut adj: Vec<Vec<(u32, f64, u64)>> = vec![Vec::new(); total];
+    for e in edges {
+        let w = weight_of(e.probability);
+        let b = e.b.map_or(n, |x| x as usize);
+        adj[e.a as usize].push((b as u32, w, e.observables));
+        adj[b].push((e.a, w, e.observables));
+    }
+    let mut dist = vec![UNREACHABLE; total * total];
+    let mut parity = vec![0u64; total * total];
+
+    #[derive(PartialEq)]
+    struct HeapItem(f64, u32);
+    impl Eq for HeapItem {}
+    impl PartialOrd for HeapItem {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for HeapItem {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.partial_cmp(&other.0).expect("finite weights").then(self.1.cmp(&other.1))
+        }
+    }
+
+    let mut d = vec![f64::INFINITY; total];
+    let mut par = vec![0u64; total];
+    let mut done = vec![false; total];
+    for src in 0..total {
+        d.fill(f64::INFINITY);
+        par.fill(0);
+        done.fill(false);
+        d[src] = 0.0;
+        let mut heap: BinaryHeap<Reverse<HeapItem>> = BinaryHeap::new();
+        heap.push(Reverse(HeapItem(0.0, src as u32)));
+        while let Some(Reverse(HeapItem(du, u))) = heap.pop() {
+            let u = u as usize;
+            if done[u] {
+                continue;
+            }
+            done[u] = true;
+            for &(v, w, obs) in &adj[u] {
+                let v = v as usize;
+                let nd = du + w;
+                if nd < d[v] {
+                    d[v] = nd;
+                    par[v] = par[u] ^ obs;
+                    heap.push(Reverse(HeapItem(nd, v as u32)));
+                }
+            }
+        }
+        for v in 0..total {
+            dist[src * total + v] = if d[v].is_finite() { d[v] } else { UNREACHABLE };
+            parity[src * total + v] = par[v];
+        }
+    }
+    (dist, parity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqec_sim::circuit::Noise1;
+
+    /// A 3-qubit repetition code measured for `rounds` rounds, with a
+    /// data X error probability `p` before each round.
+    fn repetition_circuit(rounds: usize, p: f64) -> Circuit {
+        let mut c = Circuit::new(5); // data 0,1,2; ancilla 3,4
+        for q in 0..5 {
+            c.reset(q).unwrap();
+        }
+        let mut prev: Option<[dqec_sim::MeasRecord; 2]> = None;
+        for t in 0..rounds {
+            for q in 0..3 {
+                c.noise1(Noise1::XError, q, p).unwrap();
+            }
+            c.cx(0, 3).unwrap();
+            c.cx(1, 3).unwrap();
+            c.cx(1, 4).unwrap();
+            c.cx(2, 4).unwrap();
+            let m3 = c.measure_reset(3).unwrap();
+            let m4 = c.measure_reset(4).unwrap();
+            match prev {
+                None => {
+                    c.add_detector(&[m3], CheckBasis::Z, (0, 0, t as i32)).unwrap();
+                    c.add_detector(&[m4], CheckBasis::Z, (1, 0, t as i32)).unwrap();
+                }
+                Some([p3, p4]) => {
+                    c.add_detector(&[m3, p3], CheckBasis::Z, (0, 0, t as i32)).unwrap();
+                    c.add_detector(&[m4, p4], CheckBasis::Z, (1, 0, t as i32)).unwrap();
+                }
+            }
+            prev = Some([m3, m4]);
+        }
+        // Final data readout.
+        let d0 = c.measure(0).unwrap();
+        let d1 = c.measure(1).unwrap();
+        let d2 = c.measure(2).unwrap();
+        let [p3, p4] = prev.unwrap();
+        c.add_detector(&[d0, d1, p3], CheckBasis::Z, (0, 0, rounds as i32)).unwrap();
+        c.add_detector(&[d1, d2, p4], CheckBasis::Z, (1, 0, rounds as i32)).unwrap();
+        c.include_observable(0, &[d0]).unwrap();
+        c
+    }
+
+    #[test]
+    fn repetition_graph_structure() {
+        let c = repetition_circuit(2, 0.01);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        let g = DecodingGraph::build(&c, &dem, CheckBasis::Z);
+        assert_eq!(g.num_nodes(), 6); // 2 checks x 3 detector layers
+        assert!(g.diagnostics().undecomposable_mechanisms == 0);
+        // Boundary edges must exist (X on data 0 or data 2 flips one check).
+        assert!(g.edges().iter().any(|e| e.b.is_none()));
+        // Observable-carrying edges exist (data 0 errors flip obs 0).
+        assert!(g.edges().iter().any(|e| e.observables == 1));
+    }
+
+    #[test]
+    fn distances_are_symmetric_and_triangle() {
+        let c = repetition_circuit(3, 0.01);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        let g = DecodingGraph::build(&c, &dem, CheckBasis::Z);
+        let n = g.num_nodes() as u32;
+        for a in 0..n {
+            assert_eq!(g.distance(Some(a), Some(a)), 0.0);
+            for b in 0..n {
+                let dab = g.distance(Some(a), Some(b));
+                let dba = g.distance(Some(b), Some(a));
+                assert!((dab - dba).abs() < 1e-9);
+                let via_boundary =
+                    g.distance(Some(a), None) + g.distance(None, Some(b));
+                assert!(dab <= via_boundary + 1e-9, "triangle through boundary");
+            }
+        }
+    }
+
+    #[test]
+    fn lower_probability_means_larger_weight() {
+        assert!(weight_of(1e-4) > weight_of(1e-2));
+        assert!(weight_of(0.499) < 0.01);
+        assert!(weight_of(0.0).is_finite());
+    }
+
+    #[test]
+    fn decompose_finds_boundary_plus_pair() {
+        let mut known = std::collections::HashSet::new();
+        known.insert((0u32, u32::MAX));
+        known.insert((1u32, 2u32));
+        let parts = decompose(&[0, 1, 2], &known).unwrap();
+        assert_eq!(parts, vec![vec![0], vec![1, 2]]);
+    }
+
+    #[test]
+    fn decompose_fails_when_no_edges_known() {
+        let known = std::collections::HashSet::new();
+        assert!(decompose(&[0, 1, 2], &known).is_none());
+    }
+
+    #[test]
+    fn decompose_two_pairs() {
+        let mut known = std::collections::HashSet::new();
+        known.insert((0u32, 3u32));
+        known.insert((1u32, 2u32));
+        let parts = decompose(&[0, 1, 2, 3], &known).unwrap();
+        assert_eq!(parts.len(), 2);
+    }
+}

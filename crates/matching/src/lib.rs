@@ -1,0 +1,28 @@
+//! # dqec-matching
+//!
+//! Minimum-weight perfect-matching (MWPM) decoding substrate for the
+//! `dqec` workspace — a from-scratch replacement for PyMatching at the
+//! problem sizes used in the ASPLOS'24 chiplet-codesign reproduction.
+//!
+//! * [`blossom`] — exact O(n³) weighted blossom matching on dense
+//!   graphs, property-tested against brute force;
+//! * [`graph`] — per-basis decoding graphs built from a circuit's
+//!   detector error model, with cached all-pairs shortest paths and
+//!   observable parities;
+//! * [`decoder`] — the per-shot decoder: split detection events by
+//!   basis, match against the boundary, XOR predicted observables.
+//!
+//! # Examples
+//!
+//! See [`MwpmDecoder`] for an end-to-end sample-and-decode example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blossom;
+pub mod decoder;
+pub mod graph;
+
+pub use blossom::{min_weight_perfect_matching, PerfectMatching};
+pub use decoder::{DecodeStats, MwpmDecoder};
+pub use graph::{DecodingGraph, GraphDiagnostics, GraphEdge};

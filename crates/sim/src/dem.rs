@@ -1,0 +1,359 @@
+//! Detector error model (DEM) extraction.
+//!
+//! Walks the circuit backward maintaining, for every qubit, the set of
+//! detectors and observables that an X (resp. Z) error at that point in
+//! time would flip. Reading those sets off at each noise channel yields
+//! every error *mechanism*: a probability together with its symptom
+//! (flipped detectors) and its logical effect (flipped observables).
+//! This is the same construction Stim uses, and it is what both the
+//! matching decoder and the decoding-graph weights are built from.
+
+use crate::circuit::{Circuit, Gate1, Gate2, Noise1, Op};
+use std::collections::HashMap;
+
+/// A sensitivity set: detectors plus an observable bitmask.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+struct Sens {
+    dets: Vec<u32>,
+    obs: u64,
+}
+
+impl Sens {
+    fn is_empty(&self) -> bool {
+        self.dets.is_empty() && self.obs == 0
+    }
+
+    /// Symmetric difference with another set.
+    fn xor(&self, other: &Sens) -> Sens {
+        let mut dets = Vec::with_capacity(self.dets.len() + other.dets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.dets.len() && j < other.dets.len() {
+            match self.dets[i].cmp(&other.dets[j]) {
+                std::cmp::Ordering::Less => {
+                    dets.push(self.dets[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    dets.push(other.dets[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        dets.extend_from_slice(&self.dets[i..]);
+        dets.extend_from_slice(&other.dets[j..]);
+        Sens { dets, obs: self.obs ^ other.obs }
+    }
+
+    fn xor_in_place(&mut self, other: &Sens) {
+        *self = self.xor(other);
+    }
+}
+
+/// One error mechanism of a detector error model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorMechanism {
+    /// Sorted ids of the detectors this mechanism flips.
+    pub detectors: Vec<u32>,
+    /// Bitmask of observables this mechanism flips.
+    pub observables: u64,
+    /// Probability that the mechanism fires in one shot.
+    pub probability: f64,
+}
+
+/// A circuit's detector error model: every distinct symptom with its
+/// aggregate probability.
+///
+/// # Examples
+///
+/// ```
+/// use dqec_sim::circuit::{CheckBasis, Circuit, Noise1};
+/// use dqec_sim::dem::DetectorErrorModel;
+///
+/// let mut c = Circuit::new(1);
+/// c.reset(0)?;
+/// c.noise1(Noise1::XError, 0, 0.1)?;
+/// let m = c.measure(0)?;
+/// c.add_detector(&[m], CheckBasis::Z, (0, 0, 0))?;
+/// c.include_observable(0, &[m])?;
+///
+/// let dem = DetectorErrorModel::from_circuit(&c);
+/// assert_eq!(dem.mechanisms.len(), 1);
+/// assert_eq!(dem.mechanisms[0].detectors, vec![0]);
+/// assert_eq!(dem.mechanisms[0].observables, 1);
+/// # Ok::<(), dqec_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetectorErrorModel {
+    /// Total number of detectors in the source circuit.
+    pub num_detectors: usize,
+    /// Total number of observables in the source circuit.
+    pub num_observables: usize,
+    /// Deduplicated mechanisms with combined probabilities.
+    pub mechanisms: Vec<ErrorMechanism>,
+    /// Number of mechanisms that flip an observable but no detector.
+    /// Nonzero means the circuit has undetectable logical errors.
+    pub undetectable_logical_mechanisms: usize,
+}
+
+impl DetectorErrorModel {
+    /// Extracts the detector error model of `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit uses more than 64 observables.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        assert!(circuit.observables().len() <= 64, "at most 64 observables supported");
+        let nq = circuit.num_qubits() as usize;
+
+        // Record -> (detectors containing it, observable mask).
+        let mut det_of_record: Vec<Vec<u32>> =
+            vec![Vec::new(); circuit.num_measurements() as usize];
+        for (d, det) in circuit.detectors().iter().enumerate() {
+            for &r in &det.records {
+                det_of_record[r as usize].push(d as u32);
+            }
+        }
+        let mut obs_of_record: Vec<u64> = vec![0; circuit.num_measurements() as usize];
+        for (o, obs) in circuit.observables().iter().enumerate() {
+            for &r in obs {
+                obs_of_record[r as usize] ^= 1 << o;
+            }
+        }
+
+        let mut xmap: Vec<Sens> = vec![Sens::default(); nq];
+        let mut zmap: Vec<Sens> = vec![Sens::default(); nq];
+        let mut raw: HashMap<(Vec<u32>, u64), f64> = HashMap::new();
+        let add = |sens: &Sens, p: f64, raw: &mut HashMap<(Vec<u32>, u64), f64>| {
+            if sens.is_empty() || p <= 0.0 {
+                return;
+            }
+            let key = (sens.dets.clone(), sens.obs);
+            let q = raw.entry(key).or_insert(0.0);
+            *q = *q * (1.0 - p) + p * (1.0 - *q);
+        };
+
+        let mut next_record = circuit.num_measurements() as usize;
+        for op in circuit.ops().iter().rev() {
+            match *op {
+                Op::Gate1 { kind: Gate1::H, q } => {
+                    let q = q as usize;
+                    std::mem::swap(&mut xmap[q], &mut zmap[q]);
+                }
+                Op::Gate1 { kind: Gate1::S, q } => {
+                    // X before S acts as Y after S.
+                    let q = q as usize;
+                    let z = zmap[q].clone();
+                    xmap[q].xor_in_place(&z);
+                }
+                Op::Gate1 { .. } => {}
+                Op::Gate2 { kind: Gate2::Cx, a, b } => {
+                    let (c, t) = (a as usize, b as usize);
+                    let xt = xmap[t].clone();
+                    xmap[c].xor_in_place(&xt);
+                    let zc = zmap[c].clone();
+                    zmap[t].xor_in_place(&zc);
+                }
+                Op::Gate2 { kind: Gate2::Cz, a, b } => {
+                    let (a, b) = (a as usize, b as usize);
+                    let zb = zmap[b].clone();
+                    let za = zmap[a].clone();
+                    xmap[a].xor_in_place(&zb);
+                    xmap[b].xor_in_place(&za);
+                }
+                Op::Reset { q } => {
+                    let q = q as usize;
+                    xmap[q] = Sens::default();
+                    zmap[q] = Sens::default();
+                }
+                Op::Measure { q } => {
+                    next_record -= 1;
+                    let q = q as usize;
+                    let m = Sens {
+                        dets: det_of_record[next_record].clone(),
+                        obs: obs_of_record[next_record],
+                    };
+                    xmap[q].xor_in_place(&m);
+                }
+                Op::Noise1 { kind, q, p } => {
+                    let q = q as usize;
+                    match kind {
+                        Noise1::XError => add(&xmap[q], p, &mut raw),
+                        Noise1::ZError => add(&zmap[q], p, &mut raw),
+                        Noise1::Depolarize1 => {
+                            let y = xmap[q].xor(&zmap[q]);
+                            add(&xmap[q], p / 3.0, &mut raw);
+                            add(&zmap[q], p / 3.0, &mut raw);
+                            add(&y, p / 3.0, &mut raw);
+                        }
+                    }
+                }
+                Op::Depolarize2 { a, b, p } => {
+                    let (a, b) = (a as usize, b as usize);
+                    let comp = |x: &Sens, z: &Sens| -> [Sens; 4] {
+                        [Sens::default(), x.clone(), x.xor(z), z.clone()]
+                    };
+                    let ca = comp(&xmap[a], &zmap[a]);
+                    let cb = comp(&xmap[b], &zmap[b]);
+                    for (i, sa) in ca.iter().enumerate() {
+                        for (j, sb) in cb.iter().enumerate() {
+                            if i == 0 && j == 0 {
+                                continue;
+                            }
+                            add(&sa.xor(sb), p / 15.0, &mut raw);
+                        }
+                    }
+                }
+                Op::Tick => {}
+            }
+        }
+        debug_assert_eq!(next_record, 0, "record bookkeeping must balance");
+
+        let mut mechanisms: Vec<ErrorMechanism> = raw
+            .into_iter()
+            .map(|((detectors, observables), probability)| ErrorMechanism {
+                detectors,
+                observables,
+                probability,
+            })
+            .collect();
+        mechanisms.sort_by(|a, b| {
+            a.detectors
+                .cmp(&b.detectors)
+                .then(a.observables.cmp(&b.observables))
+        });
+        let undetectable = mechanisms
+            .iter()
+            .filter(|m| m.detectors.is_empty() && m.observables != 0)
+            .count();
+        DetectorErrorModel {
+            num_detectors: circuit.detectors().len(),
+            num_observables: circuit.observables().len(),
+            mechanisms,
+            undetectable_logical_mechanisms: undetectable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{CheckBasis, Circuit};
+
+    #[test]
+    fn x_error_before_measure_flips_detector_and_observable() {
+        let mut c = Circuit::new(1);
+        c.reset(0).unwrap();
+        c.noise1(Noise1::XError, 0, 0.2).unwrap();
+        let m = c.measure(0).unwrap();
+        c.add_detector(&[m], CheckBasis::Z, (0, 0, 0)).unwrap();
+        c.include_observable(0, &[m]).unwrap();
+        let dem = DetectorErrorModel::from_circuit(&c);
+        assert_eq!(dem.mechanisms.len(), 1);
+        let mech = &dem.mechanisms[0];
+        assert_eq!(mech.detectors, vec![0]);
+        assert_eq!(mech.observables, 1);
+        assert!((mech.probability - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_error_before_z_measure_is_invisible() {
+        let mut c = Circuit::new(1);
+        c.reset(0).unwrap();
+        c.noise1(Noise1::ZError, 0, 0.2).unwrap();
+        let m = c.measure(0).unwrap();
+        c.add_detector(&[m], CheckBasis::Z, (0, 0, 0)).unwrap();
+        let dem = DetectorErrorModel::from_circuit(&c);
+        assert!(dem.mechanisms.is_empty());
+    }
+
+    #[test]
+    fn error_between_two_rounds_flips_both_detectors() {
+        // Measure the same qubit twice with a possible flip in between:
+        // detector0 = m0, detector1 = m0 ^ m1; an X between them flips
+        // only m1, i.e. detector 1.
+        let mut c = Circuit::new(2);
+        c.reset(0).unwrap();
+        c.reset(1).unwrap();
+        c.cx(0, 1).unwrap();
+        let m0 = c.measure(1).unwrap();
+        c.reset(1).unwrap();
+        c.noise1(Noise1::XError, 0, 0.1).unwrap();
+        c.cx(0, 1).unwrap();
+        let m1 = c.measure(1).unwrap();
+        c.add_detector(&[m0], CheckBasis::Z, (0, 0, 0)).unwrap();
+        c.add_detector(&[m0, m1], CheckBasis::Z, (0, 0, 1)).unwrap();
+        let dem = DetectorErrorModel::from_circuit(&c);
+        assert_eq!(dem.mechanisms.len(), 1);
+        assert_eq!(dem.mechanisms[0].detectors, vec![1]);
+    }
+
+    #[test]
+    fn duplicate_mechanisms_combine_with_xor_probability() {
+        let mut c = Circuit::new(1);
+        c.reset(0).unwrap();
+        c.noise1(Noise1::XError, 0, 0.1).unwrap();
+        c.noise1(Noise1::XError, 0, 0.1).unwrap();
+        let m = c.measure(0).unwrap();
+        c.add_detector(&[m], CheckBasis::Z, (0, 0, 0)).unwrap();
+        let dem = DetectorErrorModel::from_circuit(&c);
+        assert_eq!(dem.mechanisms.len(), 1);
+        // 0.1*(1-0.1) + 0.9*0.1 = 0.18
+        assert!((dem.mechanisms[0].probability - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarize2_splits_into_components() {
+        // Depolarize2 then measure both qubits: components with an X or
+        // Y factor flip the corresponding measurement; Z factors flip
+        // nothing.
+        let mut c = Circuit::new(2);
+        c.reset(0).unwrap();
+        c.reset(1).unwrap();
+        c.depolarize2(0, 1, 0.15).unwrap();
+        let m0 = c.measure(0).unwrap();
+        let m1 = c.measure(1).unwrap();
+        c.add_detector(&[m0], CheckBasis::Z, (0, 0, 0)).unwrap();
+        c.add_detector(&[m1], CheckBasis::Z, (1, 0, 0)).unwrap();
+        let dem = DetectorErrorModel::from_circuit(&c);
+        // Symptoms: {0}, {1}, {0,1} from the X/Y components.
+        let symptoms: Vec<Vec<u32>> =
+            dem.mechanisms.iter().map(|m| m.detectors.clone()).collect();
+        assert_eq!(symptoms, vec![vec![0], vec![0, 1], vec![1]]);
+        // {0} comes from XI, YI, XZ, YZ: four disjoint p/15 = 0.01
+        // components, combined with the XOR-probability rule
+        // (1 - (1-2p)^4) / 2.
+        let expected = (1.0 - (1.0f64 - 0.02).powi(4)) / 2.0;
+        let p_each = dem.mechanisms[0].probability;
+        assert!((p_each - expected).abs() < 1e-12, "got {p_each}");
+    }
+
+    #[test]
+    fn undetectable_logical_mechanisms_counted() {
+        let mut c = Circuit::new(1);
+        c.reset(0).unwrap();
+        c.noise1(Noise1::XError, 0, 0.1).unwrap();
+        let m = c.measure(0).unwrap();
+        // Observable but no detector.
+        c.include_observable(0, &[m]).unwrap();
+        let dem = DetectorErrorModel::from_circuit(&c);
+        assert_eq!(dem.undetectable_logical_mechanisms, 1);
+    }
+
+    #[test]
+    fn hadamard_converts_sensitivity() {
+        // Z error before H acts as X after H and flips a Z measurement.
+        let mut c = Circuit::new(1);
+        c.reset(0).unwrap();
+        c.noise1(Noise1::ZError, 0, 0.3).unwrap();
+        c.h(0).unwrap();
+        let m = c.measure(0).unwrap();
+        c.add_detector(&[m], CheckBasis::Z, (0, 0, 0)).unwrap();
+        let dem = DetectorErrorModel::from_circuit(&c);
+        assert_eq!(dem.mechanisms.len(), 1);
+        assert_eq!(dem.mechanisms[0].detectors, vec![0]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for the simulation substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while building or executing a stabilizer circuit.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A qubit index was at least the circuit's qubit count.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: u32,
+        /// The circuit's qubit count.
+        num_qubits: u32,
+    },
+    /// A detector or observable referenced a measurement record that does
+    /// not exist (yet).
+    RecordOutOfRange {
+        /// The offending measurement-record index.
+        record: u32,
+        /// The number of measurement records in the circuit.
+        num_records: u32,
+    },
+    /// A noise channel was given a probability outside `[0, 1]`.
+    InvalidProbability {
+        /// The offending probability.
+        p: f64,
+    },
+    /// A two-qubit operation was applied to a single qubit.
+    RepeatedQubit {
+        /// The repeated qubit index.
+        qubit: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for circuit with {num_qubits} qubits")
+            }
+            SimError::RecordOutOfRange { record, num_records } => {
+                write!(f, "measurement record {record} out of range ({num_records} records)")
+            }
+            SimError::InvalidProbability { p } => {
+                write!(f, "probability {p} is not in [0, 1]")
+            }
+            SimError::RepeatedQubit { qubit } => {
+                write!(f, "two-qubit operation applied twice to qubit {qubit}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            SimError::QubitOutOfRange { qubit: 3, num_qubits: 2 },
+            SimError::RecordOutOfRange { record: 9, num_records: 1 },
+            SimError::InvalidProbability { p: 1.5 },
+            SimError::RepeatedQubit { qubit: 7 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,475 @@
+//! Vectorized Pauli-frame sampling of noisy circuit shots.
+//!
+//! Shots are packed 64 per machine word. Each shot's state is a Pauli
+//! *frame* (a Pauli string) describing how that shot deviates from the
+//! noiseless reference execution computed by the tableau simulator. All
+//! extracted quantities (detectors, observables) are deterministic
+//! parities, for which frame sampling is exact (Gidney, Stim 2021).
+
+use crate::circuit::{Circuit, Gate1, Gate2, Noise1, Op};
+use crate::pauli::Pauli;
+use rand::Rng;
+
+/// A dense bit table: `rows` bit-rows of `shots` columns each.
+#[derive(Debug, Clone)]
+pub struct BitTable {
+    rows: usize,
+    shots: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl BitTable {
+    /// Creates an all-zero table.
+    pub fn zeros(rows: usize, shots: usize) -> Self {
+        let words_per_row = shots.div_ceil(64).max(1);
+        BitTable { rows, shots, words_per_row, data: vec![0; rows * words_per_row] }
+    }
+
+    /// The number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The number of shot columns.
+    pub fn shots(&self) -> usize {
+        self.shots
+    }
+
+    /// Reads the bit for `(row, shot)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, row: usize, shot: usize) -> bool {
+        assert!(row < self.rows && shot < self.shots, "index out of range");
+        (self.data[row * self.words_per_row + shot / 64] >> (shot % 64)) & 1 == 1
+    }
+
+    /// Mutable word slice of one row.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [u64] {
+        let w = self.words_per_row;
+        &mut self.data[row * w..(row + 1) * w]
+    }
+
+    /// Word slice of one row.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[u64] {
+        let w = self.words_per_row;
+        &self.data[row * w..(row + 1) * w]
+    }
+
+    /// XORs row `src` of `other` into row `dst` of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or rows are out of range.
+    pub fn xor_row_from(&mut self, dst: usize, other: &BitTable, src: usize) {
+        assert_eq!(self.words_per_row, other.words_per_row, "shot count mismatch");
+        let w = self.words_per_row;
+        let d = &mut self.data[dst * w..(dst + 1) * w];
+        let s = &other.data[src * w..(src + 1) * w];
+        for (a, b) in d.iter_mut().zip(s) {
+            *a ^= b;
+        }
+    }
+
+    /// The number of set bits in a row (e.g. failures over shots).
+    pub fn count_row(&self, row: usize) -> usize {
+        self.row(row).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Indices of set bits in a row, ascending.
+    pub fn ones_in_row(&self, row: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (wi, &word) in self.row(row).iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let b = word.trailing_zeros() as usize;
+                let shot = wi * 64 + b;
+                if shot < self.shots {
+                    out.push(shot);
+                }
+                word &= word - 1;
+            }
+        }
+        out
+    }
+}
+
+/// The outcome of sampling a batch of shots.
+#[derive(Debug, Clone)]
+pub struct ShotBatch {
+    /// Detector flip bits: row = detector id, column = shot.
+    pub detectors: BitTable,
+    /// Observable flip bits: row = observable id, column = shot.
+    pub observables: BitTable,
+}
+
+impl ShotBatch {
+    /// The flagged detector ids for one shot, ascending.
+    pub fn detection_events(&self, shot: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        for d in 0..self.detectors.rows() {
+            if self.detectors.get(d, shot) {
+                out.push(d as u32);
+            }
+        }
+        out
+    }
+
+    /// Flagged detector ids for every shot, computed in one row-major
+    /// scan (fast at low physical error rates).
+    pub fn detection_events_by_shot(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.detectors.shots()];
+        for d in 0..self.detectors.rows() {
+            for shot in self.detectors.ones_in_row(d) {
+                out[shot].push(d as u32);
+            }
+        }
+        out
+    }
+}
+
+/// Samples noisy shots of a circuit via batch Pauli-frame simulation.
+///
+/// # Examples
+///
+/// ```
+/// use dqec_sim::circuit::{CheckBasis, Circuit, Noise1};
+/// use dqec_sim::frame::FrameSampler;
+/// use rand::SeedableRng;
+///
+/// let mut c = Circuit::new(1);
+/// c.reset(0)?;
+/// c.noise1(Noise1::XError, 0, 0.25)?;
+/// let m = c.measure(0)?;
+/// c.add_detector(&[m], CheckBasis::Z, (0, 0, 0))?;
+///
+/// let sampler = FrameSampler::new(&c);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let batch = sampler.sample(10_000, &mut rng);
+/// let flips = batch.detectors.count_row(0);
+/// assert!((1_800..3_200).contains(&flips), "~25% of shots flip");
+/// # Ok::<(), dqec_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct FrameSampler<'a> {
+    circuit: &'a Circuit,
+}
+
+impl<'a> FrameSampler<'a> {
+    /// Creates a sampler for the given circuit.
+    pub fn new(circuit: &'a Circuit) -> Self {
+        FrameSampler { circuit }
+    }
+
+    /// Samples `shots` noisy executions and returns detector/observable
+    /// flip tables.
+    pub fn sample<R: Rng>(&self, shots: usize, rng: &mut R) -> ShotBatch {
+        let c = self.circuit;
+        let nq = c.num_qubits() as usize;
+        let w = shots.div_ceil(64).max(1);
+        let mut fx = vec![0u64; nq * w];
+        let mut fz = vec![0u64; nq * w];
+        let mut records = BitTable::zeros(c.num_measurements() as usize, shots);
+        let mut next_record = 0usize;
+
+        // Mask to keep random bits within the shot count in the last word.
+        let tail_bits = shots % 64;
+        let tail_mask = if tail_bits == 0 { u64::MAX } else { (1u64 << tail_bits) - 1 };
+        let fill_random = |dst: &mut [u64], rng: &mut R| {
+            for (i, word) in dst.iter_mut().enumerate() {
+                let mut r: u64 = rng.gen();
+                if i == w - 1 {
+                    r &= tail_mask;
+                }
+                *word = r;
+            }
+        };
+
+        for op in c.ops() {
+            match *op {
+                Op::Gate1 { kind: Gate1::H, q } => {
+                    let q = q as usize;
+                    for i in 0..w {
+                        std::mem::swap(&mut fx[q * w + i], &mut fz[q * w + i]);
+                    }
+                }
+                Op::Gate1 { kind: Gate1::S, q } => {
+                    let q = q as usize;
+                    for i in 0..w {
+                        fz[q * w + i] ^= fx[q * w + i];
+                    }
+                }
+                Op::Gate1 { .. } => {}
+                Op::Gate2 { kind: Gate2::Cx, a, b } => {
+                    let (c_, t) = (a as usize, b as usize);
+                    for i in 0..w {
+                        fx[t * w + i] ^= fx[c_ * w + i];
+                        fz[c_ * w + i] ^= fz[t * w + i];
+                    }
+                }
+                Op::Gate2 { kind: Gate2::Cz, a, b } => {
+                    let (a, b) = (a as usize, b as usize);
+                    for i in 0..w {
+                        let xa = fx[a * w + i];
+                        let xb = fx[b * w + i];
+                        fz[a * w + i] ^= xb;
+                        fz[b * w + i] ^= xa;
+                    }
+                }
+                Op::Reset { q } => {
+                    let q = q as usize;
+                    fx[q * w..(q + 1) * w].fill(0);
+                    fill_random(&mut fz[q * w..(q + 1) * w], rng);
+                }
+                Op::Measure { q } => {
+                    let q = q as usize;
+                    records.row_mut(next_record).copy_from_slice(&fx[q * w..(q + 1) * w]);
+                    next_record += 1;
+                    // Randomize the anticommuting part of the frame to
+                    // model measurement collapse (Stim's convention).
+                    let mut scratch = vec![0u64; w];
+                    fill_random(&mut scratch, rng);
+                    for i in 0..w {
+                        fz[q * w + i] ^= scratch[i];
+                    }
+                }
+                Op::Noise1 { kind, q, p } => {
+                    let q = q as usize;
+                    sample_hits(p, shots, rng, |shot, rng| {
+                        let (ex, ez) = match kind {
+                            Noise1::XError => (true, false),
+                            Noise1::ZError => (false, true),
+                            Noise1::Depolarize1 => {
+                                Pauli::ONE_QUBIT_ERRORS[rng.gen_range(0..3)].xz()
+                            }
+                        };
+                        let (wi, b) = (shot / 64, shot % 64);
+                        if ex {
+                            fx[q * w + wi] ^= 1 << b;
+                        }
+                        if ez {
+                            fz[q * w + wi] ^= 1 << b;
+                        }
+                    });
+                }
+                Op::Depolarize2 { a, b, p } => {
+                    let (a, b) = (a as usize, b as usize);
+                    sample_hits(p, shots, rng, |shot, rng| {
+                        let (pa, pb) = Pauli::TWO_QUBIT_ERRORS[rng.gen_range(0..15)];
+                        let (wi, bit) = (shot / 64, shot % 64);
+                        let (ax, az) = pa.xz();
+                        let (bx, bz) = pb.xz();
+                        if ax {
+                            fx[a * w + wi] ^= 1 << bit;
+                        }
+                        if az {
+                            fz[a * w + wi] ^= 1 << bit;
+                        }
+                        if bx {
+                            fx[b * w + wi] ^= 1 << bit;
+                        }
+                        if bz {
+                            fz[b * w + wi] ^= 1 << bit;
+                        }
+                    });
+                }
+                Op::Tick => {}
+            }
+        }
+
+        // Assemble detectors and observables from record flips.
+        let mut detectors = BitTable::zeros(c.detectors().len(), shots);
+        for (d, det) in c.detectors().iter().enumerate() {
+            for &r in &det.records {
+                detectors.xor_row_from(d, &records, r as usize);
+            }
+        }
+        let mut observables = BitTable::zeros(c.observables().len(), shots);
+        for (o, obs) in c.observables().iter().enumerate() {
+            for &r in obs {
+                observables.xor_row_from(o, &records, r as usize);
+            }
+        }
+        ShotBatch { detectors, observables }
+    }
+}
+
+/// Calls `hit(shot, rng)` for each shot independently selected with
+/// probability `p`, using geometric skipping (cost proportional to the
+/// number of hits rather than the number of shots).
+fn sample_hits<R: Rng>(p: f64, shots: usize, rng: &mut R, mut hit: impl FnMut(usize, &mut R)) {
+    if p <= 0.0 {
+        return;
+    }
+    if p >= 1.0 {
+        for s in 0..shots {
+            hit(s, rng);
+        }
+        return;
+    }
+    let log1m = (1.0 - p).ln();
+    let mut s: usize = 0;
+    loop {
+        // Geometric gap: floor(ln(U) / ln(1-p)).
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let gap = (u.ln() / log1m).floor();
+        if !gap.is_finite() || gap >= (shots - s) as f64 {
+            break;
+        }
+        s += gap as usize;
+        hit(s, rng);
+        s += 1;
+        if s >= shots {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CheckBasis;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed)
+    }
+
+    #[test]
+    fn bit_table_roundtrip() {
+        let mut t = BitTable::zeros(2, 130);
+        t.row_mut(1)[2] |= 1; // shot 128
+        assert!(t.get(1, 128));
+        assert!(!t.get(1, 127));
+        assert_eq!(t.ones_in_row(1), vec![128]);
+        assert_eq!(t.count_row(1), 1);
+    }
+
+    #[test]
+    fn sample_hits_density_matches() {
+        let mut n = 0usize;
+        let shots = 100_000;
+        sample_hits(0.01, shots, &mut rng(), |_, _| n += 1);
+        assert!((700..1350).contains(&n), "got {n} hits for p=0.01");
+    }
+
+    #[test]
+    fn sample_hits_extremes() {
+        let mut n = 0usize;
+        sample_hits(0.0, 1000, &mut rng(), |_, _| n += 1);
+        assert_eq!(n, 0);
+        sample_hits(1.0, 1000, &mut rng(), |_, _| n += 1);
+        assert_eq!(n, 1000);
+    }
+
+    #[test]
+    fn x_error_flips_z_measurement() {
+        let mut c = Circuit::new(1);
+        c.reset(0).unwrap();
+        c.noise1(Noise1::XError, 0, 1.0).unwrap();
+        let m = c.measure(0).unwrap();
+        c.add_detector(&[m], CheckBasis::Z, (0, 0, 0)).unwrap();
+        let batch = FrameSampler::new(&c).sample(100, &mut rng());
+        assert_eq!(batch.detectors.count_row(0), 100);
+    }
+
+    #[test]
+    fn z_error_does_not_flip_z_measurement() {
+        let mut c = Circuit::new(1);
+        c.reset(0).unwrap();
+        c.noise1(Noise1::ZError, 0, 1.0).unwrap();
+        let m = c.measure(0).unwrap();
+        c.add_detector(&[m], CheckBasis::Z, (0, 0, 0)).unwrap();
+        let batch = FrameSampler::new(&c).sample(100, &mut rng());
+        assert_eq!(batch.detectors.count_row(0), 0);
+    }
+
+    #[test]
+    fn z_error_flips_after_hadamard() {
+        let mut c = Circuit::new(1);
+        c.reset(0).unwrap();
+        c.h(0).unwrap();
+        c.noise1(Noise1::ZError, 0, 1.0).unwrap();
+        c.h(0).unwrap();
+        let m = c.measure(0).unwrap();
+        c.add_detector(&[m], CheckBasis::Z, (0, 0, 0)).unwrap();
+        let batch = FrameSampler::new(&c).sample(64, &mut rng());
+        assert_eq!(batch.detectors.count_row(0), 64);
+    }
+
+    #[test]
+    fn cx_propagates_x_to_target() {
+        let mut c = Circuit::new(2);
+        c.reset(0).unwrap();
+        c.reset(1).unwrap();
+        c.noise1(Noise1::XError, 0, 1.0).unwrap();
+        c.cx(0, 1).unwrap();
+        let m = c.measure(1).unwrap();
+        c.add_detector(&[m], CheckBasis::Z, (0, 0, 0)).unwrap();
+        let batch = FrameSampler::new(&c).sample(10, &mut rng());
+        assert_eq!(batch.detectors.count_row(0), 10);
+    }
+
+    #[test]
+    fn reset_clears_errors() {
+        let mut c = Circuit::new(1);
+        c.reset(0).unwrap();
+        c.noise1(Noise1::XError, 0, 1.0).unwrap();
+        c.reset(0).unwrap();
+        let m = c.measure(0).unwrap();
+        c.add_detector(&[m], CheckBasis::Z, (0, 0, 0)).unwrap();
+        let batch = FrameSampler::new(&c).sample(50, &mut rng());
+        assert_eq!(batch.detectors.count_row(0), 0);
+    }
+
+    #[test]
+    fn depolarize1_flips_about_two_thirds() {
+        let mut c = Circuit::new(1);
+        c.reset(0).unwrap();
+        c.noise1(Noise1::Depolarize1, 0, 1.0).unwrap();
+        let m = c.measure(0).unwrap();
+        c.add_detector(&[m], CheckBasis::Z, (0, 0, 0)).unwrap();
+        let shots = 30_000;
+        let batch = FrameSampler::new(&c).sample(shots, &mut rng());
+        let frac = batch.detectors.count_row(0) as f64 / shots as f64;
+        assert!((frac - 2.0 / 3.0).abs() < 0.02, "X or Y flip: got {frac}");
+    }
+
+    #[test]
+    fn observable_tracks_logical_flip() {
+        // Repetition "code": observable = Z0 via final measurement.
+        let mut c = Circuit::new(1);
+        c.reset(0).unwrap();
+        c.noise1(Noise1::XError, 0, 0.5).unwrap();
+        let m = c.measure(0).unwrap();
+        c.include_observable(0, &[m]).unwrap();
+        let shots = 20_000;
+        let batch = FrameSampler::new(&c).sample(shots, &mut rng());
+        let frac = batch.observables.count_row(0) as f64 / shots as f64;
+        assert!((frac - 0.5).abs() < 0.02, "got {frac}");
+    }
+
+    #[test]
+    fn detection_events_by_shot_matches_naive() {
+        let mut c = Circuit::new(2);
+        for q in 0..2 {
+            c.reset(q).unwrap();
+            c.noise1(Noise1::XError, q, 0.3).unwrap();
+        }
+        let m0 = c.measure(0).unwrap();
+        let m1 = c.measure(1).unwrap();
+        c.add_detector(&[m0], CheckBasis::Z, (0, 0, 0)).unwrap();
+        c.add_detector(&[m1], CheckBasis::Z, (1, 0, 0)).unwrap();
+        let batch = FrameSampler::new(&c).sample(777, &mut rng());
+        let by_shot = batch.detection_events_by_shot();
+        for shot in [0usize, 1, 100, 776] {
+            assert_eq!(by_shot[shot], batch.detection_events(shot));
+        }
+    }
+}

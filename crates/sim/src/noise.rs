@@ -1,0 +1,211 @@
+//! Circuit-level noise models.
+//!
+//! The paper's noise model (§4): every two-qubit gate fails with
+//! probability `p` (two-qubit depolarizing), every one-qubit gate with
+//! `0.8 p` (one-qubit depolarizing), and readout flips with `(8/15) p`;
+//! reset preparations flip with the same readout rate. Individual qubits
+//! may carry an elevated *absolute* error rate (the §6 cutoff-fidelity
+//! study gives one data qubit a two-qubit error rate of 5–15%).
+
+use crate::circuit::{Circuit, Gate1, Gate2, Noise1, Op};
+use std::collections::HashMap;
+
+/// Ratio of one-qubit gate error to two-qubit gate error.
+pub const ONE_QUBIT_RATIO: f64 = 0.8;
+/// Ratio of readout/reset flip error to two-qubit gate error.
+pub const READOUT_RATIO: f64 = 8.0 / 15.0;
+
+/// Circuit-level depolarizing noise with optional per-qubit overrides.
+///
+/// # Examples
+///
+/// ```
+/// use dqec_sim::circuit::Circuit;
+/// use dqec_sim::noise::NoiseModel;
+///
+/// let mut clean = Circuit::new(2);
+/// clean.reset(0)?;
+/// clean.reset(1)?;
+/// clean.cx(0, 1)?;
+/// clean.measure(1)?;
+///
+/// let noisy = NoiseModel::new(1e-3).apply(&clean);
+/// assert!(noisy.num_noise_ops() > 0);
+/// # Ok::<(), dqec_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseModel {
+    /// Baseline two-qubit gate error rate `p`.
+    p: f64,
+    /// Per-qubit absolute two-qubit error rates overriding the baseline.
+    overrides: HashMap<u32, f64>,
+}
+
+impl NoiseModel {
+    /// Creates the paper's noise model with two-qubit gate error `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        NoiseModel { p, overrides: HashMap::new() }
+    }
+
+    /// The baseline two-qubit gate error rate.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Gives `qubit` an elevated absolute two-qubit error rate
+    /// (its one-qubit and readout errors scale accordingly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_bad` is not in `[0, 1]`.
+    pub fn with_bad_qubit(mut self, qubit: u32, p_bad: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_bad), "p_bad={p_bad} out of range");
+        self.overrides.insert(qubit, p_bad);
+        self
+    }
+
+    /// The effective two-qubit rate for a gate touching `qubits`.
+    fn rate(&self, qubits: &[u32]) -> f64 {
+        qubits
+            .iter()
+            .map(|q| *self.overrides.get(q).unwrap_or(&self.p))
+            .fold(self.p, f64::max)
+    }
+
+    /// Inserts noise channels around every operation of `clean`,
+    /// returning the noisy circuit. Detector and observable definitions
+    /// are preserved (measurement order is unchanged).
+    pub fn apply(&self, clean: &Circuit) -> Circuit {
+        let mut noisy = Circuit::new(clean.num_qubits());
+        for op in clean.ops() {
+            match *op {
+                Op::Gate1 { kind, q } => {
+                    push_gate1(&mut noisy, kind, q);
+                    let r = ONE_QUBIT_RATIO * self.rate(&[q]);
+                    noisy.noise1(Noise1::Depolarize1, q, r).expect("validated");
+                }
+                Op::Gate2 { kind, a, b } => {
+                    push_gate2(&mut noisy, kind, a, b);
+                    let r = self.rate(&[a, b]);
+                    noisy.depolarize2(a, b, r).expect("validated");
+                }
+                Op::Reset { q } => {
+                    noisy.reset(q).expect("validated");
+                    let r = READOUT_RATIO * self.rate(&[q]);
+                    noisy.noise1(Noise1::XError, q, r).expect("validated");
+                }
+                Op::Measure { q } => {
+                    let r = READOUT_RATIO * self.rate(&[q]);
+                    noisy.noise1(Noise1::XError, q, r).expect("validated");
+                    noisy.measure(q).expect("validated");
+                }
+                Op::Noise1 { kind, q, p } => {
+                    noisy.noise1(kind, q, p).expect("validated");
+                }
+                Op::Depolarize2 { a, b, p } => {
+                    noisy.depolarize2(a, b, p).expect("validated");
+                }
+                Op::Tick => noisy.tick(),
+            }
+        }
+        for det in clean.detectors() {
+            let records: Vec<_> =
+                det.records.iter().map(|&r| crate::circuit::MeasRecord(r)).collect();
+            noisy
+                .add_detector(&records, det.basis, det.coord)
+                .expect("records preserved");
+        }
+        for (o, obs) in clean.observables().iter().enumerate() {
+            let records: Vec<_> = obs.iter().map(|&r| crate::circuit::MeasRecord(r)).collect();
+            noisy
+                .include_observable(o as u32, &records)
+                .expect("records preserved");
+        }
+        noisy
+    }
+}
+
+fn push_gate1(c: &mut Circuit, kind: Gate1, q: u32) {
+    match kind {
+        Gate1::H => c.h(q).expect("validated"),
+        Gate1::S => c.s(q).expect("validated"),
+        Gate1::X => c.x(q).expect("validated"),
+        Gate1::Z => c.z(q).expect("validated"),
+    }
+}
+
+fn push_gate2(c: &mut Circuit, kind: Gate2, a: u32, b: u32) {
+    match kind {
+        Gate2::Cx => c.cx(a, b).expect("validated"),
+        Gate2::Cz => c.cz(a, b).expect("validated"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CheckBasis;
+
+    fn clean_round() -> Circuit {
+        let mut c = Circuit::new(3);
+        for q in 0..3 {
+            c.reset(q).unwrap();
+        }
+        c.h(2).unwrap();
+        c.cx(0, 2).unwrap();
+        c.cx(1, 2).unwrap();
+        c.h(2).unwrap();
+        let m = c.measure(2).unwrap();
+        c.add_detector(&[m], CheckBasis::X, (0, 0, 0)).unwrap();
+        c
+    }
+
+    #[test]
+    fn noise_insertion_counts() {
+        let noisy = NoiseModel::new(1e-3).apply(&clean_round());
+        // 3 resets + 2 one-qubit gates + 2 two-qubit gates + 1 readout.
+        assert_eq!(noisy.num_noise_ops(), 3 + 2 + 2 + 1);
+        assert_eq!(noisy.num_measurements(), 1);
+        assert_eq!(noisy.detectors().len(), 1);
+    }
+
+    #[test]
+    fn zero_noise_inserts_nothing() {
+        let noisy = NoiseModel::new(0.0).apply(&clean_round());
+        assert_eq!(noisy.num_noise_ops(), 0);
+    }
+
+    #[test]
+    fn bad_qubit_raises_rates() {
+        let clean = clean_round();
+        let noisy = NoiseModel::new(1e-3).with_bad_qubit(0, 0.1).apply(&clean);
+        // Find the depolarize2 on (0,2): its rate must be 0.1.
+        let mut seen = false;
+        for op in noisy.ops() {
+            if let Op::Depolarize2 { a: 0, b: 2, p } = op {
+                assert!((p - 0.1).abs() < 1e-12);
+                seen = true;
+            }
+        }
+        assert!(seen);
+    }
+
+    #[test]
+    fn detectors_survive_noise_pass() {
+        let clean = clean_round();
+        let noisy = NoiseModel::new(5e-3).apply(&clean);
+        assert_eq!(noisy.detectors()[0].records, clean.detectors()[0].records);
+        assert_eq!(noisy.detectors()[0].basis, clean.detectors()[0].basis);
+    }
+
+    #[test]
+    fn ratios_match_paper() {
+        assert!((ONE_QUBIT_RATIO - 0.8).abs() < 1e-15);
+        assert!((READOUT_RATIO - 8.0 / 15.0).abs() < 1e-15);
+    }
+}

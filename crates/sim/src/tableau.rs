@@ -1,0 +1,385 @@
+//! Aaronson–Gottesman stabilizer tableau simulation.
+//!
+//! Used to compute the *reference sample* of a circuit: the measurement
+//! outcomes of one noiseless execution, with every non-deterministic
+//! measurement outcome fixed to 0 (and the state collapsed accordingly).
+//! The batch Pauli-frame sampler then expresses noisy shots as
+//! deviations from this reference, exactly as in Stim.
+
+use crate::circuit::{Circuit, Gate1, Gate2, Op};
+use crate::pauli::words_for;
+
+/// A stabilizer tableau over `n` qubits with destabilizer rows `0..n`
+/// and stabilizer rows `n..2n` (CHP layout), plus one scratch row.
+#[derive(Debug, Clone)]
+pub struct Tableau {
+    n: usize,
+    w: usize,
+    xs: Vec<u64>,
+    zs: Vec<u64>,
+    signs: Vec<u8>,
+}
+
+impl Tableau {
+    /// Creates the tableau of the all-|0> state.
+    pub fn new(num_qubits: usize) -> Self {
+        let n = num_qubits;
+        let w = words_for(n).max(1);
+        let rows = 2 * n + 1;
+        let mut t = Tableau { n, w, xs: vec![0; rows * w], zs: vec![0; rows * w], signs: vec![0; rows] };
+        for i in 0..n {
+            t.set_x(i, i, true); // destabilizer X_i
+            t.set_z(n + i, i, true); // stabilizer Z_i
+        }
+        t
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn x(&self, row: usize, q: usize) -> bool {
+        (self.xs[row * self.w + q / 64] >> (q % 64)) & 1 == 1
+    }
+
+    #[inline]
+    fn z(&self, row: usize, q: usize) -> bool {
+        (self.zs[row * self.w + q / 64] >> (q % 64)) & 1 == 1
+    }
+
+    #[inline]
+    fn set_x(&mut self, row: usize, q: usize, v: bool) {
+        let i = row * self.w + q / 64;
+        let b = q % 64;
+        self.xs[i] = (self.xs[i] & !(1 << b)) | ((v as u64) << b);
+    }
+
+    #[inline]
+    fn set_z(&mut self, row: usize, q: usize, v: bool) {
+        let i = row * self.w + q / 64;
+        let b = q % 64;
+        self.zs[i] = (self.zs[i] & !(1 << b)) | ((v as u64) << b);
+    }
+
+    /// Applies a Hadamard on `q`.
+    pub fn h(&mut self, q: usize) {
+        for row in 0..2 * self.n {
+            let x = self.x(row, q);
+            let z = self.z(row, q);
+            self.signs[row] ^= (x & z) as u8;
+            self.set_x(row, q, z);
+            self.set_z(row, q, x);
+        }
+    }
+
+    /// Applies an S gate on `q`.
+    pub fn s(&mut self, q: usize) {
+        for row in 0..2 * self.n {
+            let x = self.x(row, q);
+            let z = self.z(row, q);
+            self.signs[row] ^= (x & z) as u8;
+            self.set_z(row, q, z ^ x);
+        }
+    }
+
+    /// Applies a CX with control `c`, target `t`.
+    pub fn cx(&mut self, c: usize, t: usize) {
+        for row in 0..2 * self.n {
+            let xc = self.x(row, c);
+            let zc = self.z(row, c);
+            let xt = self.x(row, t);
+            let zt = self.z(row, t);
+            self.signs[row] ^= (xc & zt & (xt ^ zc ^ true)) as u8;
+            self.set_x(row, t, xt ^ xc);
+            self.set_z(row, c, zc ^ zt);
+        }
+    }
+
+    /// Applies a CZ between `a` and `b`.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cx(a, b);
+        self.h(b);
+    }
+
+    /// Applies a Pauli X on `q` (flips signs of rows containing Z_q).
+    pub fn x_gate(&mut self, q: usize) {
+        for row in 0..2 * self.n {
+            self.signs[row] ^= self.z(row, q) as u8;
+        }
+    }
+
+    /// Applies a Pauli Z on `q` (flips signs of rows containing X_q).
+    pub fn z_gate(&mut self, q: usize) {
+        for row in 0..2 * self.n {
+            self.signs[row] ^= self.x(row, q) as u8;
+        }
+    }
+
+    /// CHP `rowsum`: multiplies row `i` into row `h`, tracking signs.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut phase: i64 = 2 * self.signs[h] as i64 + 2 * self.signs[i] as i64;
+        let (hw, iw) = (h * self.w, i * self.w);
+        for k in 0..self.w {
+            let x1 = self.xs[iw + k];
+            let z1 = self.zs[iw + k];
+            let x2 = self.xs[hw + k];
+            let z2 = self.zs[hw + k];
+            // Per-bit CHP g-function, evaluated branch-free over words.
+            let plus = (x1 & z1 & z2 & !x2) | (x1 & !z1 & x2 & z2) | (!x1 & z1 & x2 & !z2);
+            let minus = (x1 & z1 & x2 & !z2) | (x1 & !z1 & z2 & !x2) | (!x1 & z1 & x2 & z2);
+            phase += plus.count_ones() as i64 - minus.count_ones() as i64;
+            self.xs[hw + k] = x2 ^ x1;
+            self.zs[hw + k] = z2 ^ z1;
+        }
+        debug_assert_eq!(phase.rem_euclid(4) % 2, 0, "rowsum phase must be real");
+        self.signs[h] = ((phase.rem_euclid(4)) / 2) as u8;
+    }
+
+    /// Measures qubit `q` in the Z basis.
+    ///
+    /// Returns `(outcome, was_deterministic)`. Non-deterministic
+    /// measurements always yield 0 here (reference-sample convention)
+    /// and collapse the state.
+    pub fn measure_z(&mut self, q: usize) -> (bool, bool) {
+        self.measure_z_choosing(q, false)
+    }
+
+    /// Measures qubit `q` in the Z basis, resolving a non-deterministic
+    /// outcome to `choice` (used to validate detector determinism by
+    /// comparing differently-resolved reference runs).
+    pub fn measure_z_choosing(&mut self, q: usize, choice: bool) -> (bool, bool) {
+        let n = self.n;
+        // Look for a stabilizer row anticommuting with Z_q.
+        let pivot = (n..2 * n).find(|&row| self.x(row, q));
+        if let Some(p) = pivot {
+            for row in 0..2 * n {
+                if row != p && self.x(row, q) {
+                    self.rowsum(row, p);
+                }
+            }
+            // Destabilizer for the new stabilizer is the old row p.
+            let (pw, dw) = (p * self.w, (p - n) * self.w);
+            for k in 0..self.w {
+                self.xs[dw + k] = self.xs[pw + k];
+                self.zs[dw + k] = self.zs[pw + k];
+                self.xs[pw + k] = 0;
+                self.zs[pw + k] = 0;
+            }
+            self.signs[p - n] = self.signs[p];
+            self.set_z(p, q, true);
+            self.signs[p] = choice as u8;
+            (choice, false)
+        } else {
+            // Deterministic: accumulate into the scratch row.
+            let scratch = 2 * n;
+            let sw = scratch * self.w;
+            for k in 0..self.w {
+                self.xs[sw + k] = 0;
+                self.zs[sw + k] = 0;
+            }
+            self.signs[scratch] = 0;
+            for i in 0..n {
+                if self.x(i, q) {
+                    self.rowsum(scratch, i + n);
+                }
+            }
+            (self.signs[scratch] == 1, true)
+        }
+    }
+
+    /// Resets qubit `q` to |0>.
+    pub fn reset_z(&mut self, q: usize) {
+        let (outcome, _) = self.measure_z(q);
+        if outcome {
+            self.x_gate(q);
+        }
+    }
+}
+
+/// The reference sample of a circuit: noiseless measurement outcomes
+/// with non-deterministic outcomes fixed to 0, plus which measurements
+/// were deterministic.
+#[derive(Debug, Clone)]
+pub struct ReferenceSample {
+    /// Outcome of each measurement record in order.
+    pub outcomes: Vec<bool>,
+    /// Whether each measurement was deterministic in the noiseless run.
+    pub deterministic: Vec<bool>,
+}
+
+impl ReferenceSample {
+    /// Computes the reference sample of `circuit`, ignoring noise ops.
+    pub fn of(circuit: &Circuit) -> Self {
+        Self::of_choosing(circuit, |_| false)
+    }
+
+    /// Computes a reference run resolving the `i`-th non-deterministic
+    /// measurement outcome with `choose(i)`.
+    pub fn of_choosing(circuit: &Circuit, mut choose: impl FnMut(usize) -> bool) -> Self {
+        let mut t = Tableau::new(circuit.num_qubits() as usize);
+        let mut outcomes = Vec::with_capacity(circuit.num_measurements() as usize);
+        let mut deterministic = Vec::with_capacity(outcomes.capacity());
+        let mut random_count = 0usize;
+        for op in circuit.ops() {
+            match *op {
+                Op::Gate1 { kind: Gate1::H, q } => t.h(q as usize),
+                Op::Gate1 { kind: Gate1::S, q } => t.s(q as usize),
+                Op::Gate1 { kind: Gate1::X, q } => t.x_gate(q as usize),
+                Op::Gate1 { kind: Gate1::Z, q } => t.z_gate(q as usize),
+                Op::Gate2 { kind: Gate2::Cx, a, b } => t.cx(a as usize, b as usize),
+                Op::Gate2 { kind: Gate2::Cz, a, b } => t.cz(a as usize, b as usize),
+                Op::Reset { q } => t.reset_z(q as usize),
+                Op::Measure { q } => {
+                    // Probe determinism first by attempting with choice 0;
+                    // measure_z_choosing reports whether it was random.
+                    let choice = choose(random_count);
+                    let (o, det) = t.measure_z_choosing(q as usize, choice);
+                    if !det {
+                        random_count += 1;
+                    }
+                    outcomes.push(o);
+                    deterministic.push(det);
+                }
+                Op::Noise1 { .. } | Op::Depolarize2 { .. } | Op::Tick => {}
+            }
+        }
+        ReferenceSample { outcomes, deterministic }
+    }
+
+    /// The parity of a detector's records in this reference run.
+    pub fn detector_parity(&self, records: &[u32]) -> bool {
+        records.iter().fold(false, |acc, &r| acc ^ self.outcomes[r as usize])
+    }
+
+    /// Checks detector determinism by comparing several reference runs
+    /// with different resolutions of the random measurement outcomes.
+    ///
+    /// Returns the ids of detectors whose parity is nonzero in the
+    /// canonical run or differs across the probe runs (empty = all good).
+    pub fn violated_detectors(circuit: &Circuit) -> Vec<u32> {
+        let base = ReferenceSample::of(circuit);
+        let probes = [
+            ReferenceSample::of_choosing(circuit, |_| true),
+            ReferenceSample::of_choosing(circuit, |i| i % 2 == 0),
+            ReferenceSample::of_choosing(circuit, |i| i % 3 == 0),
+        ];
+        let mut bad = Vec::new();
+        for (id, det) in circuit.detectors().iter().enumerate() {
+            let p = base.detector_parity(&det.records);
+            let stable = probes.iter().all(|r| r.detector_parity(&det.records) == p);
+            if p || !stable {
+                bad.push(id as u32);
+            }
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CheckBasis;
+
+    #[test]
+    fn fresh_qubit_measures_zero_deterministically() {
+        let mut t = Tableau::new(2);
+        assert_eq!(t.measure_z(0), (false, true));
+        assert_eq!(t.measure_z(1), (false, true));
+    }
+
+    #[test]
+    fn x_flips_measurement() {
+        let mut t = Tableau::new(1);
+        t.x_gate(0);
+        assert_eq!(t.measure_z(0), (true, true));
+    }
+
+    #[test]
+    fn hadamard_makes_measurement_random_then_collapses() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        let (o, det) = t.measure_z(0);
+        assert!(!det, "H|0> has random Z outcome");
+        assert!(!o, "reference convention fixes random outcomes to 0");
+        // After collapse the same measurement is deterministic.
+        assert_eq!(t.measure_z(0), (false, true));
+    }
+
+    #[test]
+    fn bell_pair_outcomes_agree() {
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.cx(0, 1);
+        let (a, det_a) = t.measure_z(0);
+        let (b, det_b) = t.measure_z(1);
+        assert!(!det_a);
+        assert!(det_b, "second half of Bell pair is determined by the first");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ghz_parity_is_even() {
+        let n = 5;
+        let mut t = Tableau::new(n);
+        t.h(0);
+        for q in 1..n {
+            t.cx(0, q);
+        }
+        let outcomes: Vec<bool> = (0..n).map(|q| t.measure_z(q).0).collect();
+        let parity = outcomes.iter().fold(false, |a, &b| a ^ b);
+        assert!(!parity);
+        assert!(outcomes.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn s_gate_squares_to_z() {
+        // HSSH |0> = HZH |0> = X |0> = |1>.
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.s(0);
+        t.s(0);
+        t.h(0);
+        assert_eq!(t.measure_z(0), (true, true));
+    }
+
+    #[test]
+    fn cz_is_symmetric_and_phases() {
+        // |+>|1> under CZ becomes |->|1>; H on qubit 0 gives |1>|1>.
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.x_gate(1);
+        t.cz(0, 1);
+        t.h(0);
+        assert_eq!(t.measure_z(0), (true, true));
+        assert_eq!(t.measure_z(1), (true, true));
+    }
+
+    #[test]
+    fn reset_after_entanglement() {
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.cx(0, 1);
+        t.reset_z(0);
+        assert_eq!(t.measure_z(0), (false, true));
+    }
+
+    #[test]
+    fn reference_sample_of_repetition_round_is_deterministic() {
+        // Two-qubit repetition-code parity measured via an ancilla.
+        let mut c = Circuit::new(3);
+        for q in 0..3 {
+            c.reset(q).unwrap();
+        }
+        c.cx(0, 2).unwrap();
+        c.cx(1, 2).unwrap();
+        let m = c.measure(2).unwrap();
+        c.add_detector(&[m], CheckBasis::Z, (0, 0, 0)).unwrap();
+        let refs = ReferenceSample::of(&c);
+        assert_eq!(refs.outcomes, vec![false]);
+        assert!(refs.deterministic[0]);
+        assert!(ReferenceSample::violated_detectors(&c).is_empty());
+    }
+}

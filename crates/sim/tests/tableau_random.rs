@@ -1,0 +1,170 @@
+//! Randomized cross-checks of the tableau simulator: random Clifford
+//! circuits must satisfy algebraic invariants, and reference samples
+//! must be reproducible and self-consistent.
+
+use dqec_sim::circuit::{CheckBasis, Circuit};
+use dqec_sim::tableau::{ReferenceSample, Tableau};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Applies a random sequence of Clifford gates.
+fn random_cliffords(t: &mut Tableau, n: usize, ops: usize, rng: &mut StdRng) {
+    for _ in 0..ops {
+        match rng.gen_range(0..4) {
+            0 => t.h(rng.gen_range(0..n)),
+            1 => t.s(rng.gen_range(0..n)),
+            2 => {
+                let a = rng.gen_range(0..n);
+                let b = (a + rng.gen_range(1..n)) % n;
+                t.cx(a, b);
+            }
+            _ => {
+                let a = rng.gen_range(0..n);
+                let b = (a + rng.gen_range(1..n)) % n;
+                t.cz(a, b);
+            }
+        }
+    }
+}
+
+#[test]
+fn measurement_is_idempotent_after_collapse() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for trial in 0..50 {
+        let n = rng.gen_range(2..8);
+        let mut t = Tableau::new(n);
+        random_cliffords(&mut t, n, 30, &mut rng);
+        let q = rng.gen_range(0..n);
+        let (o1, _) = t.measure_z(q);
+        let (o2, det) = t.measure_z(q);
+        assert!(det, "trial {trial}: repeated measurement must be deterministic");
+        assert_eq!(o1, o2, "trial {trial}: repeated measurement must agree");
+    }
+}
+
+#[test]
+fn reset_forces_zero() {
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..50 {
+        let n = rng.gen_range(2..8);
+        let mut t = Tableau::new(n);
+        random_cliffords(&mut t, n, 40, &mut rng);
+        let q = rng.gen_range(0..n);
+        t.reset_z(q);
+        assert_eq!(t.measure_z(q), (false, true));
+    }
+}
+
+#[test]
+fn hh_is_identity_on_random_states() {
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..30 {
+        let n = rng.gen_range(2..6);
+        let mut a = Tableau::new(n);
+        random_cliffords(&mut a, n, 25, &mut rng);
+        let mut b = a.clone();
+        let q = rng.gen_range(0..n);
+        b.h(q);
+        b.h(q);
+        // Compare by measuring everything in both (collapse orders agree).
+        for q in 0..n {
+            assert_eq!(a.measure_z(q), b.measure_z(q));
+        }
+    }
+}
+
+#[test]
+fn cx_self_inverse_on_random_states() {
+    let mut rng = StdRng::seed_from_u64(14);
+    for _ in 0..30 {
+        let n = rng.gen_range(2..6);
+        let mut a = Tableau::new(n);
+        random_cliffords(&mut a, n, 25, &mut rng);
+        let mut b = a.clone();
+        let c = rng.gen_range(0..n);
+        let t = (c + 1) % n;
+        b.cx(c, t);
+        b.cx(c, t);
+        for q in 0..n {
+            assert_eq!(a.measure_z(q), b.measure_z(q));
+        }
+    }
+}
+
+#[test]
+fn ghz_stabilizer_parities_hold_for_any_size() {
+    for n in 2..10usize {
+        let mut t = Tableau::new(n);
+        t.h(0);
+        for q in 1..n {
+            t.cx(0, q);
+        }
+        let outcomes: Vec<bool> = (0..n).map(|q| t.measure_z(q).0).collect();
+        assert!(outcomes.windows(2).all(|w| w[0] == w[1]), "GHZ correlations n={n}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn reference_samples_are_reproducible(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(2..6u32);
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.reset(q).unwrap();
+        }
+        let mut ms = Vec::new();
+        for _ in 0..10 {
+            match rng.gen_range(0..4) {
+                0 => c.h(rng.gen_range(0..n)).unwrap(),
+                1 => c.s(rng.gen_range(0..n)).unwrap(),
+                2 => {
+                    let a = rng.gen_range(0..n);
+                    let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+                    c.cx(a, b).unwrap();
+                }
+                _ => ms.push(c.measure(rng.gen_range(0..n)).unwrap()),
+            }
+        }
+        let r1 = ReferenceSample::of(&c);
+        let r2 = ReferenceSample::of(&c);
+        prop_assert_eq!(r1.outcomes, r2.outcomes);
+        prop_assert_eq!(r1.deterministic, r2.deterministic);
+    }
+
+    #[test]
+    fn deterministic_pair_detectors_always_pass(seed in 0u64..500) {
+        // Measure the same stabilizer twice; the comparison detector is
+        // deterministic no matter what Cliffords preceded it.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 4u32;
+        let mut c = Circuit::new(n + 1);
+        for q in 0..=n {
+            c.reset(q).unwrap();
+        }
+        for _ in 0..8 {
+            match rng.gen_range(0..3) {
+                0 => c.h(rng.gen_range(0..n)).unwrap(),
+                1 => c.s(rng.gen_range(0..n)).unwrap(),
+                _ => {
+                    let a = rng.gen_range(0..n);
+                    let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+                    c.cx(a, b).unwrap();
+                }
+            }
+        }
+        // Parity of qubits 0,1 measured twice via the ancilla.
+        let mut parity_meas = |c: &mut Circuit| {
+            c.cx(0, n).unwrap();
+            c.cx(1, n).unwrap();
+            c.measure_reset(n).unwrap()
+        };
+        let m1 = parity_meas(&mut c);
+        let m2 = parity_meas(&mut c);
+        c.add_detector(&[m1, m2], CheckBasis::Z, (0, 0, 0)).unwrap();
+        prop_assert!(ReferenceSample::violated_detectors(&c).is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: adapt a defective chiplet, inspect the resulting code,
+//! and visualize the patch.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dqec::core::{AdaptedPatch, Coord, DefectSet, PatchIndicators, PatchLayout, Side};
+use dqec::core::merge::{edge_deformed, merged_distance};
+use dqec_sim::circuit::CheckBasis;
+
+fn main() {
+    // Reproduce the paper's Fig. 1 examples on one 9x9 chiplet: a
+    // broken data qubit in the interior, a broken syndrome qubit near
+    // the top boundary, and a broken coupler.
+    let l = 9;
+    let mut defects = DefectSet::new();
+    defects.add_data(Coord::new(9, 9)); // interior data qubit
+    defects.add_synd(Coord::new(14, 2)); // syndrome qubit near the top
+    defects.add_link(Coord::new(3, 11), Coord::new(4, 12)); // coupler
+
+    let patch = AdaptedPatch::new(PatchLayout::memory(l), &defects);
+    println!("patch valid: {}", patch.is_valid());
+    println!("disabled data qubits: {}", patch.dead_data().len());
+    println!("disabled syndrome qubits: {}", patch.dead_faces().len());
+    for (i, cluster) in patch.clusters().iter().enumerate() {
+        if cluster.has_gauges() {
+            println!(
+                "cluster {i}: {} X gauges, {} Z gauges, schedule blocks of {}",
+                cluster.x_gauges.len(),
+                cluster.z_gauges.len(),
+                cluster.repetitions
+            );
+        }
+    }
+
+    let ind = PatchIndicators::of(&patch);
+    println!(
+        "code distance: {} (X: {}, Z: {}); shortest logicals: {:.0}",
+        ind.distance(),
+        ind.dist_x,
+        ind.dist_z,
+        ind.shortest_logical_count()
+    );
+
+    // Which edges still support full-distance lattice surgery?
+    for side in Side::ALL {
+        let deformed = edge_deformed(&patch, side);
+        let merged = merged_distance(&defects, l, side);
+        println!("edge {side:?}: deformed={deformed} merged_distance={merged:?}");
+    }
+
+    // ASCII picture: data qubits (.), disabled (#), Z faces (z/Z for
+    // gauge/full), X faces (x/X).
+    println!("\npatch map ({}x{} sites):", 2 * l + 1, 2 * l + 1);
+    for y in 0..=(2 * l as i32) {
+        let mut row = String::new();
+        for x in 0..=(2 * l as i32) {
+            let c = Coord::new(x, y);
+            let ch = if c.is_data_site() && patch.layout().contains_data(c) {
+                if patch.is_live_data(c) {
+                    '.'
+                } else {
+                    '#'
+                }
+            } else if c.is_face_site() && patch.layout().contains_face(c) {
+                let gauge = patch.gauge_cluster_of(c).is_some();
+                match (patch.is_live_face(c), c.face_basis(), gauge) {
+                    (false, _, _) => '#',
+                    (true, CheckBasis::Z, false) => 'Z',
+                    (true, CheckBasis::Z, true) => 'z',
+                    (true, CheckBasis::X, false) => 'X',
+                    (true, CheckBasis::X, true) => 'x',
+                }
+            } else {
+                ' '
+            };
+            row.push(ch);
+        }
+        println!("  {row}");
+    }
+}

@@ -1,0 +1,47 @@
+//! # dqec — defect-aware QEC / chiplet codesign
+//!
+//! A Rust reproduction of *"Codesign of quantum error-correcting codes
+//! and modular chiplets in the presence of defects"* (Lin et al.,
+//! ASPLOS 2024): adapting the rotated surface code to fabrication
+//! defects with super-stabilizers and boundary deformations, and
+//! evaluating the yield and resource overhead of a modular chiplet
+//! architecture.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`sim`] — stabilizer circuit simulation (tableau reference runs,
+//!   batch Pauli-frame sampling, detector error models);
+//! * [`matching`] — the MWPM decoder (blossom matching, decoding
+//!   graphs);
+//! * [`core`] — the paper's contribution: defect-adapted surface codes;
+//! * [`chiplet`] — defect models, post-selection, yield/overhead;
+//! * [`estimator`] — application-level resource and fidelity estimates.
+//!
+//! # Quick start
+//!
+//! ```
+//! use dqec::core::{AdaptedPatch, Coord, DefectSet, PatchIndicators, PatchLayout};
+//!
+//! // A 7x7 chiplet with a broken syndrome qubit in the interior.
+//! let mut defects = DefectSet::new();
+//! defects.add_synd(Coord::new(6, 6));
+//!
+//! let patch = AdaptedPatch::new(PatchLayout::memory(7), &defects);
+//! assert!(patch.is_valid());
+//!
+//! let ind = PatchIndicators::of(&patch);
+//! assert_eq!(ind.distance(), 5); // paper Fig. 1b
+//! ```
+//!
+//! See `examples/` for end-to-end memory experiments, chiplet yield
+//! farming, and device planning, and `crates/bench/src/bin/` for the
+//! per-figure reproduction harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dqec_chiplet as chiplet;
+pub use dqec_core as core;
+pub use dqec_estimator as estimator;
+pub use dqec_matching as matching;
+pub use dqec_sim as sim;

@@ -1,0 +1,167 @@
+//! Property-based tests on the core data structures and invariants.
+
+use dqec::core::graphs::{expected_void_components, void_components, CheckGraph};
+use dqec::core::{AdaptedPatch, Coord, DefectSet, PatchIndicators, PatchLayout};
+use dqec::sim::circuit::CheckBasis;
+use proptest::prelude::*;
+
+/// Strategy: a defect set over an l x l memory layout.
+fn defect_set(l: u32, max_defects: usize) -> impl Strategy<Value = DefectSet> {
+    let data: Vec<Coord> = PatchLayout::memory(l).data_sites().collect();
+    let faces: Vec<Coord> = PatchLayout::memory(l).face_sites().collect();
+    let links = PatchLayout::memory(l).links();
+    let d = proptest::sample::subsequence(data, 0..=max_defects);
+    let s = proptest::sample::subsequence(faces, 0..=max_defects);
+    let k = proptest::sample::subsequence(links, 0..=max_defects);
+    (d, s, k).prop_map(|(d, s, k)| {
+        let mut set = DefectSet::new();
+        for c in d {
+            set.add_data(c);
+        }
+        for c in s {
+            set.add_synd(c);
+        }
+        for (dq, f) in k {
+            set.add_link(dq, f);
+        }
+        set
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn valid_patches_encode_exactly_one_logical(defects in defect_set(7, 3)) {
+        let patch = AdaptedPatch::new(PatchLayout::memory(7), &defects);
+        if patch.is_valid() {
+            patch.verify_code_consistency().unwrap();
+        }
+    }
+
+    #[test]
+    fn distance_never_exceeds_patch_size(defects in defect_set(9, 5)) {
+        let patch = AdaptedPatch::new(PatchLayout::memory(9), &defects);
+        let ind = PatchIndicators::of(&patch);
+        prop_assert!(ind.distance() <= 9);
+        if !defects.is_empty() && ind.valid {
+            // Defects never help: distance stays at or below l.
+            prop_assert!(ind.dist_x <= 9 && ind.dist_z <= 9);
+        }
+    }
+
+    #[test]
+    fn more_defects_never_increase_distance(defects in defect_set(7, 3)) {
+        let l = 7;
+        let base = PatchIndicators::of(&AdaptedPatch::new(PatchLayout::memory(l), &defects));
+        // Add one more interior defect.
+        let mut more = defects.clone();
+        more.add_data(Coord::new(7, 7));
+        let bigger = PatchIndicators::of(&AdaptedPatch::new(PatchLayout::memory(l), &more));
+        prop_assert!(bigger.distance() <= base.distance().max(1) || !base.valid,
+            "distance grew from {} to {}", base.distance(), bigger.distance());
+    }
+
+    #[test]
+    fn void_component_counts_match_expectation(defects in defect_set(7, 2)) {
+        let patch = AdaptedPatch::new(PatchLayout::memory(7), &defects);
+        if patch.is_valid() {
+            for basis in [CheckBasis::Z, CheckBasis::X] {
+                let comps = void_components(
+                    patch.layout(),
+                    basis,
+                    &|c| patch.is_live_data(c),
+                    &|c| patch.is_live_face(c),
+                );
+                prop_assert_eq!(
+                    comps.len(),
+                    expected_void_components(patch.layout(), basis)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn check_graph_edges_cover_all_live_qubits(defects in defect_set(7, 3)) {
+        let patch = AdaptedPatch::new(PatchLayout::memory(7), &defects);
+        if patch.is_valid() {
+            for basis in [CheckBasis::Z, CheckBasis::X] {
+                let g = CheckGraph::build(&patch, basis);
+                prop_assert!(g.is_ok(), "graph build failed: {:?}", g.err());
+            }
+        }
+    }
+
+    #[test]
+    fn orientation_swap_is_involutive_on_interior(x in 1i32..7, y in 1i32..7) {
+        let l = 7;
+        let c = Coord::new(2 * x + 1, 2 * y - 1);
+        if PatchLayout::memory(l).contains_data(c) {
+            let mut d = DefectSet::new();
+            d.add_data(c);
+            let back = d.swapped_orientation(l).swapped_orientation(l);
+            // Interior data defects survive the round trip.
+            prop_assert!(back.data.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn faulty_counts_are_monotone(defects in defect_set(9, 4)) {
+        let patch = AdaptedPatch::new(PatchLayout::memory(9), &defects);
+        let ind = PatchIndicators::of(&patch);
+        // Everything that is fabrication-faulty ends up disabled (data)
+        // or the count at least covers the faulty data qubits.
+        prop_assert!(ind.num_disabled_data >= patch.defects().data.len());
+        prop_assert!(ind.num_disabled_faces >= patch.defects().synd.len());
+    }
+}
+
+#[test]
+fn blossom_matches_brute_force_on_many_random_graphs() {
+    // Heavier cross-check than the in-crate tests: 300 random instances.
+    use dqec::matching::min_weight_perfect_matching;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute(w: &[Vec<f64>]) -> f64 {
+        fn rec(used: &mut [bool], w: &[Vec<f64>]) -> f64 {
+            let Some(i) = used.iter().position(|&u| !u) else {
+                return 0.0;
+            };
+            used[i] = true;
+            let mut best = f64::INFINITY;
+            for j in i + 1..used.len() {
+                if !used[j] {
+                    used[j] = true;
+                    best = best.min(w[i][j] + rec(used, w));
+                    used[j] = false;
+                }
+            }
+            used[i] = false;
+            best
+        }
+        rec(&mut vec![false; w.len()], w)
+    }
+
+    let mut rng = StdRng::seed_from_u64(4242);
+    for trial in 0..300 {
+        let n = 2 * rng.gen_range(1..=4);
+        let mut w = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let c = (rng.gen_range(0.0..8.0f64) * 8.0).round() / 8.0;
+                w[i][j] = c;
+                w[j][i] = c;
+            }
+        }
+        let m = min_weight_perfect_matching(&w);
+        let mut cost = 0.0;
+        for v in 0..n {
+            if v < m.mate[v] {
+                cost += w[v][m.mate[v]];
+            }
+        }
+        let want = brute(&w);
+        assert!((cost - want).abs() < 1e-9, "trial {trial}: {cost} vs {want}");
+    }
+}
