@@ -54,6 +54,8 @@ fn bench_blossom(c: &mut Criterion) {
     for n in [16usize, 40] {
         let mut rng = StdRng::seed_from_u64(3);
         let mut w = vec![vec![0.0; n]; n];
+        // Indexing is the clear way to fill a symmetric matrix.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             for j in i + 1..n {
                 let v = rng.gen_range(0.1..10.0);
@@ -62,7 +64,11 @@ fn bench_blossom(c: &mut Criterion) {
             }
         }
         group.bench_function(format!("mwpm_n{n}"), |b| {
-            b.iter_batched(|| w.clone(), |w| min_weight_perfect_matching(&w), BatchSize::SmallInput)
+            b.iter_batched(
+                || w.clone(),
+                |w| min_weight_perfect_matching(&w),
+                BatchSize::SmallInput,
+            )
         });
     }
     group.finish();
@@ -84,5 +90,11 @@ fn bench_sampling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(kernels, bench_adaptation, bench_distance, bench_blossom, bench_sampling);
+criterion_group!(
+    kernels,
+    bench_adaptation,
+    bench_distance,
+    bench_blossom,
+    bench_sampling
+);
 criterion_main!(kernels);

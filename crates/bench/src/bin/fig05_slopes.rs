@@ -7,7 +7,11 @@ use dqec_bench::{defect_free_slope, fmt, header, slope_dataset, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_args();
-    header("fig05", "LER slope vs adapted code distance (link+qubit defects)", &cfg);
+    header(
+        "fig05",
+        "LER slope vs adapted code distance (link+qubit defects)",
+        &cfg,
+    );
     eprintln!("sampling defective patches and measuring slopes (slow)...");
     let (l, d_range) = cfg.slope_patch();
     let records = slope_dataset(l, d_range.clone(), &cfg);
@@ -27,12 +31,22 @@ fn main() {
         let mean = slopes.iter().sum::<f64>() / slopes.len() as f64;
         let min = slopes.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = slopes.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        println!("{d}\t{}\t{}\t{}\t{}", fmt(mean), fmt(min), fmt(max), slopes.len());
+        println!(
+            "{d}\t{}\t{}\t{}\t{}",
+            fmt(mean),
+            fmt(min),
+            fmt(max),
+            slopes.len()
+        );
     }
 
     println!("\n## defect-free references");
     println!("d\tslope");
-    let refs: Vec<u32> = if cfg.full { vec![5, 7, 9, 11] } else { vec![5, 7] };
+    let refs: Vec<u32> = if cfg.full {
+        vec![5, 7, 9, 11]
+    } else {
+        vec![5, 7]
+    };
     for d in refs {
         match defect_free_slope(d, &cfg) {
             Some(s) => println!("{d}\t{}", fmt(s)),

@@ -14,12 +14,20 @@ use rand::SeedableRng;
 
 fn main() {
     let cfg = RunConfig::from_args();
-    header("fig06", "LER vs p for defect-free and defective patches", &cfg);
+    header(
+        "fig06",
+        "LER vs p for defect-free and defective patches",
+        &cfg,
+    );
     let ps = cfg.slope_window();
 
     println!("## defect-free");
     print!("p");
-    let ds: Vec<u32> = if cfg.full { vec![5, 7, 9, 11] } else { vec![3, 5, 7] };
+    let ds: Vec<u32> = if cfg.full {
+        vec![5, 7, 9, 11]
+    } else {
+        vec![3, 5, 7]
+    };
     for d in &ds {
         print!("\td={d}");
     }
@@ -41,7 +49,11 @@ fn main() {
     let layout = PatchLayout::memory(11);
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xf16);
     let mut examples: std::collections::BTreeMap<u32, AdaptedPatch> = Default::default();
-    let wanted: Vec<u32> = if cfg.full { vec![6, 7, 8, 9, 10] } else { vec![7, 9] };
+    let wanted: Vec<u32> = if cfg.full {
+        vec![6, 7, 8, 9, 10]
+    } else {
+        vec![7, 9]
+    };
     let mut tries = 0;
     while examples.len() < wanted.len() && tries < 20_000 {
         tries += 1;

@@ -7,7 +7,11 @@ use dqec_bench::{fmt, header, slope_dataset, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_args();
-    header("fig07", "slope vs log(#shortest logicals), grouped by d", &cfg);
+    header(
+        "fig07",
+        "slope vs log(#shortest logicals), grouped by d",
+        &cfg,
+    );
     eprintln!("sampling defective patches and measuring slopes (slow)...");
     let (l, d_range) = cfg.slope_patch();
     let records = slope_dataset(l, d_range, &cfg);

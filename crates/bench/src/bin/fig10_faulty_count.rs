@@ -6,7 +6,11 @@ use dqec_bench::{fmt, header, slope_dataset, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_args();
-    header("fig10", "slope vs number of faulty qubits (baseline indicator)", &cfg);
+    header(
+        "fig10",
+        "slope vs number of faulty qubits (baseline indicator)",
+        &cfg,
+    );
     eprintln!("sampling defective patches and measuring slopes (slow)...");
     let (l, d_range) = cfg.slope_patch();
     let records = slope_dataset(l, d_range, &cfg);

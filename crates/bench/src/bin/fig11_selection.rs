@@ -18,7 +18,11 @@ fn stats(kept: &[&SlopeRecord]) -> (f64, f64) {
 
 fn main() {
     let cfg = RunConfig::from_args();
-    header("fig11", "selection quality: chosen indicators vs faulty-count baseline", &cfg);
+    header(
+        "fig11",
+        "selection quality: chosen indicators vs faulty-count baseline",
+        &cfg,
+    );
     eprintln!("sampling defective patches and measuring slopes (slow)...");
     let (l, d_range) = cfg.slope_patch();
     let records = slope_dataset(l, d_range, &cfg);
@@ -30,8 +34,10 @@ fn main() {
         let keep = ((records.len() as f64) * fraction).round().max(1.0) as usize;
         let baseline_order = Ranking::FaultyCount.order(&indicators);
         let chosen_order = Ranking::ChosenIndicators.order(&indicators);
-        let baseline_kept: Vec<&SlopeRecord> =
-            baseline_order[..keep].iter().map(|&i| &records[i]).collect();
+        let baseline_kept: Vec<&SlopeRecord> = baseline_order[..keep]
+            .iter()
+            .map(|&i| &records[i])
+            .collect();
         let chosen_kept: Vec<&SlopeRecord> =
             chosen_order[..keep].iter().map(|&i| &records[i]).collect();
         let (bm, bw) = stats(&baseline_kept);

@@ -14,7 +14,11 @@ use dqec_core::layout::PatchLayout;
 
 fn main() {
     let cfg = RunConfig::from_args();
-    header("fig12", "yield and overhead vs defect rate, link defects only, target d=9", &cfg);
+    header(
+        "fig12",
+        "yield and overhead vs defect rate, link defects only, target d=9",
+        &cfg,
+    );
     let target = QualityTarget::defect_free(9);
     let sizes = [11u32, 13, 15, 17];
     let rates: Vec<f64> = (0..=10).map(|i| i as f64 * 0.002).collect();
@@ -27,8 +31,7 @@ fn main() {
     println!();
     let mut yields: Vec<Vec<f64>> = Vec::new();
     for &rate in &rates {
-        let base =
-            DefectModel::LinkOnly.defect_free_probability(&PatchLayout::memory(9), rate);
+        let base = DefectModel::LinkOnly.defect_free_probability(&PatchLayout::memory(9), rate);
         let mut row = vec![base];
         for &l in &sizes {
             let config = SampleConfig {

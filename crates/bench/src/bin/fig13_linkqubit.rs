@@ -12,7 +12,11 @@ use dqec_core::layout::PatchLayout;
 
 fn main() {
     let cfg = RunConfig::from_args();
-    header("fig13", "yield and overhead vs defect rate, link+qubit defects, target d=9", &cfg);
+    header(
+        "fig13",
+        "yield and overhead vs defect rate, link+qubit defects, target d=9",
+        &cfg,
+    );
     let target = QualityTarget::defect_free(9);
     let sizes = [11u32, 13, 15, 17, 19];
     let rates: Vec<f64> = (0..=10).map(|i| i as f64 * 0.001).collect();
@@ -25,8 +29,7 @@ fn main() {
     println!();
     let mut yields: Vec<Vec<f64>> = Vec::new();
     for &rate in &rates {
-        let base =
-            DefectModel::LinkAndQubit.defect_free_probability(&PatchLayout::memory(9), rate);
+        let base = DefectModel::LinkAndQubit.defect_free_probability(&PatchLayout::memory(9), rate);
         let mut row = vec![base];
         for &l in &sizes {
             let config = SampleConfig {

@@ -12,7 +12,11 @@ use dqec_core::DefectSet;
 
 fn main() {
     let cfg = RunConfig::from_args();
-    header("fig14", "code distance before and after a lattice-surgery merge", &cfg);
+    header(
+        "fig14",
+        "code distance before and after a lattice-surgery merge",
+        &cfg,
+    );
 
     // A defect column on the right edge of a 9x9 patch — the paper's
     // "deformations aligned on the merging edge" situation.
@@ -23,7 +27,12 @@ fn main() {
 
     let patch = AdaptedPatch::new(PatchLayout::memory(l), &defects);
     let ind = PatchIndicators::of(&patch);
-    println!("standalone patch: d = {} (dX={}, dZ={})", ind.distance(), ind.dist_x, ind.dist_z);
+    println!(
+        "standalone patch: d = {} (dX={}, dZ={})",
+        ind.distance(),
+        ind.dist_x,
+        ind.dist_z
+    );
     println!("\nedge\tdeformed\tmerged transverse distance");
     for side in Side::ALL {
         println!(

@@ -15,14 +15,22 @@ use rand::SeedableRng;
 
 fn main() {
     let cfg = RunConfig::from_args();
-    header("fig15", "yield under boundary standards 1-4, link+qubit defects, l=13, d=9", &cfg);
+    header(
+        "fig15",
+        "yield under boundary standards 1-4, link+qubit defects, l=13, d=9",
+        &cfg,
+    );
     let l = 13u32;
     let d_target = 9u32;
     let target = QualityTarget::defect_free(d_target);
     let rates: Vec<f64> = (0..=5).map(|i| i as f64 * 0.002).collect();
     // Surgery standards are 4x as expensive (one merged adaptation per
     // edge), so they use a reduced sample count in quick mode.
-    let samples = if cfg.full { cfg.samples } else { cfg.samples / 4 };
+    let samples = if cfg.full {
+        cfg.samples
+    } else {
+        (cfg.samples / 4).max(1)
+    };
 
     println!("rate\tno-requirement\tstandard1\tstandard2\tstandard3\tstandard4");
     for &rate in &rates {

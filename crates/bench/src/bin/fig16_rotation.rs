@@ -9,7 +9,11 @@ use dqec_chiplet::yields::{sample_indicators, yield_from_indicators, SampleConfi
 
 fn main() {
     let cfg = RunConfig::from_args();
-    header("fig16", "yield with/without chiplet-rotation freedom, link+qubit defects, d=9", &cfg);
+    header(
+        "fig16",
+        "yield with/without chiplet-rotation freedom, link+qubit defects, d=9",
+        &cfg,
+    );
     let target = QualityTarget::defect_free(9);
     let sizes = [11u32, 13, 15];
     let rates: Vec<f64> = (0..=5).map(|i| i as f64 * 0.002).collect();
@@ -30,7 +34,10 @@ fn main() {
                     ..SampleConfig::new(l, DefectModel::LinkAndQubit, rate)
                 };
                 let inds = sample_indicators(&config);
-                print!("\t{}", fmt(yield_from_indicators(&inds, &target).fraction()));
+                print!(
+                    "\t{}",
+                    fmt(yield_from_indicators(&inds, &target).fraction())
+                );
             }
         }
         println!();

@@ -12,7 +12,11 @@ use dqec_core::layout::PatchLayout;
 
 fn main() {
     let cfg = RunConfig::from_args();
-    header("fig17", "yield and overhead vs defect rate, link-only, target d=17", &cfg);
+    header(
+        "fig17",
+        "yield and overhead vs defect rate, link-only, target d=17",
+        &cfg,
+    );
     let target = QualityTarget::defect_free(17);
     let sizes = [19u32, 21, 23, 25, 27];
     let rates: Vec<f64> = (0..=10).map(|i| i as f64 * 0.001).collect();
@@ -25,8 +29,7 @@ fn main() {
     println!();
     let mut yields: Vec<Vec<f64>> = Vec::new();
     for &rate in &rates {
-        let base =
-            DefectModel::LinkOnly.defect_free_probability(&PatchLayout::memory(17), rate);
+        let base = DefectModel::LinkOnly.defect_free_probability(&PatchLayout::memory(17), rate);
         let mut row = vec![base];
         for &l in &sizes {
             let config = SampleConfig {

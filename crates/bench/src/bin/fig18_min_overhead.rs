@@ -19,17 +19,27 @@ use std::collections::BTreeMap;
 
 fn main() {
     let cfg = RunConfig::from_args();
-    header("fig18", "minimum overhead factor vs defect rate for target d=9..17", &cfg);
+    header(
+        "fig18",
+        "minimum overhead factor vs defect rate for target d=9..17",
+        &cfg,
+    );
     let targets = [9u32, 11, 13, 15, 17];
     let rates: Vec<f64> = (1..=5).map(|i| i as f64 * 0.002).collect();
     let panels: [(&str, DefectModel, bool); 3] = [
         ("(a) link defects only", DefectModel::LinkOnly, false),
         ("(b) link+qubit defects", DefectModel::LinkAndQubit, false),
-        ("(c) link+qubit defects, with data/syndrome swap", DefectModel::LinkAndQubit, true),
+        (
+            "(c) link+qubit defects, with data/syndrome swap",
+            DefectModel::LinkAndQubit,
+            true,
+        ),
     ];
     let sizes: Vec<u32> = (9..=31).step_by(2).map(|l| l as u32).collect();
-    let quality: BTreeMap<u32, QualityTarget> =
-        targets.iter().map(|&d| (d, QualityTarget::defect_free(d))).collect();
+    let quality: BTreeMap<u32, QualityTarget> = targets
+        .iter()
+        .map(|&d| (d, QualityTarget::defect_free(d)))
+        .collect();
 
     for (name, model, swap) in panels {
         println!("\n## {name}");

@@ -10,10 +10,12 @@ use dqec_estimator::fidelity::distance_distribution;
 
 fn main() {
     let cfg = RunConfig::from_args();
-    header("fig19", "code-distance distributions for l=33 @0.1% and l=39 @0.3%", &cfg);
-    for (panel, l, rate, paper_yield) in
-        [("(a)", 33u32, 0.001, 0.945), ("(b)", 39, 0.003, 0.946)]
-    {
+    header(
+        "fig19",
+        "code-distance distributions for l=33 @0.1% and l=39 @0.3%",
+        &cfg,
+    );
+    for (panel, l, rate, paper_yield) in [("(a)", 33u32, 0.001, 0.945), ("(b)", 39, 0.003, 0.946)] {
         let config = SampleConfig {
             samples: cfg.samples,
             seed: cfg.seed,
@@ -30,6 +32,9 @@ fn main() {
                 ge27 += w;
             }
         }
-        println!("# proportion with d >= 27: {} (paper: {paper_yield})", fmt(ge27));
+        println!(
+            "# proportion with d >= 27: {} (paper: {paper_yield})",
+            fmt(ge27)
+        );
     }
 }

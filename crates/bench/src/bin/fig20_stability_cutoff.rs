@@ -12,7 +12,11 @@ use dqec_core::{Coord, DefectSet};
 
 fn main() {
     let cfg = RunConfig::from_args();
-    header("fig20", "stability experiment: keep vs disable a bad data qubit", &cfg);
+    header(
+        "fig20",
+        "stability experiment: keep vs disable a bad data qubit",
+        &cfg,
+    );
     // All-X-boundary stability patch (even x even is required for k=0 on
     // the rotated lattice; the paper's 'd=5' patch maps to 6x6 here).
     let bad = Coord::new(5, 5);

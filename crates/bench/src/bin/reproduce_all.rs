@@ -2,7 +2,7 @@
 //! sequence with shared settings, writing each output to
 //! `results/<name>.tsv`.
 //!
-//! Usage: `cargo run --release -p dqec-bench --bin reproduce_all -- [--full] [--samples N] [--shots N]`
+//! Usage: `cargo run --release -p dqec_bench --bin reproduce_all -- [--full] [--samples N] [--shots N]`
 
 use std::process::Command;
 
@@ -35,13 +35,31 @@ fn main() {
         .parent()
         .expect("exe dir")
         .to_path_buf();
+    // `cargo run --bin reproduce_all` builds only this binary; fail up
+    // front with the fix rather than with 18 opaque launch errors.
+    let missing: Vec<&str> = BINARIES
+        .iter()
+        .copied()
+        .filter(|name| {
+            !exe_dir
+                .join(format!("{name}{}", std::env::consts::EXE_SUFFIX))
+                .exists()
+        })
+        .collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "missing {} sibling binaries (e.g. {}); build them first with\n    \
+             cargo build --release -p dqec_bench --bins",
+            missing.len(),
+            missing[0]
+        );
+        std::process::exit(1);
+    }
     let mut failures = Vec::new();
     for name in BINARIES {
         eprintln!("=== running {name} ===");
         let started = std::time::Instant::now();
-        let output = Command::new(exe_dir.join(name))
-            .args(&passthrough)
-            .output();
+        let output = Command::new(exe_dir.join(name)).args(&passthrough).output();
         match output {
             Ok(out) if out.status.success() => {
                 let path = format!("results/{name}.tsv");
@@ -59,7 +77,10 @@ fn main() {
         }
     }
     if failures.is_empty() {
-        eprintln!("all {} reproductions complete; outputs in results/", BINARIES.len());
+        eprintln!(
+            "all {} reproductions complete; outputs in results/",
+            BINARIES.len()
+        );
     } else {
         eprintln!("failed: {failures:?}");
         std::process::exit(1);

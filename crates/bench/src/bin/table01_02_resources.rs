@@ -6,19 +6,29 @@
 
 use dqec_bench::{fmt, header, RunConfig};
 use dqec_chiplet::defect_model::DefectModel;
-use dqec_estimator::{
-    defect_intolerant_row, no_defect_row, super_stabilizer_row, ApplicationSpec,
-};
+use dqec_estimator::{defect_intolerant_row, no_defect_row, super_stabilizer_row, ApplicationSpec};
 
 fn main() {
     let cfg = RunConfig::from_args();
-    header("table01_02", "Shor-2048 resource estimation (Tables 1-2)", &cfg);
+    header(
+        "table01_02",
+        "Shor-2048 resource estimation (Tables 1-2)",
+        &cfg,
+    );
     let spec = ApplicationSpec::shor_2048();
     let candidates: Vec<u32> = (29..=43).step_by(2).collect();
 
     for (table, rate, paper) in [
-        ("Table 1", 0.001, "(paper: l=33, yield 94.5%, overhead 1.58, 3.3e7 qubits)"),
-        ("Table 2", 0.003, "(paper: l=39, yield 94.6%, overhead 2.21, 4.6e7 qubits)"),
+        (
+            "Table 1",
+            0.001,
+            "(paper: l=33, yield 94.5%, overhead 1.58, 3.3e7 qubits)",
+        ),
+        (
+            "Table 2",
+            0.003,
+            "(paper: l=39, yield 94.6%, overhead 2.21, 4.6e7 qubits)",
+        ),
     ] {
         println!("\n## {table}: defect rate {rate} on qubits and links {paper}");
         println!("approach\tl\tyield\toverhead\tqubits");

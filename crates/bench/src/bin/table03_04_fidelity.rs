@@ -7,21 +7,33 @@ use dqec_bench::{fmt, header, RunConfig};
 use dqec_chiplet::criteria::QualityTarget;
 use dqec_chiplet::defect_model::DefectModel;
 use dqec_chiplet::yields::{sample_indicators, SampleConfig};
+use dqec_core::layout::PatchLayout;
 use dqec_estimator::fidelity::{distance_distribution, fidelity_from_distances};
 use dqec_estimator::{super_stabilizer_row, ApplicationSpec};
-use dqec_core::layout::PatchLayout;
 
 fn main() {
     let cfg = RunConfig::from_args();
-    header("table03_04", "application fidelity at matched overhead (Tables 3-4)", &cfg);
+    header(
+        "table03_04",
+        "application fidelity at matched overhead (Tables 3-4)",
+        &cfg,
+    );
     let spec = ApplicationSpec::shor_2048();
     let target = QualityTarget::defect_free(spec.target_distance);
     let candidates: Vec<u32> = (29..=43).step_by(2).collect();
     let ideal_cost = spec.qubits_per_patch() as f64;
 
     for (table, rate, paper) in [
-        ("Table 3", 0.001, "(paper: baseline1 ~0, baseline2 79.9%, modular+SS 88.5%)"),
-        ("Table 4", 0.003, "(paper: baseline1 ~0, baseline2 76.1%, modular+SS 91.7%)"),
+        (
+            "Table 3",
+            0.001,
+            "(paper: baseline1 ~0, baseline2 79.9%, modular+SS 88.5%)",
+        ),
+        (
+            "Table 4",
+            0.003,
+            "(paper: baseline1 ~0, baseline2 76.1%, modular+SS 91.7%)",
+        ),
     ] {
         println!("\n## {table}: defect rate {rate} {paper}");
         // Modular + super-stabilizer: optimal size, selected patches.
@@ -50,10 +62,7 @@ fn main() {
         let d_hi = d_lo + 2;
         let (o_lo, o_hi) = (overhead_free(d_lo), overhead_free(d_hi));
         let x = ((o_hi - ss.overhead) / (o_hi - o_lo)).clamp(0.0, 1.0);
-        let b1_fid = fidelity_from_distances(
-            &spec,
-            &[(d_lo, x), (d_hi, 1.0 - x)],
-        );
+        let b1_fid = fidelity_from_distances(&spec, &[(d_lo, x), (d_hi, 1.0 - x)]);
 
         // Baseline 2: monolithic with super-stabilizers, no selection.
         // Match the overhead with a mix of sizes l and l+2 (monolithic
@@ -80,9 +89,22 @@ fn main() {
         let b2_fid = fidelity_from_distances(&spec, &mixed);
 
         println!("approach\tl\toverhead\testimated fidelity");
-        println!("baseline1 (defect-intolerant)\t{d_lo}~{d_hi}\t{}\t{}", fmt(ss.overhead), fmt(b1_fid));
-        println!("baseline2 (monolithic+SS)\t{l}~{}\t{}\t{}", l + 2, fmt(ss.overhead), fmt(b2_fid));
-        println!("modular + super-stabilizer\t{l}\t{}\t{}", fmt(ss.overhead), fmt(modular_fid));
+        println!(
+            "baseline1 (defect-intolerant)\t{d_lo}~{d_hi}\t{}\t{}",
+            fmt(ss.overhead),
+            fmt(b1_fid)
+        );
+        println!(
+            "baseline2 (monolithic+SS)\t{l}~{}\t{}\t{}",
+            l + 2,
+            fmt(ss.overhead),
+            fmt(b2_fid)
+        );
+        println!(
+            "modular + super-stabilizer\t{l}\t{}\t{}",
+            fmt(ss.overhead),
+            fmt(modular_fid)
+        );
     }
     println!("\n# paper: post-selection lets the modular device discard the d<27");
     println!("# patches that drag down the monolithic device's fidelity.");

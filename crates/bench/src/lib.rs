@@ -54,8 +54,13 @@ impl RunConfig {
         };
         let samples = get("--samples", if full { 10_000 } else { 1_000 });
         let shots = get("--shots", if full { 2_000_000 } else { 20_000 });
-        let seed = get("--seed", 0x0a57_105) as u64;
-        RunConfig { full, samples, shots, seed }
+        let seed = get("--seed", 0x00a5_7105) as u64;
+        RunConfig {
+            full,
+            samples,
+            shots,
+            seed,
+        }
     }
 
     /// The physical-error window used for slope fits: the paper's
@@ -97,7 +102,11 @@ pub fn header(name: &str, what: &str, cfg: &RunConfig) {
     println!("# {name}: {what}");
     println!(
         "# mode={} samples={} shots={} seed={}",
-        if cfg.full { "full (paper-scale)" } else { "quick (shape-reproduction)" },
+        if cfg.full {
+            "full (paper-scale)"
+        } else {
+            "quick (shape-reproduction)"
+        },
         cfg.samples,
         cfg.shots,
         cfg.seed
@@ -205,7 +214,12 @@ mod tests {
 
     #[test]
     fn quick_config_defaults() {
-        let cfg = RunConfig { full: false, samples: 100, shots: 1000, seed: 1 };
+        let cfg = RunConfig {
+            full: false,
+            samples: 100,
+            shots: 1000,
+            seed: 1,
+        };
         assert_eq!(cfg.slope_window().len(), 3);
         assert_eq!(cfg.patches_per_group(), 3);
     }

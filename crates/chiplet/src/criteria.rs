@@ -32,9 +32,14 @@ impl QualityTarget {
     ///
     /// Panics if `d < 2`.
     pub fn defect_free(d: u32) -> QualityTarget {
-        let reference =
-            PatchIndicators::of(&AdaptedPatch::new(PatchLayout::memory(d), &DefectSet::new()));
-        QualityTarget { distance: d, max_shortest: reference.shortest_logical_count() }
+        let reference = PatchIndicators::of(&AdaptedPatch::new(
+            PatchLayout::memory(d),
+            &DefectSet::new(),
+        ));
+        QualityTarget {
+            distance: d,
+            max_shortest: reference.shortest_logical_count(),
+        }
     }
 
     /// Whether a chiplet with the given indicators meets the target:
@@ -69,15 +74,12 @@ impl Ranking {
         let mut idx: Vec<usize> = (0..patches.len()).collect();
         match self {
             Ranking::ChosenIndicators => idx.sort_by(|&a, &b| {
-                patches[b]
-                    .distance()
-                    .cmp(&patches[a].distance())
-                    .then(
-                        patches[a]
-                            .shortest_logical_count()
-                            .partial_cmp(&patches[b].shortest_logical_count())
-                            .expect("finite counts"),
-                    )
+                patches[b].distance().cmp(&patches[a].distance()).then(
+                    patches[a]
+                        .shortest_logical_count()
+                        .partial_cmp(&patches[b].shortest_logical_count())
+                        .expect("finite counts"),
+                )
             }),
             Ranking::FaultyCount => {
                 idx.sort_by_key(|&a| patches[a].num_faulty);

@@ -95,11 +95,17 @@ mod tests {
         let mut total_links = 0usize;
         let trials = 2000;
         for _ in 0..trials {
-            total_links += DefectModel::LinkOnly.sample(&layout, rate, &mut rng).links.len();
+            total_links += DefectModel::LinkOnly
+                .sample(&layout, rate, &mut rng)
+                .links
+                .len();
         }
         let expect = rate * layout.links().len() as f64 * trials as f64;
         let got = total_links as f64;
-        assert!((got - expect).abs() < 0.1 * expect, "got {got}, expect {expect}");
+        assert!(
+            (got - expect).abs() < 0.1 * expect,
+            "got {got}, expect {expect}"
+        );
     }
 
     #[test]

@@ -103,10 +103,11 @@ pub fn assemble_device(spec: &DeviceSpec, seed: u64) -> AssemblyReport {
             continue;
         };
         report.placed += 1;
-        report.distances.push(PatchIndicators::of(&patch).distance());
+        report
+            .distances
+            .push(PatchIndicators::of(&patch).distance());
         let clean = Side::ALL.iter().all(|&s| {
-            merged_distance(&defects, spec.l, s)
-                .is_some_and(|d| d >= spec.target.distance)
+            merged_distance(&defects, spec.l, s).is_some_and(|d| d >= spec.target.distance)
         });
         if clean {
             report.surgery_clean += 1;

@@ -16,9 +16,11 @@ use dqec_sim::frame::FrameSampler;
 use dqec_sim::noise::NoiseModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 /// Samples `shots` noisy executions of `clean` under `noise` and
-/// decodes them, spreading work over CPU cores.
+/// decodes them, spreading work over CPU cores. Each 4096-shot batch
+/// is seeded by its index, so results are independent of thread count.
 pub fn sample_and_decode(
     clean: &Circuit,
     noise: &NoiseModel,
@@ -27,43 +29,23 @@ pub fn sample_and_decode(
 ) -> DecodeStats {
     let noisy = noise.apply(clean);
     let decoder = MwpmDecoder::new(&noisy);
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(16);
     let batch = 4096usize;
     let num_batches = shots.div_ceil(batch);
-    let mut stats = DecodeStats { shots: 0, failures: vec![0; noisy.observables().len()] };
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<DecodeStats> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads.min(num_batches) {
-            let noisy = &noisy;
-            let decoder = &decoder;
-            let next = &next;
-            handles.push(scope.spawn(move || {
-                let sampler = FrameSampler::new(noisy);
-                let mut local =
-                    DecodeStats { shots: 0, failures: vec![0; noisy.observables().len()] };
-                loop {
-                    let b = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if b >= num_batches {
-                        break;
-                    }
-                    let n = batch.min(shots - b * batch);
-                    let mut rng = StdRng::seed_from_u64(
-                        seed ^ (b as u64 + 1).wrapping_mul(0xd134_2543_de82_ef95),
-                    );
-                    let shot_batch = sampler.sample(n, &mut rng);
-                    let s = decoder.decode_batch(&shot_batch);
-                    local.shots += s.shots;
-                    for (a, b) in local.failures.iter_mut().zip(&s.failures) {
-                        *a += b;
-                    }
-                }
-                let _ = t;
-                local
-            }));
-        }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    });
+    let results: Vec<DecodeStats> = (0..num_batches)
+        .into_par_iter()
+        .map(|b| {
+            let sampler = FrameSampler::new(&noisy);
+            let n = batch.min(shots - b * batch);
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (b as u64 + 1).wrapping_mul(0xd134_2543_de82_ef95));
+            let shot_batch = sampler.sample(n, &mut rng);
+            decoder.decode_batch(&shot_batch)
+        })
+        .collect();
+    let mut stats = DecodeStats {
+        shots: 0,
+        failures: vec![0; noisy.observables().len()],
+    };
     for s in results {
         stats.shots += s.shots;
         for (a, b) in stats.failures.iter_mut().zip(&s.failures) {
@@ -107,7 +89,11 @@ pub fn memory_ler(
 ) -> Result<LerPoint, CoreError> {
     let exp = memory_z(patch, rounds)?;
     let stats = sample_and_decode(&exp.circuit, &NoiseModel::new(p), shots, seed);
-    Ok(LerPoint { p, shots: stats.shots, failures: stats.failures[0] })
+    Ok(LerPoint {
+        p,
+        shots: stats.shots,
+        failures: stats.failures[0],
+    })
 }
 
 /// Runs a stability experiment; `bad_qubit` optionally assigns one data
@@ -127,13 +113,20 @@ pub fn stability_ler(
     let exp = stability(patch, rounds)?;
     let mut noise = NoiseModel::new(p);
     if let Some((coord, p_bad)) = bad_qubit {
-        let q = *exp.qubit_of.get(&coord).ok_or(CoreError::MalformedSyndromeGraph {
-            detail: format!("bad qubit {coord} is not an active circuit qubit"),
-        })?;
+        let q = *exp
+            .qubit_of
+            .get(&coord)
+            .ok_or(CoreError::MalformedSyndromeGraph {
+                detail: format!("bad qubit {coord} is not an active circuit qubit"),
+            })?;
         noise = noise.with_bad_qubit(q, p_bad);
     }
     let stats = sample_and_decode(&exp.circuit, &noise, shots, seed);
-    Ok(LerPoint { p, shots: stats.shots, failures: stats.failures[0] })
+    Ok(LerPoint {
+        p,
+        shots: stats.shots,
+        failures: stats.failures[0],
+    })
 }
 
 /// Sweeps a memory experiment over physical error rates.
@@ -188,7 +181,11 @@ pub fn fit_loglog(points: &[LerPoint]) -> Option<SlopeFit> {
     }
     let slope = (n * sxy - sx * sy) / denom;
     let intercept = (sy - slope * sx) / n;
-    Some(SlopeFit { slope, intercept, points_used: usable.len() })
+    Some(SlopeFit {
+        slope,
+        intercept,
+        points_used: usable.len(),
+    })
 }
 
 /// Estimates a patch's slope over a p-window (the paper samples
@@ -284,8 +281,16 @@ mod tests {
     #[test]
     fn fit_skips_zero_failure_points() {
         let points = vec![
-            LerPoint { p: 1e-3, shots: 100, failures: 0 },
-            LerPoint { p: 2e-3, shots: 100, failures: 1 },
+            LerPoint {
+                p: 1e-3,
+                shots: 100,
+                failures: 0,
+            },
+            LerPoint {
+                p: 2e-3,
+                shots: 100,
+                failures: 1,
+            },
         ];
         assert!(fit_loglog(&points).is_none());
     }

@@ -11,8 +11,9 @@ use crate::defect_model::DefectModel;
 use dqec_core::adapt::AdaptedPatch;
 use dqec_core::indicators::PatchIndicators;
 use dqec_core::layout::PatchLayout;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 /// Parameters of one chiplet sampling run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,45 +38,41 @@ pub struct SampleConfig {
 impl SampleConfig {
     /// A default configuration for the given size/model/rate.
     pub fn new(l: u32, model: DefectModel, rate: f64) -> Self {
-        SampleConfig { l, model, rate, samples: 2000, seed: 0x5eed, orientation_freedom: false }
+        SampleConfig {
+            l,
+            model,
+            rate,
+            samples: 2000,
+            seed: 0x5eed,
+            orientation_freedom: false,
+        }
     }
 }
 
 /// Samples `config.samples` chiplets and returns each one's indicators
 /// (of the better orientation when `orientation_freedom` is set).
 ///
-/// Work is spread over available CPU cores.
+/// Work is spread over available CPU cores. Each chiplet gets its own
+/// ChaCha8 stream keyed by `(seed, sample index)`, so the sampled
+/// population is a pure function of the config — independent of thread
+/// count and machine.
 pub fn sample_indicators(config: &SampleConfig) -> Vec<PatchIndicators> {
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(16);
-    let per = config.samples.div_ceil(threads);
-    let mut out: Vec<PatchIndicators> = Vec::with_capacity(config.samples);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let n = per.min(config.samples.saturating_sub(t * per));
-            if n == 0 {
-                break;
-            }
-            let config = *config;
-            handles.push(scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(config.seed ^ (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-                let layout = PatchLayout::memory(config.l);
-                (0..n)
-                    .map(|_| evaluate_chiplet(&layout, &config, &mut rng))
-                    .collect::<Vec<_>>()
-            }));
-        }
-        for h in handles {
-            out.extend(h.join().expect("sampler thread panicked"));
-        }
-    });
-    out
+    let layout = PatchLayout::memory(config.l);
+    (0..config.samples)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                config.seed ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            evaluate_chiplet(&layout, config, &mut rng)
+        })
+        .collect()
 }
 
 fn evaluate_chiplet(
     layout: &PatchLayout,
     config: &SampleConfig,
-    rng: &mut StdRng,
+    rng: &mut impl Rng,
 ) -> PatchIndicators {
     let defects = config.model.sample(layout, config.rate, rng);
     let primary = PatchIndicators::of(&AdaptedPatch::new(layout.clone(), &defects));
@@ -164,7 +161,14 @@ pub fn optimal_chiplet_size(
             // Only the defect-free chiplets qualify at l = d.
             model.defect_free_probability(&PatchLayout::memory(l), rate)
         } else {
-            let config = SampleConfig { l, model, rate, samples, seed, orientation_freedom };
+            let config = SampleConfig {
+                l,
+                model,
+                rate,
+                samples,
+                seed,
+                orientation_freedom,
+            };
             let inds = sample_indicators(&config);
             yield_from_indicators(&inds, &target).fraction()
         };
@@ -212,11 +216,12 @@ mod tests {
         // a d=5 target than the intolerant l=5 chiplet.
         let target = QualityTarget::defect_free(5);
         let rate = 0.01;
-        let config =
-            SampleConfig { samples: 400, ..SampleConfig::new(7, DefectModel::LinkAndQubit, rate) };
+        let config = SampleConfig {
+            samples: 400,
+            ..SampleConfig::new(7, DefectModel::LinkAndQubit, rate)
+        };
         let y7 = yield_from_indicators(&sample_indicators(&config), &target).fraction();
-        let y5 = DefectModel::LinkAndQubit
-            .defect_free_probability(&PatchLayout::memory(5), rate);
+        let y5 = DefectModel::LinkAndQubit.defect_free_probability(&PatchLayout::memory(5), rate);
         assert!(y7 > y5, "y7={y7} y5={y5}");
     }
 
@@ -227,10 +232,16 @@ mod tests {
             samples: 300,
             ..SampleConfig::new(7, DefectModel::LinkAndQubit, 0.01)
         };
-        let with = SampleConfig { orientation_freedom: true, ..base };
+        let with = SampleConfig {
+            orientation_freedom: true,
+            ..base
+        };
         let y0 = yield_from_indicators(&sample_indicators(&base), &target).fraction();
         let y1 = yield_from_indicators(&sample_indicators(&with), &target).fraction();
-        assert!(y1 + 0.03 >= y0, "orientation freedom reduced yield: {y0} -> {y1}");
+        assert!(
+            y1 + 0.03 >= y0,
+            "orientation freedom reduced yield: {y0} -> {y1}"
+        );
     }
 
     #[test]
@@ -247,8 +258,14 @@ mod tests {
             samples: 64,
             ..SampleConfig::new(5, DefectModel::LinkAndQubit, 0.02)
         };
-        let a: Vec<u32> = sample_indicators(&config).iter().map(|i| i.distance()).collect();
-        let b: Vec<u32> = sample_indicators(&config).iter().map(|i| i.distance()).collect();
+        let a: Vec<u32> = sample_indicators(&config)
+            .iter()
+            .map(|i| i.distance())
+            .collect();
+        let b: Vec<u32> = sample_indicators(&config)
+            .iter()
+            .map(|i| i.distance())
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -177,7 +177,10 @@ impl AdaptedPatch {
 
     /// Active data qubits, ascending.
     pub fn live_data(&self) -> Vec<Coord> {
-        self.layout.data_sites().filter(|&c| self.is_live_data(c)).collect()
+        self.layout
+            .data_sites()
+            .filter(|&c| self.is_live_data(c))
+            .collect()
     }
 
     /// Faces measured as full stabilizers, ascending.
@@ -220,12 +223,10 @@ impl AdaptedPatch {
             return Err("patch is degenerate".into());
         }
         let live: Vec<Coord> = self.live_data();
-        let index: BTreeMap<Coord, usize> =
-            live.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let index: BTreeMap<Coord, usize> = live.iter().enumerate().map(|(i, &c)| (c, i)).collect();
         let mut space = SymplecticSpace::new(live.len());
         let push_face = |f: Coord, space: &mut SymplecticSpace| {
-            let support: Vec<usize> =
-                self.face_live_support(f).iter().map(|c| index[c]).collect();
+            let support: Vec<usize> = self.face_live_support(f).iter().map(|c| index[c]).collect();
             match f.face_basis() {
                 CheckBasis::X => space.push_support(&support, &[]),
                 CheckBasis::Z => space.push_support(&[], &support),
@@ -242,7 +243,9 @@ impl AdaptedPatch {
         let k = space.logical_qubit_count();
         let expected = self.layout.expected_logicals();
         if k != expected {
-            return Err(format!("code encodes {k} logical qubits, expected {expected}"));
+            return Err(format!(
+                "code encodes {k} logical qubits, expected {expected}"
+            ));
         }
         // Full faces must commute with everything measured: verified
         // implicitly by gauge classification; double-check pairwise.
@@ -513,7 +516,11 @@ impl Adapter {
                     .filter(|&d| self.is_live_data(d))
                     .count();
                 if live == 1 {
-                    let (xf, zf) = if f.face_basis() == CheckBasis::X { (f, g) } else { (g, f) };
+                    let (xf, zf) = if f.face_basis() == CheckBasis::X {
+                        (f, g)
+                    } else {
+                        (g, f)
+                    };
                     gauge_faces.insert(f);
                     gauge_faces.insert(g);
                     raw_pairs.push((xf, zf));
@@ -548,7 +555,7 @@ impl Adapter {
         }
         let mut cluster_of_root: BTreeMap<usize, u32> = BTreeMap::new();
         let mut clusters: Vec<Cluster> = Vec::new();
-        for i in 0..cells.len() {
+        for (i, &cell) in cells.iter().enumerate() {
             let root = find(&mut comp, i);
             let id = *cluster_of_root.entry(root).or_insert_with(|| {
                 clusters.push(Cluster {
@@ -559,7 +566,7 @@ impl Adapter {
                 });
                 clusters.len() as u32 - 1
             });
-            clusters[id as usize].cells.push(cells[i]);
+            clusters[id as usize].cells.push(cell);
         }
 
         // Assign gauge faces to the cluster of an adjacent dead cell.
@@ -616,7 +623,12 @@ impl Adapter {
                 }
             }
         }
-        Analysis { clusters, gauge_cluster, pairs, invalid }
+        Analysis {
+            clusters,
+            gauge_cluster,
+            pairs,
+            invalid,
+        }
     }
 
     fn cluster_is_gaugeable(&self, cluster: &Cluster) -> bool {
@@ -633,14 +645,22 @@ impl Adapter {
         };
         let xs = product_support(&cluster.x_gauges);
         for &z in &cluster.z_gauges {
-            let overlap = self.live_support(z).iter().filter(|d| xs.contains(d)).count();
+            let overlap = self
+                .live_support(z)
+                .iter()
+                .filter(|d| xs.contains(d))
+                .count();
             if overlap % 2 == 1 {
                 return false;
             }
         }
         let zs = product_support(&cluster.z_gauges);
         for &x in &cluster.x_gauges {
-            let overlap = self.live_support(x).iter().filter(|d| zs.contains(d)).count();
+            let overlap = self
+                .live_support(x)
+                .iter()
+                .filter(|d| zs.contains(d))
+                .count();
             if overlap % 2 == 1 {
                 return false;
             }
@@ -699,15 +719,18 @@ impl Adapter {
             // diagonally). Convexify: disable live data qubits with at
             // least three disabled neighbours in this cluster, and let
             // the shell re-form around the rounded hole.
-            let cluster_data: Vec<Coord> =
-                cluster.cells.iter().copied().filter(|c| c.is_data_site()).collect();
+            let cluster_data: Vec<Coord> = cluster
+                .cells
+                .iter()
+                .copied()
+                .filter(|c| c.is_data_site())
+                .collect();
             let mut changed = false;
             for q in self.layout.data_sites().collect::<Vec<_>>() {
                 if !self.is_live_data(q) {
                     continue;
                 }
-                let dead_neighbors =
-                    cluster_data.iter().filter(|c| c.chebyshev(q) <= 2).count();
+                let dead_neighbors = cluster_data.iter().filter(|c| c.chebyshev(q) <= 2).count();
                 if dead_neighbors >= 3 {
                     changed |= self.kill_data(q, DeadReason::Deformation);
                 }
@@ -729,7 +752,11 @@ impl Adapter {
         // Strategy 1: disable anticommuting faces of the wrong color
         // near the boundary.
         for &(xf, zf) in pairs {
-            let wrong = if boundary_color == CheckBasis::X { zf } else { xf };
+            let wrong = if boundary_color == CheckBasis::X {
+                zf
+            } else {
+                xf
+            };
             if self.layout.distance_to_side(wrong, side) <= 2 {
                 changed |= self.kill_face(wrong, DeadReason::Deformation);
             }
@@ -740,7 +767,11 @@ impl Adapter {
         // Strategy 2: disable all wrong-color anticommuting faces of the
         // cluster regardless of position.
         for &(xf, zf) in pairs {
-            let wrong = if boundary_color == CheckBasis::X { zf } else { xf };
+            let wrong = if boundary_color == CheckBasis::X {
+                zf
+            } else {
+                xf
+            };
             changed |= self.kill_face(wrong, DeadReason::Deformation);
         }
         if changed {
@@ -822,8 +853,7 @@ impl Adapter {
                 killed |= self.deform(&cluster, &pairs);
             }
             if !killed {
-                status =
-                    AdaptStatus::Degenerate("invalid cluster could not be deformed".into());
+                status = AdaptStatus::Degenerate("invalid cluster could not be deformed".into());
                 break;
             }
         }
@@ -1104,9 +1134,9 @@ mod tests {
                     degenerate += 1;
                     continue;
                 }
-                patch.verify_code_consistency().unwrap_or_else(|e| {
-                    panic!("inconsistent code for l={l} defects {d:?}: {e}")
-                });
+                patch
+                    .verify_code_consistency()
+                    .unwrap_or_else(|e| panic!("inconsistent code for l={l} defects {d:?}: {e}"));
                 // The check graphs must build and give sane distances.
                 for basis in [CheckBasis::X, CheckBasis::Z] {
                     let g = CheckGraph::build(&patch, basis).unwrap_or_else(|e| {

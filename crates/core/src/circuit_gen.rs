@@ -89,10 +89,18 @@ fn build(
         let reason = format!("{:?}", patch.status());
         return Err(CoreError::DegeneratePatch { reason });
     }
-    let max_reps = patch.clusters().iter().filter(|c| c.has_gauges()).map(|c| c.repetitions).max();
+    let max_reps = patch
+        .clusters()
+        .iter()
+        .filter(|c| c.has_gauges())
+        .map(|c| c.repetitions)
+        .max();
     let needed = max_reps.map_or(1, |r| 2 * r);
     if rounds < needed {
-        return Err(CoreError::TooFewRounds { requested: rounds, needed });
+        return Err(CoreError::TooFewRounds {
+            requested: rounds,
+            needed,
+        });
     }
 
     // For memory: route the logical-Z observable through a gauge-free
@@ -139,7 +147,7 @@ fn build(
 
     // Gauge bookkeeping.
     let cluster_basis = |cluster: &crate::adapt::Cluster, t: u32| -> CheckBasis {
-        if (t / cluster.repetitions) % 2 == 0 {
+        if (t / cluster.repetitions).is_multiple_of(2) {
             CheckBasis::Z
         } else {
             CheckBasis::X
@@ -150,11 +158,7 @@ fn build(
 
     for t in 0..rounds {
         // Which faces are measured this round.
-        let mut measured: Vec<Coord> = patch
-            .full_faces()
-            .iter()
-            .copied()
-            .collect();
+        let mut measured: Vec<Coord> = patch.full_faces().to_vec();
         for cluster in patch.clusters() {
             if !cluster.has_gauges() {
                 continue;
@@ -221,11 +225,15 @@ fn build(
             let coord = (f.x, f.y, t as i32);
             match (f.face_basis(), prev_rec.get(&f)) {
                 (CheckBasis::Z, None) => {
-                    circuit.add_detector(&[m], CheckBasis::Z, coord).expect("records exist");
+                    circuit
+                        .add_detector(&[m], CheckBasis::Z, coord)
+                        .expect("records exist");
                 }
                 (CheckBasis::X, None) => {}
                 (basis, Some(&p)) => {
-                    circuit.add_detector(&[m, p], basis, coord).expect("records exist");
+                    circuit
+                        .add_detector(&[m, p], basis, coord)
+                        .expect("records exist");
                 }
             }
         }
@@ -241,7 +249,7 @@ fn build(
             };
             let block_start = gauges
                 .iter()
-                .any(|g| prev_round.get(g).map_or(true, |&r| r != t.wrapping_sub(1)));
+                .any(|g| prev_round.get(g).is_none_or(|&r| r != t.wrapping_sub(1)));
             if !block_start {
                 // Within a block: individual repeats.
                 for &g in gauges {
@@ -289,8 +297,11 @@ fn build(
         if f.face_basis() != CheckBasis::Z {
             continue;
         }
-        let mut records: Vec<MeasRecord> =
-            patch.face_live_support(f).iter().map(|d| data_rec[d]).collect();
+        let mut records: Vec<MeasRecord> = patch
+            .face_live_support(f)
+            .iter()
+            .map(|d| data_rec[d])
+            .collect();
         records.push(prev_rec[&f]);
         circuit
             .add_detector(&records, CheckBasis::Z, (f.x, f.y, rounds as i32))
@@ -304,8 +315,11 @@ fn build(
         if last_basis == CheckBasis::Z {
             // Ended on a Z block: per-gauge closure.
             for &g in &cluster.z_gauges {
-                let mut records: Vec<MeasRecord> =
-                    patch.face_live_support(g).iter().map(|d| data_rec[d]).collect();
+                let mut records: Vec<MeasRecord> = patch
+                    .face_live_support(g)
+                    .iter()
+                    .map(|d| data_rec[d])
+                    .collect();
                 records.push(prev_rec[&g]);
                 circuit
                     .add_detector(&records, CheckBasis::Z, (g.x, g.y, rounds as i32))
@@ -329,7 +343,9 @@ fn build(
     match experiment {
         Experiment::MemoryZ => {
             let records: Vec<MeasRecord> = obs_path.iter().map(|d| data_rec[d]).collect();
-            circuit.include_observable(0, &records).expect("records exist");
+            circuit
+                .include_observable(0, &records)
+                .expect("records exist");
         }
         Experiment::Stability => {
             let mut records: Vec<MeasRecord> = Vec::new();
@@ -346,11 +362,17 @@ fn build(
                     })?);
                 }
             }
-            circuit.include_observable(0, &records).expect("records exist");
+            circuit
+                .include_observable(0, &records)
+                .expect("records exist");
         }
     }
 
-    Ok(ExperimentCircuit { circuit, qubit_of, rounds })
+    Ok(ExperimentCircuit {
+        circuit,
+        qubit_of,
+        rounds,
+    })
 }
 
 fn all_live_faces(patch: &AdaptedPatch) -> Vec<Coord> {
@@ -450,7 +472,11 @@ mod tests {
                 .iter()
                 .fold(false, |acc, &m| acc ^ r.outcomes[m as usize])
         };
-        assert_eq!(parity(&base), parity(&alt), "stability observable must be deterministic");
+        assert_eq!(
+            parity(&base),
+            parity(&alt),
+            "stability observable must be deterministic"
+        );
         assert!(!parity(&base), "product of all X checks is +1");
     }
 
@@ -471,7 +497,10 @@ mod tests {
             d.add_data(site);
         }
         let patch = AdaptedPatch::new(PatchLayout::memory(3), &d);
-        assert!(matches!(memory_z(&patch, 3), Err(CoreError::DegeneratePatch { .. })));
+        assert!(matches!(
+            memory_z(&patch, 3),
+            Err(CoreError::DegeneratePatch { .. })
+        ));
     }
 
     #[test]

@@ -70,16 +70,24 @@ impl DefectSet {
     /// Restricts the defect set to elements that exist in `layout`.
     pub fn clamp_to(&self, layout: &PatchLayout) -> DefectSet {
         DefectSet {
-            data: self.data.iter().copied().filter(|&c| layout.contains_data(c)).collect(),
-            synd: self.synd.iter().copied().filter(|&c| layout.contains_face(c)).collect(),
+            data: self
+                .data
+                .iter()
+                .copied()
+                .filter(|&c| layout.contains_data(c))
+                .collect(),
+            synd: self
+                .synd
+                .iter()
+                .copied()
+                .filter(|&c| layout.contains_face(c))
+                .collect(),
             links: self
                 .links
                 .iter()
                 .copied()
                 .filter(|&(d, f)| {
-                    layout.contains_data(d)
-                        && layout.contains_face(f)
-                        && d.chebyshev(f) == 1
+                    layout.contains_data(d) && layout.contains_face(f) && d.chebyshev(f) == 1
                 })
                 .collect(),
         }

@@ -42,7 +42,10 @@ impl fmt::Display for CoreError {
                 write!(f, "no gauge-free path exists for the logical observable")
             }
             CoreError::TooFewRounds { requested, needed } => {
-                write!(f, "{requested} rounds requested but the gauge schedule needs {needed}")
+                write!(
+                    f,
+                    "{requested} rounds requested but the gauge schedule needs {needed}"
+                )
             }
             CoreError::MalformedSyndromeGraph { detail } => {
                 write!(f, "malformed syndrome graph: {detail}")
@@ -59,7 +62,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = CoreError::TooFewRounds { requested: 1, needed: 4 };
+        let e = CoreError::TooFewRounds {
+            requested: 1,
+            needed: 4,
+        };
         assert!(e.to_string().contains("4"));
         let e = CoreError::DegeneratePatch { reason: "x".into() };
         assert!(e.to_string().contains("degenerate"));

@@ -155,7 +155,11 @@ pub fn void_components(
         let touches_boundary = sites
             .iter()
             .any(|s| s.x <= 0 || s.y <= 0 || s.x >= w || s.y >= h);
-        comps.push(VoidComponent { sites, adjacent_live_data: data, touches_boundary });
+        comps.push(VoidComponent {
+            sites,
+            adjacent_live_data: data,
+            touches_boundary,
+        });
     }
     // Genuine boundary components first (then largest first) so callers
     // can keep the expected ones and excise the rest.
@@ -230,12 +234,9 @@ impl CheckGraph {
             return Err(CoreError::DegeneratePatch { reason });
         }
         let layout = patch.layout();
-        let comps = void_components(
-            layout,
-            check_basis,
-            &|c| patch.is_live_data(c),
-            &|c| patch.is_live_face(c),
-        );
+        let comps = void_components(layout, check_basis, &|c| patch.is_live_data(c), &|c| {
+            patch.is_live_face(c)
+        });
         let expected = expected_void_components(layout, check_basis);
         if comps.len() != expected {
             return Err(CoreError::MalformedSyndromeGraph {
@@ -470,7 +471,10 @@ mod tests {
             .distance_and_count()
             .unwrap()
             .1;
-        assert!(c7 > c3, "more symmetry, more shortest logicals: {c3} vs {c7}");
+        assert!(
+            c7 > c3,
+            "more symmetry, more shortest logicals: {c3} vs {c7}"
+        );
     }
 
     #[test]
@@ -525,19 +529,13 @@ mod tests {
     #[test]
     fn stability_void_structure() {
         let p = AdaptedPatch::new(PatchLayout::stability(6, 6), &DefectSet::new());
-        let comps_z = void_components(
-            p.layout(),
-            CheckBasis::Z,
-            &|c| p.is_live_data(c),
-            &|c| p.is_live_face(c),
-        );
+        let comps_z = void_components(p.layout(), CheckBasis::Z, &|c| p.is_live_data(c), &|c| {
+            p.is_live_face(c)
+        });
         assert_eq!(comps_z.len(), 1, "all-X boundary: one surrounding Z void");
-        let comps_x = void_components(
-            p.layout(),
-            CheckBasis::X,
-            &|c| p.is_live_data(c),
-            &|c| p.is_live_face(c),
-        );
+        let comps_x = void_components(p.layout(), CheckBasis::X, &|c| p.is_live_data(c), &|c| {
+            p.is_live_face(c)
+        });
         assert!(comps_x.is_empty(), "Z chains cannot terminate");
     }
 }

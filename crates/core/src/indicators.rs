@@ -153,8 +153,7 @@ mod tests {
         ));
         let mut d = DefectSet::new();
         d.add_data(Coord::new(5, 5));
-        let defective =
-            PatchIndicators::of(&AdaptedPatch::new(PatchLayout::memory(5), &d));
+        let defective = PatchIndicators::of(&AdaptedPatch::new(PatchLayout::memory(5), &d));
         assert_eq!(free.distance(), defective.distance());
         assert!(
             defective.shortest_logical_count() < free.shortest_logical_count(),

@@ -85,7 +85,10 @@ impl PatchLayout {
     /// Panics if either dimension is odd or below 2 (odd all-same-color
     /// patches have defective corners and do not satisfy `k = 0`).
     pub fn stability(width: u32, height: u32) -> Self {
-        assert!(width % 2 == 0 && height % 2 == 0, "stability patches must be even x even");
+        assert!(
+            width.is_multiple_of(2) && height.is_multiple_of(2),
+            "stability patches must be even x even"
+        );
         Self::new(width, height, BoundarySpec::ALL_X)
     }
 
@@ -100,7 +103,11 @@ impl PatchLayout {
         assert!(width >= 2 && height >= 2, "patch must be at least 2x2");
         let supported = boundary.top == boundary.bottom && boundary.left == boundary.right;
         assert!(supported, "unsupported boundary arrangement");
-        PatchLayout { width, height, boundary }
+        PatchLayout {
+            width,
+            height,
+            boundary,
+        }
     }
 
     /// Number of data-qubit columns.
@@ -132,9 +139,9 @@ impl PatchLayout {
     pub fn contains_data(&self, c: Coord) -> bool {
         c.is_data_site()
             && c.x >= 1
-            && c.x <= 2 * self.width as i32 - 1
+            && c.x < 2 * self.width as i32
             && c.y >= 1
-            && c.y <= 2 * self.height as i32 - 1
+            && c.y < 2 * self.height as i32
     }
 
     /// Whether a face exists at the given site in the defect-free layout.

@@ -50,13 +50,21 @@ pub fn merged_distance(defects: &DefectSet, l: u32, side: Side) -> Option<u32> {
     // The merged patch spans 2l+1 data columns (or rows): patch A, one
     // seam column, patch B.
     let (layout, dx, dy) = match side {
-        Side::Right => (PatchLayout::new(2 * l + 1, l, *PatchLayout::memory(l).boundary()), 0, 0),
+        Side::Right => (
+            PatchLayout::new(2 * l + 1, l, *PatchLayout::memory(l).boundary()),
+            0,
+            0,
+        ),
         Side::Left => (
             PatchLayout::new(2 * l + 1, l, *PatchLayout::memory(l).boundary()),
             2 * (li + 1),
             0,
         ),
-        Side::Bottom => (PatchLayout::new(l, 2 * l + 1, *PatchLayout::memory(l).boundary()), 0, 0),
+        Side::Bottom => (
+            PatchLayout::new(l, 2 * l + 1, *PatchLayout::memory(l).boundary()),
+            0,
+            0,
+        ),
         Side::Top => (
             PatchLayout::new(l, 2 * l + 1, *PatchLayout::memory(l).boundary()),
             0,
@@ -71,7 +79,10 @@ pub fn merged_distance(defects: &DefectSet, l: u32, side: Side) -> Option<u32> {
         moved.add_synd(Coord::new(c.x + dx, c.y + dy));
     }
     for &(d, f) in &defects.links {
-        moved.add_link(Coord::new(d.x + dx, d.y + dy), Coord::new(f.x + dx, f.y + dy));
+        moved.add_link(
+            Coord::new(d.x + dx, d.y + dy),
+            Coord::new(f.x + dx, f.y + dy),
+        );
     }
     let merged = AdaptedPatch::new(layout, &moved);
     if !merged.is_valid() {
@@ -115,13 +126,7 @@ impl BoundaryStandard {
 
     /// Evaluates the standard on an `l x l` defective patch with the
     /// given surgery distance target.
-    pub fn satisfied(
-        self,
-        patch: &AdaptedPatch,
-        defects: &DefectSet,
-        l: u32,
-        target: u32,
-    ) -> bool {
+    pub fn satisfied(self, patch: &AdaptedPatch, defects: &DefectSet, l: u32, target: u32) -> bool {
         let x_edges = [Side::Top, Side::Bottom];
         let z_edges = [Side::Left, Side::Right];
         match self {
@@ -204,11 +209,8 @@ mod tests {
     }
 
     fn standalone_distance(defects: &DefectSet, l: u32) -> u32 {
-        crate::indicators::PatchIndicators::of(&AdaptedPatch::new(
-            PatchLayout::memory(l),
-            defects,
-        ))
-        .distance()
+        crate::indicators::PatchIndicators::of(&AdaptedPatch::new(PatchLayout::memory(l), defects))
+            .distance()
     }
 
     #[test]

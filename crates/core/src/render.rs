@@ -73,7 +73,11 @@ pub fn summarize_patch(patch: &AdaptedPatch) -> String {
         patch.num_live_data(),
         patch.full_faces().len(),
         patch.clusters().iter().filter(|c| c.has_gauges()).count(),
-        if patch.is_valid() { "valid" } else { "degenerate" }
+        if patch.is_valid() {
+            "valid"
+        } else {
+            "degenerate"
+        }
     )
 }
 

@@ -12,7 +12,10 @@ pub fn distance_distribution(indicators: &[PatchIndicators]) -> Vec<(u32, f64)> 
         *counts.entry(ind.distance()).or_insert(0usize) += 1;
     }
     let total = indicators.len() as f64;
-    counts.into_iter().map(|(d, n)| (d, n as f64 / total)).collect()
+    counts
+        .into_iter()
+        .map(|(d, n)| (d, n as f64 / total))
+        .collect()
 }
 
 /// Expected per-patch-per-cycle logical error over a distance
@@ -22,7 +25,11 @@ pub fn expected_logical_error(distribution: &[(u32, f64)], p: f64) -> f64 {
     distribution
         .iter()
         .map(|&(d, w)| {
-            let eps = if d == 0 { 0.1 } else { logical_error_per_patch_cycle(d, p) };
+            let eps = if d == 0 {
+                0.1
+            } else {
+                logical_error_per_patch_cycle(d, p)
+            };
             w * eps
         })
         .sum()

@@ -30,9 +30,7 @@ mod tests {
 
     #[test]
     fn increases_with_p() {
-        assert!(
-            logical_error_per_patch_cycle(27, 2e-3) > logical_error_per_patch_cycle(27, 1e-3)
-        );
+        assert!(logical_error_per_patch_cycle(27, 2e-3) > logical_error_per_patch_cycle(27, 1e-3));
     }
 
     #[test]

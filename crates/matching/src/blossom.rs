@@ -48,7 +48,10 @@ pub struct PerfectMatching {
 /// ```
 pub fn min_weight_perfect_matching(weights: &[Vec<f64>]) -> PerfectMatching {
     let n = weights.len();
-    assert!(n % 2 == 0, "perfect matching needs an even vertex count, got {n}");
+    assert!(
+        n.is_multiple_of(2),
+        "perfect matching needs an even vertex count, got {n}"
+    );
     if n == 0 {
         return PerfectMatching { mate: Vec::new() };
     }
@@ -80,7 +83,10 @@ pub fn min_weight_perfect_matching(weights: &[Vec<f64>]) -> PerfectMatching {
     let mate1 = max_weight_matching_1idx(n, &g);
     let mate: Vec<usize> = (1..=n)
         .map(|v| {
-            assert!(mate1[v] != 0, "matching is not perfect; this cannot happen on complete graphs");
+            assert!(
+                mate1[v] != 0,
+                "matching is not perfect; this cannot happen on complete graphs"
+            );
             mate1[v] - 1
         })
         .collect();
@@ -189,7 +195,10 @@ impl Solver {
     }
 
     fn get_pr(&mut self, b: usize, xr: usize) -> usize {
-        let pr = self.flower[b].iter().position(|&y| y == xr).expect("xr in flower");
+        let pr = self.flower[b]
+            .iter()
+            .position(|&y| y == xr)
+            .expect("xr in flower");
         if pr % 2 == 1 {
             self.flower[b][1..].reverse();
             self.flower[b].len() - pr
@@ -287,8 +296,7 @@ impl Solver {
         }
         for &xs in &fl {
             for x in 1..=self.n_x {
-                if self.g[b][x].w == 0
-                    || self.e_delta(&self.g[xs][x]) < self.e_delta(&self.g[b][x])
+                if self.g[b][x].w == 0 || self.e_delta(&self.g[xs][x]) < self.e_delta(&self.g[b][x])
                 {
                     self.g[b][x] = self.g[xs][x];
                     self.g[x][b] = self.g[x][xs];
@@ -471,6 +479,8 @@ impl Solver {
 }
 
 #[cfg(test)]
+// Index loops are the clear way to fill symmetric weight matrices.
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
 
@@ -550,7 +560,7 @@ mod tests {
         for i in 0..6 {
             w[i][i] = 0.0;
         }
-        let mut set = |a: usize, b: usize, c: f64, w: &mut Vec<Vec<f64>>| {
+        let set = |a: usize, b: usize, c: f64, w: &mut Vec<Vec<f64>>| {
             w[a][b] = c;
             w[b][a] = c;
         };
@@ -575,7 +585,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(42);
         for trial in 0..200 {
-            let n = 2 * rng.gen_range(1..=5);
+            let n = 2 * rng.gen_range(1..=5usize);
             let mut w = vec![vec![0.0; n]; n];
             for i in 0..n {
                 for j in i + 1..n {
@@ -657,6 +667,9 @@ mod tests {
             greedy_used[best.1] = true;
             greedy_cost += best.0;
         }
-        assert!(cost <= greedy_cost + 1e-9, "blossom ({cost}) beat by greedy ({greedy_cost})");
+        assert!(
+            cost <= greedy_cost + 1e-9,
+            "blossom ({cost}) beat by greedy ({greedy_cost})"
+        );
     }
 }

@@ -218,12 +218,16 @@ mod tests {
             let m4 = c.measure_reset(4).unwrap();
             match prev {
                 None => {
-                    c.add_detector(&[m3], CheckBasis::Z, (0, 0, t as i32)).unwrap();
-                    c.add_detector(&[m4], CheckBasis::Z, (1, 0, t as i32)).unwrap();
+                    c.add_detector(&[m3], CheckBasis::Z, (0, 0, t as i32))
+                        .unwrap();
+                    c.add_detector(&[m4], CheckBasis::Z, (1, 0, t as i32))
+                        .unwrap();
                 }
                 Some([p3, p4]) => {
-                    c.add_detector(&[m3, p3], CheckBasis::Z, (0, 0, t as i32)).unwrap();
-                    c.add_detector(&[m4, p4], CheckBasis::Z, (1, 0, t as i32)).unwrap();
+                    c.add_detector(&[m3, p3], CheckBasis::Z, (0, 0, t as i32))
+                        .unwrap();
+                    c.add_detector(&[m4, p4], CheckBasis::Z, (1, 0, t as i32))
+                        .unwrap();
                 }
             }
             prev = Some([m3, m4]);
@@ -232,8 +236,10 @@ mod tests {
         let d1 = c.measure(1).unwrap();
         let d2 = c.measure(2).unwrap();
         let [p3, p4] = prev.unwrap();
-        c.add_detector(&[d0, d1, p3], CheckBasis::Z, (0, 0, rounds as i32)).unwrap();
-        c.add_detector(&[d1, d2, p4], CheckBasis::Z, (1, 0, rounds as i32)).unwrap();
+        c.add_detector(&[d0, d1, p3], CheckBasis::Z, (0, 0, rounds as i32))
+            .unwrap();
+        c.add_detector(&[d1, d2, p4], CheckBasis::Z, (1, 0, rounds as i32))
+            .unwrap();
         c.include_observable(0, &[d0]).unwrap();
         c
     }
@@ -266,8 +272,7 @@ mod tests {
         for &p in &[0.08, 0.04, 0.02] {
             let c = repetition(3, p);
             let decoder = MwpmDecoder::new(&c);
-            let batch =
-                FrameSampler::new(&c).sample(30_000, &mut StdRng::seed_from_u64(99));
+            let batch = FrameSampler::new(&c).sample(30_000, &mut StdRng::seed_from_u64(99));
             lers.push(decoder.decode_batch(&batch).logical_error_rate(0));
         }
         assert!(lers[0] > lers[1] && lers[1] > lers[2], "{lers:?}");
@@ -282,7 +287,10 @@ mod tests {
 
     #[test]
     fn wilson_interval_brackets_point_estimate() {
-        let stats = DecodeStats { shots: 1000, failures: vec![37] };
+        let stats = DecodeStats {
+            shots: 1000,
+            failures: vec![37],
+        };
         let (lo, hi) = stats.wilson_interval(0);
         let p = stats.logical_error_rate(0);
         assert!(lo < p && p < hi);

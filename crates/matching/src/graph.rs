@@ -215,10 +215,18 @@ impl DecodingGraph {
                 observables: obs,
             });
         }
-        edges.sort_by(|e, f| (e.a, e.b).cmp(&(f.a, f.b)));
+        edges.sort_by_key(|e| (e.a, e.b));
 
         let (dist, parity) = all_pairs(n, &edges);
-        DecodingGraph { basis, node_of_det, det_of_node, edges, dist, parity, diagnostics }
+        DecodingGraph {
+            basis,
+            node_of_det,
+            det_of_node,
+            edges,
+            dist,
+            parity,
+            diagnostics,
+        }
     }
 
     /// The basis this graph decodes.
@@ -320,7 +328,10 @@ fn weight_of(p: f64) -> f64 {
 
 /// Tries to split `nodes` (sorted, len >= 3) into parts that all exist
 /// as known edges; parts are pairs or boundary singletons.
-fn decompose(nodes: &[u32], known: &std::collections::HashSet<(u32, u32)>) -> Option<Vec<Vec<u32>>> {
+fn decompose(
+    nodes: &[u32],
+    known: &std::collections::HashSet<(u32, u32)>,
+) -> Option<Vec<Vec<u32>>> {
     if nodes.is_empty() {
         return Some(Vec::new());
     }
@@ -338,11 +349,7 @@ fn decompose(nodes: &[u32], known: &std::collections::HashSet<(u32, u32)>) -> Op
         let other = nodes[i];
         let key = (first.min(other), first.max(other));
         if known.contains(&key) {
-            let rest: Vec<u32> = nodes[1..]
-                .iter()
-                .copied()
-                .filter(|&x| x != other)
-                .collect();
+            let rest: Vec<u32> = nodes[1..].iter().copied().filter(|&x| x != other).collect();
             if let Some(mut parts) = decompose(&rest, known) {
                 parts.insert(0, vec![first, other]);
                 return Some(parts);
@@ -378,7 +385,10 @@ fn all_pairs(n: usize, edges: &[GraphEdge]) -> (Vec<f64>, Vec<u64>) {
     }
     impl Ord for HeapItem {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.partial_cmp(&other.0).expect("finite weights").then(self.1.cmp(&other.1))
+            self.0
+                .partial_cmp(&other.0)
+                .expect("finite weights")
+                .then(self.1.cmp(&other.1))
         }
     }
 
@@ -441,12 +451,16 @@ mod tests {
             let m4 = c.measure_reset(4).unwrap();
             match prev {
                 None => {
-                    c.add_detector(&[m3], CheckBasis::Z, (0, 0, t as i32)).unwrap();
-                    c.add_detector(&[m4], CheckBasis::Z, (1, 0, t as i32)).unwrap();
+                    c.add_detector(&[m3], CheckBasis::Z, (0, 0, t as i32))
+                        .unwrap();
+                    c.add_detector(&[m4], CheckBasis::Z, (1, 0, t as i32))
+                        .unwrap();
                 }
                 Some([p3, p4]) => {
-                    c.add_detector(&[m3, p3], CheckBasis::Z, (0, 0, t as i32)).unwrap();
-                    c.add_detector(&[m4, p4], CheckBasis::Z, (1, 0, t as i32)).unwrap();
+                    c.add_detector(&[m3, p3], CheckBasis::Z, (0, 0, t as i32))
+                        .unwrap();
+                    c.add_detector(&[m4, p4], CheckBasis::Z, (1, 0, t as i32))
+                        .unwrap();
                 }
             }
             prev = Some([m3, m4]);
@@ -456,8 +470,10 @@ mod tests {
         let d1 = c.measure(1).unwrap();
         let d2 = c.measure(2).unwrap();
         let [p3, p4] = prev.unwrap();
-        c.add_detector(&[d0, d1, p3], CheckBasis::Z, (0, 0, rounds as i32)).unwrap();
-        c.add_detector(&[d1, d2, p4], CheckBasis::Z, (1, 0, rounds as i32)).unwrap();
+        c.add_detector(&[d0, d1, p3], CheckBasis::Z, (0, 0, rounds as i32))
+            .unwrap();
+        c.add_detector(&[d1, d2, p4], CheckBasis::Z, (1, 0, rounds as i32))
+            .unwrap();
         c.include_observable(0, &[d0]).unwrap();
         c
     }
@@ -487,8 +503,7 @@ mod tests {
                 let dab = g.distance(Some(a), Some(b));
                 let dba = g.distance(Some(b), Some(a));
                 assert!((dab - dba).abs() < 1e-9);
-                let via_boundary =
-                    g.distance(Some(a), None) + g.distance(None, Some(b));
+                let via_boundary = g.distance(Some(a), None) + g.distance(None, Some(b));
                 assert!(dab <= via_boundary + 1e-9, "triangle through boundary");
             }
         }

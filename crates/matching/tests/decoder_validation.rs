@@ -23,7 +23,8 @@ fn chain_circuit(n: u32, p: f64) -> Circuit {
         records.push(c.measure(anc).unwrap());
     }
     for (i, &m) in records.iter().enumerate() {
-        c.add_detector(&[m], CheckBasis::Z, (i as i32, 0, 0)).unwrap();
+        c.add_detector(&[m], CheckBasis::Z, (i as i32, 0, 0))
+            .unwrap();
     }
     // Observable: data qubit 0 (its X flip is logical).
     let d0 = c.measure(0).unwrap();

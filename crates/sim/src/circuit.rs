@@ -216,7 +216,10 @@ impl Circuit {
 
     fn check_qubit(&self, q: u32) -> Result<(), SimError> {
         if q >= self.num_qubits {
-            Err(SimError::QubitOutOfRange { qubit: q, num_qubits: self.num_qubits })
+            Err(SimError::QubitOutOfRange {
+                qubit: q,
+                num_qubits: self.num_qubits,
+            })
         } else {
             Ok(())
         }
@@ -290,7 +293,11 @@ impl Circuit {
     /// Returns an error if a qubit is out of range or `c == t`.
     pub fn cx(&mut self, c: u32, t: u32) -> Result<(), SimError> {
         self.check_pair(c, t)?;
-        self.ops.push(Op::Gate2 { kind: Gate2::Cx, a: c, b: t });
+        self.ops.push(Op::Gate2 {
+            kind: Gate2::Cx,
+            a: c,
+            b: t,
+        });
         Ok(())
     }
 
@@ -301,7 +308,11 @@ impl Circuit {
     /// Returns an error if a qubit is out of range or `a == b`.
     pub fn cz(&mut self, a: u32, b: u32) -> Result<(), SimError> {
         self.check_pair(a, b)?;
-        self.ops.push(Op::Gate2 { kind: Gate2::Cz, a, b });
+        self.ops.push(Op::Gate2 {
+            kind: Gate2::Cz,
+            a,
+            b,
+        });
         Ok(())
     }
 
@@ -405,7 +416,11 @@ impl Circuit {
                 parity.push(r);
             }
         }
-        self.detectors.push(Detector { records: parity, basis, coord });
+        self.detectors.push(Detector {
+            records: parity,
+            basis,
+            coord,
+        });
         Ok(self.detectors.len() as u32 - 1)
     }
 
@@ -484,7 +499,9 @@ mod tests {
         let mut c = Circuit::new(1);
         let m = c.measure(0).unwrap();
         let n = c.measure(0).unwrap();
-        let id = c.add_detector(&[m, n, m], CheckBasis::X, (0, 0, 0)).unwrap();
+        let id = c
+            .add_detector(&[m, n, m], CheckBasis::X, (0, 0, 0))
+            .unwrap();
         assert_eq!(c.detectors()[id as usize].records, vec![n.0]);
     }
 

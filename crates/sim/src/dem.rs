@@ -45,7 +45,10 @@ impl Sens {
         }
         dets.extend_from_slice(&self.dets[i..]);
         dets.extend_from_slice(&other.dets[j..]);
-        Sens { dets, obs: self.obs ^ other.obs }
+        Sens {
+            dets,
+            obs: self.obs ^ other.obs,
+        }
     }
 
     fn xor_in_place(&mut self, other: &Sens) {
@@ -106,7 +109,10 @@ impl DetectorErrorModel {
     ///
     /// Panics if the circuit uses more than 64 observables.
     pub fn from_circuit(circuit: &Circuit) -> Self {
-        assert!(circuit.observables().len() <= 64, "at most 64 observables supported");
+        assert!(
+            circuit.observables().len() <= 64,
+            "at most 64 observables supported"
+        );
         let nq = circuit.num_qubits() as usize;
 
         // Record -> (detectors containing it, observable mask).
@@ -150,14 +156,22 @@ impl DetectorErrorModel {
                     xmap[q].xor_in_place(&z);
                 }
                 Op::Gate1 { .. } => {}
-                Op::Gate2 { kind: Gate2::Cx, a, b } => {
+                Op::Gate2 {
+                    kind: Gate2::Cx,
+                    a,
+                    b,
+                } => {
                     let (c, t) = (a as usize, b as usize);
                     let xt = xmap[t].clone();
                     xmap[c].xor_in_place(&xt);
                     let zc = zmap[c].clone();
                     zmap[t].xor_in_place(&zc);
                 }
-                Op::Gate2 { kind: Gate2::Cz, a, b } => {
+                Op::Gate2 {
+                    kind: Gate2::Cz,
+                    a,
+                    b,
+                } => {
                     let (a, b) = (a as usize, b as usize);
                     let zb = zmap[b].clone();
                     let za = zmap[a].clone();
@@ -320,8 +334,7 @@ mod tests {
         c.add_detector(&[m1], CheckBasis::Z, (1, 0, 0)).unwrap();
         let dem = DetectorErrorModel::from_circuit(&c);
         // Symptoms: {0}, {1}, {0,1} from the X/Y components.
-        let symptoms: Vec<Vec<u32>> =
-            dem.mechanisms.iter().map(|m| m.detectors.clone()).collect();
+        let symptoms: Vec<Vec<u32>> = dem.mechanisms.iter().map(|m| m.detectors.clone()).collect();
         assert_eq!(symptoms, vec![vec![0], vec![0, 1], vec![1]]);
         // {0} comes from XI, YI, XZ, YZ: four disjoint p/15 = 0.01
         // components, combined with the XOR-probability rule

@@ -38,10 +38,19 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for circuit with {num_qubits} qubits")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for circuit with {num_qubits} qubits"
+                )
             }
-            SimError::RecordOutOfRange { record, num_records } => {
-                write!(f, "measurement record {record} out of range ({num_records} records)")
+            SimError::RecordOutOfRange {
+                record,
+                num_records,
+            } => {
+                write!(
+                    f,
+                    "measurement record {record} out of range ({num_records} records)"
+                )
             }
             SimError::InvalidProbability { p } => {
                 write!(f, "probability {p} is not in [0, 1]")
@@ -62,8 +71,14 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errs = [
-            SimError::QubitOutOfRange { qubit: 3, num_qubits: 2 },
-            SimError::RecordOutOfRange { record: 9, num_records: 1 },
+            SimError::QubitOutOfRange {
+                qubit: 3,
+                num_qubits: 2,
+            },
+            SimError::RecordOutOfRange {
+                record: 9,
+                num_records: 1,
+            },
             SimError::InvalidProbability { p: 1.5 },
             SimError::RepeatedQubit { qubit: 7 },
         ];

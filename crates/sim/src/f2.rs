@@ -31,7 +31,12 @@ impl BitMatrix {
     /// Creates an all-zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         let words_per_row = words_for(cols).max(1);
-        BitMatrix { rows, cols, words_per_row, data: vec![0; rows * words_per_row] }
+        BitMatrix {
+            rows,
+            cols,
+            words_per_row,
+            data: vec![0; rows * words_per_row],
+        }
     }
 
     /// The number of rows.
@@ -51,7 +56,10 @@ impl BitMatrix {
     /// Panics if the position is out of range.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> bool {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         (self.data[r * self.words_per_row + c / 64] >> (c % 64)) & 1 == 1
     }
 
@@ -62,7 +70,10 @@ impl BitMatrix {
     /// Panics if the position is out of range.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: bool) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         let w = r * self.words_per_row + c / 64;
         let b = c % 64;
         self.data[w] = (self.data[w] & !(1 << b)) | ((v as u64) << b);
@@ -74,7 +85,10 @@ impl BitMatrix {
     ///
     /// Panics if either row is out of range or the rows are equal.
     pub fn xor_row_into(&mut self, src: usize, dst: usize) {
-        assert!(src < self.rows && dst < self.rows && src != dst, "bad row pair {src},{dst}");
+        assert!(
+            src < self.rows && dst < self.rows && src != dst,
+            "bad row pair {src},{dst}"
+        );
         let w = self.words_per_row;
         let (a, b) = if src < dst {
             let (lo, hi) = self.data.split_at_mut(dst * w);
@@ -149,7 +163,10 @@ pub struct SymplecticSpace {
 impl SymplecticSpace {
     /// Creates an empty operator set over `num_qubits` qubits.
     pub fn new(num_qubits: usize) -> Self {
-        SymplecticSpace { num_qubits, rows: Vec::new() }
+        SymplecticSpace {
+            num_qubits,
+            rows: Vec::new(),
+        }
     }
 
     /// The number of generator rows added so far.

@@ -23,7 +23,12 @@ impl BitTable {
     /// Creates an all-zero table.
     pub fn zeros(rows: usize, shots: usize) -> Self {
         let words_per_row = shots.div_ceil(64).max(1);
-        BitTable { rows, shots, words_per_row, data: vec![0; rows * words_per_row] }
+        BitTable {
+            rows,
+            shots,
+            words_per_row,
+            data: vec![0; rows * words_per_row],
+        }
     }
 
     /// The number of rows.
@@ -67,7 +72,10 @@ impl BitTable {
     ///
     /// Panics if shapes differ or rows are out of range.
     pub fn xor_row_from(&mut self, dst: usize, other: &BitTable, src: usize) {
-        assert_eq!(self.words_per_row, other.words_per_row, "shot count mismatch");
+        assert_eq!(
+            self.words_per_row, other.words_per_row,
+            "shot count mismatch"
+        );
         let w = self.words_per_row;
         let d = &mut self.data[dst * w..(dst + 1) * w];
         let s = &other.data[src * w..(src + 1) * w];
@@ -179,7 +187,11 @@ impl<'a> FrameSampler<'a> {
 
         // Mask to keep random bits within the shot count in the last word.
         let tail_bits = shots % 64;
-        let tail_mask = if tail_bits == 0 { u64::MAX } else { (1u64 << tail_bits) - 1 };
+        let tail_mask = if tail_bits == 0 {
+            u64::MAX
+        } else {
+            (1u64 << tail_bits) - 1
+        };
         let fill_random = |dst: &mut [u64], rng: &mut R| {
             for (i, word) in dst.iter_mut().enumerate() {
                 let mut r: u64 = rng.gen();
@@ -205,14 +217,22 @@ impl<'a> FrameSampler<'a> {
                     }
                 }
                 Op::Gate1 { .. } => {}
-                Op::Gate2 { kind: Gate2::Cx, a, b } => {
+                Op::Gate2 {
+                    kind: Gate2::Cx,
+                    a,
+                    b,
+                } => {
                     let (c_, t) = (a as usize, b as usize);
                     for i in 0..w {
                         fx[t * w + i] ^= fx[c_ * w + i];
                         fz[c_ * w + i] ^= fz[t * w + i];
                     }
                 }
-                Op::Gate2 { kind: Gate2::Cz, a, b } => {
+                Op::Gate2 {
+                    kind: Gate2::Cz,
+                    a,
+                    b,
+                } => {
                     let (a, b) = (a as usize, b as usize);
                     for i in 0..w {
                         let xa = fx[a * w + i];
@@ -228,7 +248,9 @@ impl<'a> FrameSampler<'a> {
                 }
                 Op::Measure { q } => {
                     let q = q as usize;
-                    records.row_mut(next_record).copy_from_slice(&fx[q * w..(q + 1) * w]);
+                    records
+                        .row_mut(next_record)
+                        .copy_from_slice(&fx[q * w..(q + 1) * w]);
                     next_record += 1;
                     // Randomize the anticommuting part of the frame to
                     // model measurement collapse (Stim's convention).
@@ -245,7 +267,7 @@ impl<'a> FrameSampler<'a> {
                             Noise1::XError => (true, false),
                             Noise1::ZError => (false, true),
                             Noise1::Depolarize1 => {
-                                Pauli::ONE_QUBIT_ERRORS[rng.gen_range(0..3)].xz()
+                                Pauli::ONE_QUBIT_ERRORS[rng.gen_range(0..3usize)].xz()
                             }
                         };
                         let (wi, b) = (shot / 64, shot % 64);
@@ -260,7 +282,7 @@ impl<'a> FrameSampler<'a> {
                 Op::Depolarize2 { a, b, p } => {
                     let (a, b) = (a as usize, b as usize);
                     sample_hits(p, shots, rng, |shot, rng| {
-                        let (pa, pb) = Pauli::TWO_QUBIT_ERRORS[rng.gen_range(0..15)];
+                        let (pa, pb) = Pauli::TWO_QUBIT_ERRORS[rng.gen_range(0..15usize)];
                         let (wi, bit) = (shot / 64, shot % 64);
                         let (ax, az) = pa.xz();
                         let (bx, bz) = pb.xz();
@@ -295,7 +317,10 @@ impl<'a> FrameSampler<'a> {
                 observables.xor_row_from(o, &records, r as usize);
             }
         }
-        ShotBatch { detectors, observables }
+        ShotBatch {
+            detectors,
+            observables,
+        }
     }
 }
 

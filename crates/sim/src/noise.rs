@@ -49,7 +49,10 @@ impl NoiseModel {
     /// Panics if `p` is not in `[0, 1]`.
     pub fn new(p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "p={p} out of range");
-        NoiseModel { p, overrides: HashMap::new() }
+        NoiseModel {
+            p,
+            overrides: HashMap::new(),
+        }
     }
 
     /// The baseline two-qubit gate error rate.
@@ -114,8 +117,11 @@ impl NoiseModel {
             }
         }
         for det in clean.detectors() {
-            let records: Vec<_> =
-                det.records.iter().map(|&r| crate::circuit::MeasRecord(r)).collect();
+            let records: Vec<_> = det
+                .records
+                .iter()
+                .map(|&r| crate::circuit::MeasRecord(r))
+                .collect();
             noisy
                 .add_detector(&records, det.basis, det.coord)
                 .expect("records preserved");

@@ -128,7 +128,11 @@ impl PauliString {
     /// Creates the identity string on `num_qubits` qubits.
     pub fn identity(num_qubits: usize) -> Self {
         let w = words_for(num_qubits);
-        PauliString { num_qubits, xs: vec![0; w], zs: vec![0; w] }
+        PauliString {
+            num_qubits,
+            xs: vec![0; w],
+            zs: vec![0; w],
+        }
     }
 
     /// Creates a string from explicit per-qubit Paulis.
@@ -209,8 +213,8 @@ impl PauliString {
         assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch");
         let mut acc = 0u32;
         for i in 0..self.xs.len() {
-            acc ^= (self.xs[i] & other.zs[i]).count_ones()
-                ^ (self.zs[i] & other.xs[i]).count_ones();
+            acc ^=
+                (self.xs[i] & other.zs[i]).count_ones() ^ (self.zs[i] & other.xs[i]).count_ones();
         }
         acc & 1 == 1
     }

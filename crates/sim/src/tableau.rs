@@ -26,7 +26,13 @@ impl Tableau {
         let n = num_qubits;
         let w = words_for(n).max(1);
         let rows = 2 * n + 1;
-        let mut t = Tableau { n, w, xs: vec![0; rows * w], zs: vec![0; rows * w], signs: vec![0; rows] };
+        let mut t = Tableau {
+            n,
+            w,
+            xs: vec![0; rows * w],
+            zs: vec![0; rows * w],
+            signs: vec![0; rows],
+        };
         for i in 0..n {
             t.set_x(i, i, true); // destabilizer X_i
             t.set_z(n + i, i, true); // stabilizer Z_i
@@ -155,8 +161,11 @@ impl Tableau {
         // Look for a stabilizer row anticommuting with Z_q.
         let pivot = (n..2 * n).find(|&row| self.x(row, q));
         if let Some(p) = pivot {
+            // Skip the destabilizer partner p - n: it anticommutes with
+            // stabilizer p (their product is imaginary, tripping the
+            // rowsum phase invariant) and is overwritten below anyway.
             for row in 0..2 * n {
-                if row != p && self.x(row, q) {
+                if row != p && row != p - n && self.x(row, q) {
                     self.rowsum(row, p);
                 }
             }
@@ -229,8 +238,16 @@ impl ReferenceSample {
                 Op::Gate1 { kind: Gate1::S, q } => t.s(q as usize),
                 Op::Gate1 { kind: Gate1::X, q } => t.x_gate(q as usize),
                 Op::Gate1 { kind: Gate1::Z, q } => t.z_gate(q as usize),
-                Op::Gate2 { kind: Gate2::Cx, a, b } => t.cx(a as usize, b as usize),
-                Op::Gate2 { kind: Gate2::Cz, a, b } => t.cz(a as usize, b as usize),
+                Op::Gate2 {
+                    kind: Gate2::Cx,
+                    a,
+                    b,
+                } => t.cx(a as usize, b as usize),
+                Op::Gate2 {
+                    kind: Gate2::Cz,
+                    a,
+                    b,
+                } => t.cz(a as usize, b as usize),
                 Op::Reset { q } => t.reset_z(q as usize),
                 Op::Measure { q } => {
                     // Probe determinism first by attempting with choice 0;
@@ -246,12 +263,17 @@ impl ReferenceSample {
                 Op::Noise1 { .. } | Op::Depolarize2 { .. } | Op::Tick => {}
             }
         }
-        ReferenceSample { outcomes, deterministic }
+        ReferenceSample {
+            outcomes,
+            deterministic,
+        }
     }
 
     /// The parity of a detector's records in this reference run.
     pub fn detector_parity(&self, records: &[u32]) -> bool {
-        records.iter().fold(false, |acc, &r| acc ^ self.outcomes[r as usize])
+        records
+            .iter()
+            .fold(false, |acc, &r| acc ^ self.outcomes[r as usize])
     }
 
     /// Checks detector determinism by comparing several reference runs

@@ -26,13 +26,17 @@ fn assert_marginals_match(circuit: &Circuit, shots: usize, tolerance: f64) {
     let dem = DetectorErrorModel::from_circuit(circuit);
     let predicted = dem_marginals(&dem);
     let batch = FrameSampler::new(circuit).sample(shots, &mut StdRng::seed_from_u64(7));
-    for d in 0..circuit.detectors().len() {
+    assert_eq!(
+        predicted.len(),
+        circuit.detectors().len(),
+        "DEM must predict every detector"
+    );
+    for (d, &expected) in predicted.iter().enumerate() {
         let observed = batch.detectors.count_row(d) as f64 / shots as f64;
-        let sigma = (predicted[d] * (1.0 - predicted[d]) / shots as f64).sqrt();
+        let sigma = (expected * (1.0 - expected) / shots as f64).sqrt();
         assert!(
-            (observed - predicted[d]).abs() < tolerance + 5.0 * sigma,
-            "detector {d}: predicted {} observed {observed}",
-            predicted[d]
+            (observed - expected).abs() < tolerance + 5.0 * sigma,
+            "detector {d}: predicted {expected} observed {observed}"
         );
     }
 }
@@ -141,13 +145,16 @@ mod dqec_core_like {
         for i in 0..4usize {
             let m0 = records.iter().find(|r| r.0 == i && r.1 == 0).unwrap().2;
             let m1 = records.iter().find(|r| r.0 == i && r.1 == 1).unwrap().2;
-            c.add_detector(&[m0], CheckBasis::Z, (i as i32, 0, 0)).unwrap();
-            c.add_detector(&[m0, m1], CheckBasis::Z, (i as i32, 0, 1)).unwrap();
+            c.add_detector(&[m0], CheckBasis::Z, (i as i32, 0, 0))
+                .unwrap();
+            c.add_detector(&[m0, m1], CheckBasis::Z, (i as i32, 0, 1))
+                .unwrap();
         }
         for i in 4..8usize {
             let m0 = records.iter().find(|r| r.0 == i && r.1 == 0).unwrap().2;
             let m1 = records.iter().find(|r| r.0 == i && r.1 == 1).unwrap().2;
-            c.add_detector(&[m0, m1], CheckBasis::X, (i as i32, 0, 1)).unwrap();
+            c.add_detector(&[m0, m1], CheckBasis::X, (i as i32, 0, 1))
+                .unwrap();
         }
         c
     }

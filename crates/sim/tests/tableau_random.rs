@@ -32,13 +32,16 @@ fn random_cliffords(t: &mut Tableau, n: usize, ops: usize, rng: &mut StdRng) {
 fn measurement_is_idempotent_after_collapse() {
     let mut rng = StdRng::seed_from_u64(11);
     for trial in 0..50 {
-        let n = rng.gen_range(2..8);
+        let n = rng.gen_range(2..8usize);
         let mut t = Tableau::new(n);
         random_cliffords(&mut t, n, 30, &mut rng);
         let q = rng.gen_range(0..n);
         let (o1, _) = t.measure_z(q);
         let (o2, det) = t.measure_z(q);
-        assert!(det, "trial {trial}: repeated measurement must be deterministic");
+        assert!(
+            det,
+            "trial {trial}: repeated measurement must be deterministic"
+        );
         assert_eq!(o1, o2, "trial {trial}: repeated measurement must agree");
     }
 }
@@ -47,7 +50,7 @@ fn measurement_is_idempotent_after_collapse() {
 fn reset_forces_zero() {
     let mut rng = StdRng::seed_from_u64(12);
     for _ in 0..50 {
-        let n = rng.gen_range(2..8);
+        let n = rng.gen_range(2..8usize);
         let mut t = Tableau::new(n);
         random_cliffords(&mut t, n, 40, &mut rng);
         let q = rng.gen_range(0..n);
@@ -60,7 +63,7 @@ fn reset_forces_zero() {
 fn hh_is_identity_on_random_states() {
     let mut rng = StdRng::seed_from_u64(13);
     for _ in 0..30 {
-        let n = rng.gen_range(2..6);
+        let n = rng.gen_range(2..6usize);
         let mut a = Tableau::new(n);
         random_cliffords(&mut a, n, 25, &mut rng);
         let mut b = a.clone();
@@ -78,7 +81,7 @@ fn hh_is_identity_on_random_states() {
 fn cx_self_inverse_on_random_states() {
     let mut rng = StdRng::seed_from_u64(14);
     for _ in 0..30 {
-        let n = rng.gen_range(2..6);
+        let n = rng.gen_range(2..6usize);
         let mut a = Tableau::new(n);
         random_cliffords(&mut a, n, 25, &mut rng);
         let mut b = a.clone();
@@ -101,7 +104,10 @@ fn ghz_stabilizer_parities_hold_for_any_size() {
             t.cx(0, q);
         }
         let outcomes: Vec<bool> = (0..n).map(|q| t.measure_z(q).0).collect();
-        assert!(outcomes.windows(2).all(|w| w[0] == w[1]), "GHZ correlations n={n}");
+        assert!(
+            outcomes.windows(2).all(|w| w[0] == w[1]),
+            "GHZ correlations n={n}"
+        );
     }
 }
 
@@ -157,7 +163,7 @@ proptest! {
             }
         }
         // Parity of qubits 0,1 measured twice via the ancilla.
-        let mut parity_meas = |c: &mut Circuit| {
+        let parity_meas = |c: &mut Circuit| {
             c.cx(0, n).unwrap();
             c.cx(1, n).unwrap();
             c.measure_reset(n).unwrap()

@@ -26,8 +26,8 @@ fn main() {
     );
     for &rate in &rates {
         // Defect-intolerant baseline: l = 9, zero tolerance.
-        let y0 = DefectModel::LinkAndQubit
-            .defect_free_probability(&PatchLayout::memory(d_target), rate);
+        let y0 =
+            DefectModel::LinkAndQubit.defect_free_probability(&PatchLayout::memory(d_target), rate);
         println!(
             "{rate:>6.3} {:>6} {y0:>8.3} {:>10.2} {:>10}",
             d_target,

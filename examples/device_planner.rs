@@ -8,7 +8,9 @@
 use dqec::chiplet::criteria::QualityTarget;
 use dqec::chiplet::defect_model::DefectModel;
 use dqec::estimator::fidelity::{distance_distribution, fidelity_from_distances};
-use dqec::estimator::{defect_intolerant_row, no_defect_row, super_stabilizer_row, ApplicationSpec};
+use dqec::estimator::{
+    defect_intolerant_row, no_defect_row, super_stabilizer_row, ApplicationSpec,
+};
 
 fn main() {
     let rate: f64 = std::env::args()

@@ -13,7 +13,10 @@ fn main() {
     let ps = [2e-3, 3e-3, 4.5e-3];
 
     println!("defect-free patches:");
-    println!("{:>4} {:>9} {:>9} {:>9} {:>7}", "d", "p", "LER", "±", "slope");
+    println!(
+        "{:>4} {:>9} {:>9} {:>9} {:>7}",
+        "d", "p", "LER", "±", "slope"
+    );
     for l in [3u32, 5, 7] {
         let patch = AdaptedPatch::new(PatchLayout::memory(l), &DefectSet::new());
         let curve = memory_ler_curve(&patch, &ps, l, shots, 7).expect("circuit builds");
@@ -23,7 +26,11 @@ fn main() {
             println!("{l:>4} {:>9.4} {ler:>9.5} {sigma:>9.5}", pt.p);
         }
         if let Some(fit) = fit_loglog(&curve) {
-            println!("      slope = {:.2} (expect ~ (d+1)/2 = {:.1})", fit.slope, (l + 1) as f64 / 2.0);
+            println!(
+                "      slope = {:.2} (expect ~ (d+1)/2 = {:.1})",
+                fit.slope,
+                (l + 1) as f64 / 2.0
+            );
         }
     }
 

@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use dqec::core::{AdaptedPatch, Coord, DefectSet, PatchIndicators, PatchLayout, Side};
 use dqec::core::merge::{edge_deformed, merged_distance};
+use dqec::core::{AdaptedPatch, Coord, DefectSet, PatchIndicators, PatchLayout, Side};
 use dqec_sim::circuit::CheckBasis;
 
 fn main() {

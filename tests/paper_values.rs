@@ -46,8 +46,16 @@ fn table1_closed_forms() {
     let ideal = no_defect_row(&spec);
     assert!((ideal.total_qubits - 2.07e7).abs() < 5e5);
     let row = defect_intolerant_row(&spec, DefectModel::LinkAndQubit, 0.001);
-    assert!((row.yield_fraction - 0.014).abs() < 0.0015, "yield {}", row.yield_fraction);
-    assert!((row.overhead - 71.32).abs() < 7.0, "overhead {}", row.overhead);
+    assert!(
+        (row.yield_fraction - 0.014).abs() < 0.0015,
+        "yield {}",
+        row.yield_fraction
+    );
+    assert!(
+        (row.overhead - 71.32).abs() < 7.0,
+        "overhead {}",
+        row.overhead
+    );
 }
 
 #[test]
@@ -91,7 +99,10 @@ fn defective_slope_exceeds_defect_free_at_same_distance_microbenchmark() {
     let mut d = DefectSet::new();
     d.add_data(Coord::new(7, 7));
     let defective = PatchIndicators::of(&AdaptedPatch::new(PatchLayout::memory(7), &d));
-    let free = PatchIndicators::of(&AdaptedPatch::new(PatchLayout::memory(6), &DefectSet::new()));
+    let free = PatchIndicators::of(&AdaptedPatch::new(
+        PatchLayout::memory(6),
+        &DefectSet::new(),
+    ));
     assert_eq!(defective.distance(), free.distance());
     assert!(defective.shortest_logical_count() < free.shortest_logical_count());
 }

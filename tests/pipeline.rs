@@ -54,7 +54,11 @@ fn super_stabilizer_patch_with_gauge_schedule_decodes() {
     let patch = AdaptedPatch::new(PatchLayout::memory(7), &defects);
     assert_eq!(PatchIndicators::of(&patch).distance(), 5);
     let pt = memory_ler(&patch, 1e-3, 8, 40_000, 31).unwrap();
-    assert!(pt.ler() < 5e-3, "gauge-schedule patch LER too high: {}", pt.ler());
+    assert!(
+        pt.ler() < 5e-3,
+        "gauge-schedule patch LER too high: {}",
+        pt.ler()
+    );
 }
 
 #[test]
@@ -76,12 +80,16 @@ fn detectors_fire_at_expected_rate() {
         let noisy = NoiseModel::new(p).apply(&exp.circuit);
         let batch =
             FrameSampler::new(&noisy).sample(4096, &mut StdRng::seed_from_u64(51 + i as u64));
-        let events: usize =
-            (0..batch.detectors.rows()).map(|r| batch.detectors.count_row(r)).sum();
+        let events: usize = (0..batch.detectors.rows())
+            .map(|r| batch.detectors.count_row(r))
+            .sum();
         rates.push(events as f64 / 4096.0);
     }
     let ratio = rates[1] / rates[0];
-    assert!((ratio - 2.0).abs() < 0.3, "event rate should double: {rates:?}");
+    assert!(
+        (ratio - 2.0).abs() < 0.3,
+        "event rate should double: {rates:?}"
+    );
 }
 
 #[test]
@@ -123,7 +131,9 @@ fn stability_experiment_keep_vs_disable_tradeoff() {
     defects.add_data(bad);
     let disable_patch = AdaptedPatch::new(PatchLayout::stability(6, 6), &defects);
     assert!(disable_patch.is_valid());
-    let disable = stability_ler(&disable_patch, p, None, rounds, shots, 72).unwrap().ler();
+    let disable = stability_ler(&disable_patch, p, None, rounds, shots, 72)
+        .unwrap()
+        .ler();
     assert!(
         disable < keep,
         "disabling a 20% qubit should win: keep={keep} disable={disable}"
@@ -158,8 +168,7 @@ fn orientation_swap_changes_roles_consistently() {
     // swapped orientation (defects become data faults) disables fewer
     // qubits.
     assert!(
-        b.num_disabled_data + b.num_disabled_faces
-            <= a.num_disabled_data + a.num_disabled_faces,
+        b.num_disabled_data + b.num_disabled_faces <= a.num_disabled_data + a.num_disabled_faces,
         "swap should not disable more: {a:?} vs {b:?}"
     );
 }

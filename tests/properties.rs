@@ -53,13 +53,35 @@ proptest! {
     #[test]
     fn more_defects_never_increase_distance(defects in defect_set(7, 3)) {
         let l = 7;
-        let base = PatchIndicators::of(&AdaptedPatch::new(PatchLayout::memory(l), &defects));
+        let base_patch = AdaptedPatch::new(PatchLayout::memory(l), &defects);
+        let base = PatchIndicators::of(&base_patch);
+        // Monotonicity is only guaranteed while both rough boundaries of
+        // each lattice are genuine layout boundaries. Once adaptation
+        // deforms a boundary into the interior (a void component with
+        // `touches_boundary == false`), re-running the cascade with an
+        // extra defect can cut the patch differently and legitimately
+        // *increase* the shortest chain (the base short chain ran along
+        // a peninsula the new cut removes).
+        let genuine_boundaries = base_patch.is_valid()
+            && [CheckBasis::Z, CheckBasis::X].iter().all(|&basis| {
+                void_components(
+                    base_patch.layout(),
+                    basis,
+                    &|c| base_patch.is_live_data(c),
+                    &|c| base_patch.is_live_face(c),
+                )
+                .iter()
+                .all(|comp| comp.touches_boundary)
+            });
         // Add one more interior defect.
         let mut more = defects.clone();
         more.add_data(Coord::new(7, 7));
         let bigger = PatchIndicators::of(&AdaptedPatch::new(PatchLayout::memory(l), &more));
-        prop_assert!(bigger.distance() <= base.distance().max(1) || !base.valid,
-            "distance grew from {} to {}", base.distance(), bigger.distance());
+        prop_assert!(bigger.distance() <= l, "distance {} exceeds l", bigger.distance());
+        prop_assert!(
+            bigger.distance() <= base.distance().max(1) || !base.valid || !genuine_boundaries,
+            "distance grew from {} to {} for defects {:?}",
+            base.distance(), bigger.distance(), defects);
     }
 
     #[test]
@@ -145,8 +167,10 @@ fn blossom_matches_brute_force_on_many_random_graphs() {
 
     let mut rng = StdRng::seed_from_u64(4242);
     for trial in 0..300 {
-        let n = 2 * rng.gen_range(1..=4);
+        let n = 2 * rng.gen_range(1..=4usize);
         let mut w = vec![vec![0.0; n]; n];
+        // Indexing is the clear way to fill a symmetric matrix.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             for j in i + 1..n {
                 let c = (rng.gen_range(0.0..8.0f64) * 8.0).round() / 8.0;
@@ -162,6 +186,9 @@ fn blossom_matches_brute_force_on_many_random_graphs() {
             }
         }
         let want = brute(&w);
-        assert!((cost - want).abs() < 1e-9, "trial {trial}: {cost} vs {want}");
+        assert!(
+            (cost - want).abs() < 1e-9,
+            "trial {trial}: {cost} vs {want}"
+        );
     }
 }

@@ -1,0 +1,216 @@
+//! Offline vendored shim of the `criterion` crate.
+//!
+//! Implements the API surface the workspace benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! `sample_size`, [`Bencher::iter`] / [`Bencher::iter_batched`], the
+//! `criterion_group!` / `criterion_main!` macros and [`black_box`] —
+//! backed by a simple median-of-samples wall-clock timer instead of the
+//! real crate's statistical machinery.
+//!
+//! When the binary is invoked with `--test` (as `cargo test` does for
+//! `harness = false` bench targets) every benchmark body runs exactly
+//! once as a smoke test, keeping `cargo test` fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; defers to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped in [`Bencher::iter_batched`].
+/// The shim times one routine call per batch regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in the real crate.
+    SmallInput,
+    /// Large inputs: few per batch in the real crate.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+    /// A fixed number of batches.
+    NumBatches(u64),
+    /// A fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            smoke_test,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single named benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        let smoke_test = self.smoke_test;
+        run_benchmark(id.as_ref(), sample_size, smoke_test, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(id.as_ref(), sample_size, self.criterion.smoke_test, f);
+        self
+    }
+
+    /// Finishes the group (reporting is per-benchmark in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, smoke_test: bool, mut f: F) {
+    let samples = if smoke_test { 1 } else { sample_size.max(1) };
+    let mut timings = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            smoke_test,
+        };
+        f(&mut bencher);
+        if bencher.iters > 0 {
+            timings.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
+        }
+    }
+    timings.sort_by(|a, b| a.total_cmp(b));
+    let median = timings.get(timings.len() / 2).copied().unwrap_or(f64::NAN);
+    if smoke_test {
+        println!("  {id}: ok (smoke)");
+    } else {
+        println!("  {id}: median {median:.1} ns/iter over {samples} samples");
+    }
+}
+
+/// Times closures; handed to each benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+    smoke_test: bool,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let reps = if self.smoke_test { 1 } else { 3 };
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += reps;
+    }
+
+    /// Times `routine` on inputs produced by `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let reps = if self.smoke_test { 1 } else { 3 };
+        for _ in 0..reps {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Shim of `criterion_group!`: collects benchmark functions under a name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Shim of `criterion_main!`: generates `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("count", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,140 @@
+//! Offline vendored shim of the `rand_chacha` crate.
+//!
+//! Unlike the other shims this one implements the genuine algorithm: a
+//! ChaCha stream-cipher core (Bernstein 2008) driven as a counter-mode
+//! PRNG, with 8-, 12- and 20-round variants. Output words match the
+//! RFC 8439 block function for the given key/nonce/counter layout
+//! (key = seed, 64-bit block counter, zero nonce).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: usize) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CONSTANTS);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    // state[14..16] is the (zero) nonce.
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (word, init) in state.iter_mut().zip(initial.iter()) {
+        *word = word.wrapping_add(*init);
+    }
+    state
+}
+
+macro_rules! chacha_rng {
+    ($(#[$doc:meta] $name:ident, $rounds:expr;)*) => {$(
+        #[$doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buffer: [u32; 16],
+            index: usize,
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (i, word) in key.iter_mut().enumerate() {
+                    let mut b = [0u8; 4];
+                    b.copy_from_slice(&seed[i * 4..(i + 1) * 4]);
+                    *word = u32::from_le_bytes(b);
+                }
+                $name { key, counter: 0, buffer: [0; 16], index: 16 }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.buffer = chacha_block(&self.key, self.counter, $rounds);
+                    self.counter = self.counter.wrapping_add(1);
+                    self.index = 0;
+                }
+                let word = self.buffer[self.index];
+                self.index += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+        }
+    )*};
+}
+
+chacha_rng! {
+    /// ChaCha with 8 rounds: the fast variant used for simulation seeding.
+    ChaCha8Rng, 8;
+    /// ChaCha with 12 rounds.
+    ChaCha12Rng, 12;
+    /// ChaCha with 20 rounds (the original cipher strength).
+    ChaCha20Rng, 20;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn chacha20_matches_rfc8439_block_function() {
+        // RFC 8439 §2.3.2 test vector, adapted to a zero nonce layout:
+        // we only check the key schedule / round structure by verifying
+        // determinism and the known first word of the all-zero-key
+        // ChaCha20 keystream, 0xade0b876.
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        assert_eq!(rng.next_u32(), 0xade0_b876);
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_distinct_across_rounds() {
+        let mut a = ChaCha8Rng::seed_from_u64(99);
+        let mut b = ChaCha8Rng::seed_from_u64(99);
+        let mut c = ChaCha20Rng::seed_from_u64(99);
+        let (xs, ys): (Vec<u64>, Vec<u64>) = (0..64).map(|_| (a.next_u64(), b.next_u64())).unzip();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, (0..64).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_through_the_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..10usize);
+            assert!(v < 10);
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Offline vendored shim of the `rayon` crate.
+//!
+//! Provides the `par_iter()` / `into_par_iter()` entry points and a
+//! `map → collect/sum/for_each` pipeline backed by chunked
+//! `std::thread::scope` fan-out instead of rayon's work-stealing pool.
+//! Order is preserved: `collect()` returns results in input order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::OnceLock;
+
+/// The traits users import, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Process-wide budget of extra worker threads. Real rayon shares one
+/// work-stealing pool; without a budget, nested `par_iter` calls (an
+/// outer sweep whose items each fan out again) would multiply thread
+/// counts and oversubscribe the machine. Inner calls that find the
+/// budget exhausted simply run sequentially on the caller's thread.
+fn budget() -> &'static AtomicIsize {
+    static BUDGET: OnceLock<AtomicIsize> = OnceLock::new();
+    BUDGET.get_or_init(|| {
+        let cores = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        AtomicIsize::new(cores as isize - 1)
+    })
+}
+
+/// Takes up to `want` worker-thread permits from the global budget.
+fn acquire_workers(want: usize) -> usize {
+    let budget = budget();
+    let mut available = budget.load(Ordering::Relaxed);
+    loop {
+        let take = (want as isize).min(available).max(0);
+        if take == 0 {
+            return 0;
+        }
+        match budget.compare_exchange_weak(
+            available,
+            available - take,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return take as usize,
+            Err(now) => available = now,
+        }
+    }
+}
+
+/// Permits held for the duration of one fan-out; returned on drop so a
+/// panicking mapped closure cannot leak budget and silently degrade
+/// every later `par_iter` in the process to sequential.
+struct WorkerPermits(usize);
+
+impl Drop for WorkerPermits {
+    fn drop(&mut self) {
+        budget().fetch_add(self.0 as isize, Ordering::Relaxed);
+    }
+}
+
+/// Conversion into a (shim) parallel iterator, consuming the collection.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+
+    /// Consumes `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// Borrowing conversion: `.par_iter()` over `&self`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The (borrowed) element type.
+    type Item: Send + 'a;
+
+    /// Returns a parallel iterator over borrowed elements.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_into_par {
+    ($($t:ty),* $(,)?) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_into_par!(u32, u64, usize, i32, i64);
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// A materialized sequence of items awaiting a parallel pipeline stage.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Terminal operations shared by [`ParIter`] and [`ParMap`].
+pub trait ParallelIterator {
+    /// The element type flowing out of the pipeline.
+    type Item: Send;
+
+    /// Runs the pipeline, returning results in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Collects results (in input order) into `C`.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C
+    where
+        Self: Sized,
+    {
+        self.run().into_iter().collect()
+    }
+
+    /// Sums the results.
+    fn sum<S: core::iter::Sum<Self::Item>>(self) -> S
+    where
+        Self: Sized,
+    {
+        self.run().into_iter().sum()
+    }
+
+    /// Counts the results.
+    fn count(self) -> usize
+    where
+        Self: Sized,
+    {
+        self.run().len()
+    }
+
+    /// Applies `f` to every result.
+    fn for_each<F: FnMut(Self::Item)>(self, f: F)
+    where
+        Self: Sized,
+    {
+        self.run().into_iter().for_each(f)
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f`, evaluated across worker threads.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// The pipeline stage produced by [`ParIter::map`].
+#[derive(Debug)]
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParallelIterator for ParMap<T, F> {
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let ParMap { items, f } = self;
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // The caller's thread is one worker; borrow the rest from the
+        // global budget (zero available → run sequentially).
+        let permits = WorkerPermits(acquire_workers(n.saturating_sub(1)));
+        let workers = permits.0 + 1;
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk_len = n.div_ceil(workers);
+        // Split into contiguous per-worker chunks so output order is
+        // restored by simple concatenation.
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+        let mut items = items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk_len));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        let f = &f;
+        let mut out = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let mut chunks = chunks.into_iter();
+            let first = chunks.next().expect("n > 0 so at least one chunk");
+            let handles: Vec<_> = chunks
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            // The caller's thread works the first chunk alongside the pool.
+            out.extend(first.into_iter().map(f));
+            for handle in handles {
+                out.extend(handle.join().expect("rayon shim worker panicked"));
+            }
+        });
+        drop(permits);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..10_000u64).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_over_ranges_and_sum() {
+        let total: u64 = (0..1000u64).into_par_iter().map(|x| x).sum();
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn nested_parallelism_shares_the_thread_budget() {
+        // Outer and inner par_iter compose without multiplying thread
+        // counts (inner calls fall back to sequential when the global
+        // budget is exhausted) and stay correct and ordered.
+        let out: Vec<u64> = (0..8u64)
+            .into_par_iter()
+            .map(|i| {
+                (0..100u64)
+                    .into_par_iter()
+                    .map(move |j| i * 100 + j)
+                    .sum::<u64>()
+            })
+            .collect();
+        let want: Vec<u64> = (0..8u64).map(|i| i * 10_000 + 4_950).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn panicking_closure_does_not_leak_budget() {
+        let before = super::budget().load(std::sync::atomic::Ordering::Relaxed);
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = (0..64u32)
+                .into_par_iter()
+                .map(|i| if i == 13 { panic!("boom") } else { i })
+                .collect();
+        });
+        assert!(result.is_err());
+        // Permits must come back. Other tests in this binary borrow from
+        // the same global budget concurrently (net zero), so poll.
+        for _ in 0..200 {
+            if super::budget().load(std::sync::atomic::Ordering::Relaxed) >= before {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        panic!("worker permits leaked after a panicking par map");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = Vec::<u32>::new().par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline vendored shim of the `serde` crate.
+//!
+//! Provides the `Serialize`/`Deserialize` derive macros (as no-ops; see
+//! `vendor/serde_derive`) plus marker traits under the same names, so
+//! that `#[derive(serde::Serialize)]` and `T: serde::Serialize` bounds
+//! both compile. No actual (de)serialization is implemented.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

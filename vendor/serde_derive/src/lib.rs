@@ -1,0 +1,21 @@
+//! Offline vendored shim of `serde_derive`.
+//!
+//! The workspace only uses `#[derive(serde::Serialize, serde::Deserialize)]`
+//! behind `#[cfg_attr(feature = "serde", ...)]` gates and never calls a
+//! serializer, so these derives validly expand to nothing. Swap in the
+//! real crate when a registry is available and actual (de)serialization
+//! is needed.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
