@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dqec_core::adapt::AdaptedPatch;
 use dqec_core::layout::PatchLayout;
 use dqec_core::{memory_z, Coord, DefectSet};
-use dqec_matching::MwpmDecoder;
+use dqec_matching::{Decoder, MwpmDecoder};
 use dqec_sim::frame::FrameSampler;
 use dqec_sim::noise::NoiseModel;
 use rand::rngs::StdRng;

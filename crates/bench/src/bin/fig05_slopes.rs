@@ -1,58 +1,7 @@
-//! Fig. 5 — slope of the log-log LER-vs-p fit for defective l = 11
-//! patches, grouped by adapted code distance, against the defect-free
-//! slopes. The paper's finding: the slope tracks d, and defective
-//! patches have *higher* slopes than defect-free patches of equal d.
-
-use dqec_bench::{defect_free_slope, fmt, header, slope_dataset, RunConfig};
+//! Thin wrapper: parses the shared flags and runs the `fig05_slopes`
+//! reproduction from `dqec_bench::figs` (TSV on stdout by default;
+//! see `--help`).
 
 fn main() {
-    let cfg = RunConfig::from_args();
-    header(
-        "fig05",
-        "LER slope vs adapted code distance (link+qubit defects)",
-        &cfg,
-    );
-    eprintln!("sampling defective patches and measuring slopes (slow)...");
-    let (l, d_range) = cfg.slope_patch();
-    let records = slope_dataset(l, d_range.clone(), &cfg);
-
-    println!("## defective patches (l={l})");
-    println!("d\tmean_slope\tmin_slope\tmax_slope\tn");
-    for d in d_range {
-        let slopes: Vec<f64> = records
-            .iter()
-            .filter(|r| r.indicators.distance() == d)
-            .filter_map(|r| r.slope)
-            .collect();
-        if slopes.is_empty() {
-            println!("{d}\t-\t-\t-\t0");
-            continue;
-        }
-        let mean = slopes.iter().sum::<f64>() / slopes.len() as f64;
-        let min = slopes.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = slopes.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        println!(
-            "{d}\t{}\t{}\t{}\t{}",
-            fmt(mean),
-            fmt(min),
-            fmt(max),
-            slopes.len()
-        );
-    }
-
-    println!("\n## defect-free references");
-    println!("d\tslope");
-    let refs: Vec<u32> = if cfg.full {
-        vec![5, 7, 9, 11]
-    } else {
-        vec![5, 7]
-    };
-    for d in refs {
-        match defect_free_slope(d, &cfg) {
-            Some(s) => println!("{d}\t{}", fmt(s)),
-            None => println!("{d}\t- (no failures observed at these shots)"),
-        }
-    }
-    println!("\n# paper: slopes grow with d (roughly alpha*d with alpha <= 1/2), and");
-    println!("# defective patches sit above the defect-free patch of the same d.");
+    dqec_bench::bin_main("fig05_slopes");
 }

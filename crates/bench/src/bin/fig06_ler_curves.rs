@@ -1,86 +1,7 @@
-//! Fig. 6 — logical error rate versus physical error rate for
-//! defect-free patches (d = 3..9) and example defective l = 11 patches,
-//! in the low-p regime where LER ∝ p^(αd).
-
-use dqec_bench::{fmt, header, rounds_for, RunConfig};
-use dqec_chiplet::defect_model::DefectModel;
-use dqec_chiplet::experiment::memory_ler_curve;
-use dqec_core::adapt::AdaptedPatch;
-use dqec_core::indicators::PatchIndicators;
-use dqec_core::layout::PatchLayout;
-use dqec_core::DefectSet;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Thin wrapper: parses the shared flags and runs the `fig06_ler_curves`
+//! reproduction from `dqec_bench::figs` (TSV on stdout by default;
+//! see `--help`).
 
 fn main() {
-    let cfg = RunConfig::from_args();
-    header(
-        "fig06",
-        "LER vs p for defect-free and defective patches",
-        &cfg,
-    );
-    let ps = cfg.slope_window();
-
-    println!("## defect-free");
-    print!("p");
-    let ds: Vec<u32> = if cfg.full {
-        vec![5, 7, 9, 11]
-    } else {
-        vec![3, 5, 7]
-    };
-    for d in &ds {
-        print!("\td={d}");
-    }
-    println!();
-    let mut curves = Vec::new();
-    for &d in &ds {
-        let patch = AdaptedPatch::new(PatchLayout::memory(d), &DefectSet::new());
-        curves.push(memory_ler_curve(&patch, &ps, d, cfg.shots, cfg.seed).unwrap());
-    }
-    for (i, &p) in ps.iter().enumerate() {
-        print!("{}", fmt(p));
-        for c in &curves {
-            print!("\t{}", fmt(c[i].ler()));
-        }
-        println!();
-    }
-
-    println!("\n## defective l=11 examples (one per adapted distance)");
-    let layout = PatchLayout::memory(11);
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xf16);
-    let mut examples: std::collections::BTreeMap<u32, AdaptedPatch> = Default::default();
-    let wanted: Vec<u32> = if cfg.full {
-        vec![6, 7, 8, 9, 10]
-    } else {
-        vec![7, 9]
-    };
-    let mut tries = 0;
-    while examples.len() < wanted.len() && tries < 20_000 {
-        tries += 1;
-        let defects = DefectModel::LinkAndQubit.sample(&layout, 0.01, &mut rng);
-        let patch = AdaptedPatch::new(layout.clone(), &defects);
-        let d = PatchIndicators::of(&patch).distance();
-        if wanted.contains(&d) {
-            examples.entry(d).or_insert(patch);
-        }
-    }
-    print!("p");
-    for d in examples.keys() {
-        print!("\td={d}");
-    }
-    println!();
-    let mut def_curves = Vec::new();
-    for patch in examples.values() {
-        let rounds = rounds_for(patch);
-        def_curves.push(memory_ler_curve(patch, &ps, rounds, cfg.shots, cfg.seed ^ 0xde).unwrap());
-    }
-    for (i, &p) in ps.iter().enumerate() {
-        print!("{}", fmt(p));
-        for c in &def_curves {
-            print!("\t{}", fmt(c[i].ler()));
-        }
-        println!();
-    }
-    println!("\n# paper: straight lines on log-log axes, ordered by d; defective");
-    println!("# patches interleave with defect-free ones according to their d.");
+    dqec_bench::bin_main("fig06_ler_curves");
 }

@@ -1,31 +1,7 @@
-//! Fig. 7 — slope versus the number of minimum-weight logical
-//! operators (log scale), grouped by adapted distance: the paper's
-//! secondary post-selection indicator, which explains the variation
-//! among equal-distance patches.
-
-use dqec_bench::{fmt, header, slope_dataset, RunConfig};
+//! Thin wrapper: parses the shared flags and runs the `fig07_shortest_logicals`
+//! reproduction from `dqec_bench::figs` (TSV on stdout by default;
+//! see `--help`).
 
 fn main() {
-    let cfg = RunConfig::from_args();
-    header(
-        "fig07",
-        "slope vs log(#shortest logicals), grouped by d",
-        &cfg,
-    );
-    eprintln!("sampling defective patches and measuring slopes (slow)...");
-    let (l, d_range) = cfg.slope_patch();
-    let records = slope_dataset(l, d_range, &cfg);
-    println!("d\tln_num_shortest\tslope");
-    for r in &records {
-        let Some(slope) = r.slope else { continue };
-        println!(
-            "{}\t{}\t{}",
-            r.indicators.distance(),
-            fmt(r.indicators.shortest_logical_count().max(1.0).ln()),
-            fmt(slope)
-        );
-    }
-    println!("\n# paper: within a distance group, fewer shortest logicals means a");
-    println!("# higher slope (better low-p behaviour); defect-free patches sit at");
-    println!("# large counts because of their symmetry.");
+    dqec_bench::bin_main("fig07_shortest_logicals");
 }

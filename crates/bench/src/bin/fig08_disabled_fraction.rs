@@ -1,24 +1,7 @@
-//! Fig. 8 — slope versus the proportion of disabled data qubits: an
-//! alternative indicator the paper evaluates (correlated with d but
-//! adds no extra information).
-
-use dqec_bench::{fmt, header, slope_dataset, RunConfig};
+//! Thin wrapper: parses the shared flags and runs the `fig08_disabled_fraction`
+//! reproduction from `dqec_bench::figs` (TSV on stdout by default;
+//! see `--help`).
 
 fn main() {
-    let cfg = RunConfig::from_args();
-    header("fig08", "slope vs proportion of disabled data qubits", &cfg);
-    eprintln!("sampling defective patches and measuring slopes (slow)...");
-    let (l, d_range) = cfg.slope_patch();
-    let records = slope_dataset(l, d_range, &cfg);
-    println!("d\tproportion_disabled\tslope");
-    for r in &records {
-        let Some(slope) = r.slope else { continue };
-        println!(
-            "{}\t{}\t{}",
-            r.indicators.distance(),
-            fmt(r.indicators.proportion_disabled_data),
-            fmt(slope)
-        );
-    }
-    println!("\n# paper: inversely correlated with the slope, but explained by d.");
+    dqec_bench::bin_main("fig08_disabled_fraction");
 }

@@ -1,24 +1,7 @@
-//! Fig. 9 — slope versus the diameter of the largest disabled cluster:
-//! an indicator the paper evaluates and rejects (no predictive power
-//! beyond d).
-
-use dqec_bench::{fmt, header, slope_dataset, RunConfig};
+//! Thin wrapper: parses the shared flags and runs the `fig09_cluster_diameter`
+//! reproduction from `dqec_bench::figs` (TSV on stdout by default;
+//! see `--help`).
 
 fn main() {
-    let cfg = RunConfig::from_args();
-    header("fig09", "slope vs largest disabled-cluster diameter", &cfg);
-    eprintln!("sampling defective patches and measuring slopes (slow)...");
-    let (l, d_range) = cfg.slope_patch();
-    let records = slope_dataset(l, d_range, &cfg);
-    println!("d\tlargest_cluster_diameter\tslope");
-    for r in &records {
-        let Some(slope) = r.slope else { continue };
-        println!(
-            "{}\t{}\t{}",
-            r.indicators.distance(),
-            fmt(r.indicators.largest_cluster_diameter),
-            fmt(slope)
-        );
-    }
-    println!("\n# paper: the cluster diameter does not help predict the slope.");
+    dqec_bench::bin_main("fig09_cluster_diameter");
 }

@@ -1,29 +1,7 @@
-//! Fig. 10 — slope versus the raw number of faulty qubits: the natural
-//! baseline indicator (visible negative correlation, but much weaker
-//! than the adapted code distance).
-
-use dqec_bench::{fmt, header, slope_dataset, RunConfig};
+//! Thin wrapper: parses the shared flags and runs the `fig10_faulty_count`
+//! reproduction from `dqec_bench::figs` (TSV on stdout by default;
+//! see `--help`).
 
 fn main() {
-    let cfg = RunConfig::from_args();
-    header(
-        "fig10",
-        "slope vs number of faulty qubits (baseline indicator)",
-        &cfg,
-    );
-    eprintln!("sampling defective patches and measuring slopes (slow)...");
-    let (l, d_range) = cfg.slope_patch();
-    let records = slope_dataset(l, d_range, &cfg);
-    println!("num_faulty\tslope\td");
-    for r in &records {
-        let Some(slope) = r.slope else { continue };
-        println!(
-            "{}\t{}\t{}",
-            r.indicators.num_faulty,
-            fmt(slope),
-            r.indicators.distance()
-        );
-    }
-    println!("\n# paper: correlated, but equal-faulty-count patches span a wide");
-    println!("# range of slopes — the adapted distance separates them.");
+    dqec_bench::bin_main("fig10_faulty_count");
 }

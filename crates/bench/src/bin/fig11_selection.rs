@@ -1,56 +1,7 @@
-//! Fig. 11 — post-selection effectiveness: mean and worst slope of the
-//! kept chiplets as the kept proportion varies, comparing the paper's
-//! chosen indicators (distance + number of shortest logicals) against
-//! the faulty-qubit-count baseline.
-
-use dqec_bench::{fmt, header, slope_dataset, RunConfig, SlopeRecord};
-use dqec_chiplet::criteria::Ranking;
-
-fn stats(kept: &[&SlopeRecord]) -> (f64, f64) {
-    let slopes: Vec<f64> = kept.iter().filter_map(|r| r.slope).collect();
-    if slopes.is_empty() {
-        return (f64::NAN, f64::NAN);
-    }
-    let mean = slopes.iter().sum::<f64>() / slopes.len() as f64;
-    let worst = slopes.iter().cloned().fold(f64::INFINITY, f64::min);
-    (mean, worst)
-}
+//! Thin wrapper: parses the shared flags and runs the `fig11_selection`
+//! reproduction from `dqec_bench::figs` (TSV on stdout by default;
+//! see `--help`).
 
 fn main() {
-    let cfg = RunConfig::from_args();
-    header(
-        "fig11",
-        "selection quality: chosen indicators vs faulty-count baseline",
-        &cfg,
-    );
-    eprintln!("sampling defective patches and measuring slopes (slow)...");
-    let (l, d_range) = cfg.slope_patch();
-    let records = slope_dataset(l, d_range, &cfg);
-    let indicators: Vec<_> = records.iter().map(|r| r.indicators.clone()).collect();
-
-    println!("fraction\tbaseline_mean\tbaseline_worst\tchosen_mean\tchosen_worst");
-    for i in 1..=9 {
-        let fraction = i as f64 / 10.0;
-        let keep = ((records.len() as f64) * fraction).round().max(1.0) as usize;
-        let baseline_order = Ranking::FaultyCount.order(&indicators);
-        let chosen_order = Ranking::ChosenIndicators.order(&indicators);
-        let baseline_kept: Vec<&SlopeRecord> = baseline_order[..keep]
-            .iter()
-            .map(|&i| &records[i])
-            .collect();
-        let chosen_kept: Vec<&SlopeRecord> =
-            chosen_order[..keep].iter().map(|&i| &records[i]).collect();
-        let (bm, bw) = stats(&baseline_kept);
-        let (cm, cw) = stats(&chosen_kept);
-        println!(
-            "{}\t{}\t{}\t{}\t{}",
-            fmt(fraction),
-            fmt(bm),
-            fmt(bw),
-            fmt(cm),
-            fmt(cw)
-        );
-    }
-    println!("\n# paper: the chosen indicators keep both the mean and the worst-case");
-    println!("# slope higher than the faulty-count baseline at every kept fraction.");
+    dqec_bench::bin_main("fig11_selection");
 }

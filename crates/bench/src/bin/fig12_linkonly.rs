@@ -1,69 +1,7 @@
-//! Fig. 12 — defective links only: (a) yield of chiplets supporting a
-//! distance-9-equivalent patch, (b) average fabricated qubits per
-//! logical qubit relative to the no-defect case (161), versus the
-//! fabrication error rate, for chiplet sizes l = 9 (defect-intolerant
-//! baseline), 11, 13, 15, 17.
-
-use dqec_bench::{fmt, header, RunConfig};
-use dqec_chiplet::criteria::QualityTarget;
-use dqec_chiplet::defect_model::DefectModel;
-use dqec_chiplet::yields::{
-    overhead_factor, sample_indicators, yield_from_indicators, SampleConfig,
-};
-use dqec_core::layout::PatchLayout;
+//! Thin wrapper: parses the shared flags and runs the `fig12_linkonly`
+//! reproduction from `dqec_bench::figs` (TSV on stdout by default;
+//! see `--help`).
 
 fn main() {
-    let cfg = RunConfig::from_args();
-    header(
-        "fig12",
-        "yield and overhead vs defect rate, link defects only, target d=9",
-        &cfg,
-    );
-    let target = QualityTarget::defect_free(9);
-    let sizes = [11u32, 13, 15, 17];
-    let rates: Vec<f64> = (0..=10).map(|i| i as f64 * 0.002).collect();
-
-    println!("## (a) yield");
-    print!("rate\tbaseline(l=9)");
-    for l in sizes {
-        print!("\tl={l}");
-    }
-    println!();
-    let mut yields: Vec<Vec<f64>> = Vec::new();
-    for &rate in &rates {
-        let base = DefectModel::LinkOnly.defect_free_probability(&PatchLayout::memory(9), rate);
-        let mut row = vec![base];
-        for &l in &sizes {
-            let config = SampleConfig {
-                samples: cfg.samples,
-                seed: cfg.seed,
-                ..SampleConfig::new(l, DefectModel::LinkOnly, rate)
-            };
-            let inds = sample_indicators(&config);
-            row.push(yield_from_indicators(&inds, &target).fraction());
-        }
-        print!("{}", fmt(rate));
-        for y in &row {
-            print!("\t{}", fmt(*y));
-        }
-        println!();
-        yields.push(row);
-    }
-
-    println!("\n## (b) average cost per logical qubit / 161");
-    print!("rate\tbaseline(l=9)");
-    for l in sizes {
-        print!("\tl={l}");
-    }
-    println!();
-    for (i, &rate) in rates.iter().enumerate() {
-        print!("{}", fmt(rate));
-        print!("\t{}", fmt(overhead_factor(9, yields[i][0], 9)));
-        for (j, &l) in sizes.iter().enumerate() {
-            print!("\t{}", fmt(overhead_factor(l, yields[i][j + 1], 9)));
-        }
-        println!();
-    }
-    println!("\n# paper: baseline best below ~0.1%; l=11 to ~0.6%; l=13 to ~1.1%; l>=15 above.");
-    println!("# paper: baseline overhead 18X at 1% and 336X at 2%.");
+    dqec_bench::bin_main("fig12_linkonly");
 }

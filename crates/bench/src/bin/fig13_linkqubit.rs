@@ -1,67 +1,7 @@
-//! Fig. 13 — links and qubits faulty at the same rate: yield (a) and
-//! overhead (b) versus defect rate for l = 9 (baseline), 11…19,
-//! target d = 9.
-
-use dqec_bench::{fmt, header, RunConfig};
-use dqec_chiplet::criteria::QualityTarget;
-use dqec_chiplet::defect_model::DefectModel;
-use dqec_chiplet::yields::{
-    overhead_factor, sample_indicators, yield_from_indicators, SampleConfig,
-};
-use dqec_core::layout::PatchLayout;
+//! Thin wrapper: parses the shared flags and runs the `fig13_linkqubit`
+//! reproduction from `dqec_bench::figs` (TSV on stdout by default;
+//! see `--help`).
 
 fn main() {
-    let cfg = RunConfig::from_args();
-    header(
-        "fig13",
-        "yield and overhead vs defect rate, link+qubit defects, target d=9",
-        &cfg,
-    );
-    let target = QualityTarget::defect_free(9);
-    let sizes = [11u32, 13, 15, 17, 19];
-    let rates: Vec<f64> = (0..=10).map(|i| i as f64 * 0.001).collect();
-
-    println!("## (a) yield");
-    print!("rate\tbaseline(l=9)");
-    for l in sizes {
-        print!("\tl={l}");
-    }
-    println!();
-    let mut yields: Vec<Vec<f64>> = Vec::new();
-    for &rate in &rates {
-        let base = DefectModel::LinkAndQubit.defect_free_probability(&PatchLayout::memory(9), rate);
-        let mut row = vec![base];
-        for &l in &sizes {
-            let config = SampleConfig {
-                samples: cfg.samples,
-                seed: cfg.seed,
-                ..SampleConfig::new(l, DefectModel::LinkAndQubit, rate)
-            };
-            let inds = sample_indicators(&config);
-            row.push(yield_from_indicators(&inds, &target).fraction());
-        }
-        print!("{}", fmt(rate));
-        for y in &row {
-            print!("\t{}", fmt(*y));
-        }
-        println!();
-        yields.push(row);
-    }
-
-    println!("\n## (b) average cost per logical qubit / 161");
-    print!("rate\tbaseline(l=9)");
-    for l in sizes {
-        print!("\tl={l}");
-    }
-    println!();
-    for (i, &rate) in rates.iter().enumerate() {
-        print!("{}", fmt(rate));
-        print!("\t{}", fmt(overhead_factor(9, yields[i][0], 9)));
-        for (j, &l) in sizes.iter().enumerate() {
-            print!("\t{}", fmt(overhead_factor(l, yields[i][j + 1], 9)));
-        }
-        println!();
-    }
-    println!("\n# paper: yields lower than Fig 12; larger l pays off from lower rates;");
-    println!("# paper: baseline overhead 91X at 1%.");
+    dqec_bench::bin_main("fig13_linkqubit");
 }

@@ -1,47 +1,7 @@
-//! Fig. 14 — worked example of the code distance dropping after a
-//! lattice-surgery merge: boundary deformations on the merging edges
-//! shorten the undetectable chains crossing the seam.
-
-use dqec_bench::{header, RunConfig};
-use dqec_core::adapt::AdaptedPatch;
-use dqec_core::coords::{Coord, Side};
-use dqec_core::indicators::PatchIndicators;
-use dqec_core::layout::PatchLayout;
-use dqec_core::merge::{edge_deformed, merged_distance};
-use dqec_core::DefectSet;
+//! Thin wrapper: parses the shared flags and runs the `fig14_merge_example`
+//! reproduction from `dqec_bench::figs` (TSV on stdout by default;
+//! see `--help`).
 
 fn main() {
-    let cfg = RunConfig::from_args();
-    header(
-        "fig14",
-        "code distance before and after a lattice-surgery merge",
-        &cfg,
-    );
-
-    // A defect column on the right edge of a 9x9 patch — the paper's
-    // "deformations aligned on the merging edge" situation.
-    let l = 9u32;
-    let mut defects = DefectSet::new();
-    defects.add_data(Coord::new(17, 9));
-    defects.add_synd(Coord::new(16, 12));
-
-    let patch = AdaptedPatch::new(PatchLayout::memory(l), &defects);
-    let ind = PatchIndicators::of(&patch);
-    println!(
-        "standalone patch: d = {} (dX={}, dZ={})",
-        ind.distance(),
-        ind.dist_x,
-        ind.dist_z
-    );
-    println!("\nedge\tdeformed\tmerged transverse distance");
-    for side in Side::ALL {
-        println!(
-            "{side:?}\t{}\t{:?}",
-            edge_deformed(&patch, side),
-            merged_distance(&defects, l, side)
-        );
-    }
-    println!("\n# merging across the deformed (right) edge yields a lower transverse");
-    println!("# distance than merging across clean edges — the compiler should");
-    println!("# schedule lattice surgery on the other edges of such patches.");
+    dqec_bench::bin_main("fig14_merge_example");
 }

@@ -1,62 +1,7 @@
-//! Fig. 15 — yield after imposing the four boundary-quality standards
-//! (deformation-free edges / surgery-capable edges, on all four or on
-//! two opposite-type edges), links and qubits faulty at the same rate,
-//! l = 13 chiplets against a d = 9 target.
-
-use dqec_bench::{fmt, header, RunConfig};
-use dqec_chiplet::criteria::QualityTarget;
-use dqec_chiplet::defect_model::DefectModel;
-use dqec_core::adapt::AdaptedPatch;
-use dqec_core::indicators::PatchIndicators;
-use dqec_core::layout::PatchLayout;
-use dqec_core::merge::BoundaryStandard;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Thin wrapper: parses the shared flags and runs the `fig15_boundary_standards`
+//! reproduction from `dqec_bench::figs` (TSV on stdout by default;
+//! see `--help`).
 
 fn main() {
-    let cfg = RunConfig::from_args();
-    header(
-        "fig15",
-        "yield under boundary standards 1-4, link+qubit defects, l=13, d=9",
-        &cfg,
-    );
-    let l = 13u32;
-    let d_target = 9u32;
-    let target = QualityTarget::defect_free(d_target);
-    let rates: Vec<f64> = (0..=5).map(|i| i as f64 * 0.002).collect();
-    // Surgery standards are 4x as expensive (one merged adaptation per
-    // edge), so they use a reduced sample count in quick mode.
-    let samples = if cfg.full {
-        cfg.samples
-    } else {
-        (cfg.samples / 4).max(1)
-    };
-
-    println!("rate\tno-requirement\tstandard1\tstandard2\tstandard3\tstandard4");
-    for &rate in &rates {
-        let layout = PatchLayout::memory(l);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut kept = [0usize; 5];
-        for _ in 0..samples {
-            let defects = DefectModel::LinkAndQubit.sample(&layout, rate, &mut rng);
-            let patch = AdaptedPatch::new(layout.clone(), &defects);
-            let ind = PatchIndicators::of(&patch);
-            if !target.accepts(&ind) {
-                continue;
-            }
-            kept[0] += 1;
-            for (i, std) in BoundaryStandard::ALL.iter().enumerate() {
-                if std.satisfied(&patch, &defects, l, d_target) {
-                    kept[i + 1] += 1;
-                }
-            }
-        }
-        print!("{}", fmt(rate));
-        for k in kept {
-            print!("\t{}", fmt(k as f64 / samples as f64));
-        }
-        println!();
-    }
-    println!("\n# paper: only standard 1 drops the yield significantly; standard 4's");
-    println!("# drop is negligible; standards 2-3 cost a visible but small amount.");
+    dqec_bench::bin_main("fig15_boundary_standards");
 }

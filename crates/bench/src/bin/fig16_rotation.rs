@@ -1,47 +1,7 @@
-//! Fig. 16 — yield improvement from the freedom to rotate chiplets
-//! (swapping the data/syndrome assignment), links and qubits faulty at
-//! the same rate, l = 11, 13, 15 against a d = 9 target.
-
-use dqec_bench::{fmt, header, RunConfig};
-use dqec_chiplet::criteria::QualityTarget;
-use dqec_chiplet::defect_model::DefectModel;
-use dqec_chiplet::yields::{sample_indicators, yield_from_indicators, SampleConfig};
+//! Thin wrapper: parses the shared flags and runs the `fig16_rotation`
+//! reproduction from `dqec_bench::figs` (TSV on stdout by default;
+//! see `--help`).
 
 fn main() {
-    let cfg = RunConfig::from_args();
-    header(
-        "fig16",
-        "yield with/without chiplet-rotation freedom, link+qubit defects, d=9",
-        &cfg,
-    );
-    let target = QualityTarget::defect_free(9);
-    let sizes = [11u32, 13, 15];
-    let rates: Vec<f64> = (0..=5).map(|i| i as f64 * 0.002).collect();
-
-    print!("rate");
-    for l in sizes {
-        print!("\tl={l}\tl={l}(rot)");
-    }
-    println!();
-    for &rate in &rates {
-        print!("{}", fmt(rate));
-        for &l in &sizes {
-            for rot in [false, true] {
-                let config = SampleConfig {
-                    samples: cfg.samples,
-                    seed: cfg.seed,
-                    orientation_freedom: rot,
-                    ..SampleConfig::new(l, DefectModel::LinkAndQubit, rate)
-                };
-                let inds = sample_indicators(&config);
-                print!(
-                    "\t{}",
-                    fmt(yield_from_indicators(&inds, &target).fraction())
-                );
-            }
-        }
-        println!();
-    }
-    println!("\n# paper: rotation freedom visibly improves the yield when qubit");
-    println!("# defects are present (faulty syndrome qubits hurt more than data).");
+    dqec_bench::bin_main("fig16_rotation");
 }

@@ -1,66 +1,7 @@
-//! Fig. 17 — larger chiplets for a distance-17 target, link defects
-//! only: yield (a) and overhead relative to 577 qubits (b) for
-//! l = 17 (baseline), 19, 21, 23, 25, 27.
-
-use dqec_bench::{fmt, header, RunConfig};
-use dqec_chiplet::criteria::QualityTarget;
-use dqec_chiplet::defect_model::DefectModel;
-use dqec_chiplet::yields::{
-    overhead_factor, sample_indicators, yield_from_indicators, SampleConfig,
-};
-use dqec_core::layout::PatchLayout;
+//! Thin wrapper: parses the shared flags and runs the `fig17_target17`
+//! reproduction from `dqec_bench::figs` (TSV on stdout by default;
+//! see `--help`).
 
 fn main() {
-    let cfg = RunConfig::from_args();
-    header(
-        "fig17",
-        "yield and overhead vs defect rate, link-only, target d=17",
-        &cfg,
-    );
-    let target = QualityTarget::defect_free(17);
-    let sizes = [19u32, 21, 23, 25, 27];
-    let rates: Vec<f64> = (0..=10).map(|i| i as f64 * 0.001).collect();
-
-    println!("## (a) yield");
-    print!("rate\tbaseline(l=17)");
-    for l in sizes {
-        print!("\tl={l}");
-    }
-    println!();
-    let mut yields: Vec<Vec<f64>> = Vec::new();
-    for &rate in &rates {
-        let base = DefectModel::LinkOnly.defect_free_probability(&PatchLayout::memory(17), rate);
-        let mut row = vec![base];
-        for &l in &sizes {
-            let config = SampleConfig {
-                samples: cfg.samples,
-                seed: cfg.seed,
-                ..SampleConfig::new(l, DefectModel::LinkOnly, rate)
-            };
-            let inds = sample_indicators(&config);
-            row.push(yield_from_indicators(&inds, &target).fraction());
-        }
-        print!("{}", fmt(rate));
-        for y in &row {
-            print!("\t{}", fmt(*y));
-        }
-        println!();
-        yields.push(row);
-    }
-
-    println!("\n## (b) average cost per logical qubit / 577");
-    print!("rate\tbaseline(l=17)");
-    for l in sizes {
-        print!("\tl={l}");
-    }
-    println!();
-    for (i, &rate) in rates.iter().enumerate() {
-        print!("{}", fmt(rate));
-        print!("\t{}", fmt(overhead_factor(17, yields[i][0], 17)));
-        for (j, &l) in sizes.iter().enumerate() {
-            print!("\t{}", fmt(overhead_factor(l, yields[i][j + 1], 17)));
-        }
-        println!();
-    }
-    println!("\n# paper: baseline overhead exceeds 56000X at 1% defect rate.");
+    dqec_bench::bin_main("fig17_target17");
 }

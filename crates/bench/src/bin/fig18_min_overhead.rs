@@ -1,84 +1,7 @@
-//! Fig. 18 — minimum extra resource overhead achievable by choosing the
-//! optimal chiplet size, versus defect rate, for target distances
-//! d = 9, 11, 13, 15, 17. Three panels: (a) link defects only,
-//! (b) link+qubit defects, (c) link+qubit with the freedom to swap the
-//! data/syndrome assignment (chiplet rotation).
-//!
-//! Samples are shared across targets: each (l, rate) population is
-//! sampled once and post-selected against every target.
-
-use dqec_bench::{fmt, header, RunConfig};
-use dqec_chiplet::criteria::QualityTarget;
-use dqec_chiplet::defect_model::DefectModel;
-use dqec_chiplet::yields::{
-    overhead_factor, sample_indicators, yield_from_indicators, SampleConfig,
-};
-use dqec_core::indicators::PatchIndicators;
-use dqec_core::layout::PatchLayout;
-use std::collections::BTreeMap;
+//! Thin wrapper: parses the shared flags and runs the `fig18_min_overhead`
+//! reproduction from `dqec_bench::figs` (TSV on stdout by default;
+//! see `--help`).
 
 fn main() {
-    let cfg = RunConfig::from_args();
-    header(
-        "fig18",
-        "minimum overhead factor vs defect rate for target d=9..17",
-        &cfg,
-    );
-    let targets = [9u32, 11, 13, 15, 17];
-    let rates: Vec<f64> = (1..=5).map(|i| i as f64 * 0.002).collect();
-    let panels: [(&str, DefectModel, bool); 3] = [
-        ("(a) link defects only", DefectModel::LinkOnly, false),
-        ("(b) link+qubit defects", DefectModel::LinkAndQubit, false),
-        (
-            "(c) link+qubit defects, with data/syndrome swap",
-            DefectModel::LinkAndQubit,
-            true,
-        ),
-    ];
-    let sizes: Vec<u32> = (9..=31).step_by(2).map(|l| l as u32).collect();
-    let quality: BTreeMap<u32, QualityTarget> = targets
-        .iter()
-        .map(|&d| (d, QualityTarget::defect_free(d)))
-        .collect();
-
-    for (name, model, swap) in panels {
-        println!("\n## {name}");
-        print!("rate");
-        for d in targets {
-            print!("\td={d}");
-        }
-        println!();
-        for &rate in &rates {
-            // Sample every size once at this rate.
-            let mut populations: BTreeMap<u32, Vec<PatchIndicators>> = BTreeMap::new();
-            for &l in &sizes {
-                let config = SampleConfig {
-                    samples: cfg.samples,
-                    seed: cfg.seed,
-                    orientation_freedom: swap,
-                    ..SampleConfig::new(l, model, rate)
-                };
-                populations.insert(l, sample_indicators(&config));
-            }
-            print!("{}", fmt(rate));
-            for &d in &targets {
-                let mut best = f64::INFINITY;
-                for &l in &sizes {
-                    if l < d {
-                        continue;
-                    }
-                    let y = if l == d {
-                        model.defect_free_probability(&PatchLayout::memory(l), rate)
-                    } else {
-                        yield_from_indicators(&populations[&l], &quality[&d]).fraction()
-                    };
-                    best = best.min(overhead_factor(l, y, d));
-                }
-                print!("\t{}", fmt(best));
-            }
-            println!();
-        }
-    }
-    println!("\n# paper: (a) curves coincide, ~2X at 0.5% and <3X at 1%;");
-    println!("# paper: (b) ~3X at 0.5%, 5-6X at 1%; (c) slightly lower than (b).");
+    dqec_bench::bin_main("fig18_min_overhead");
 }

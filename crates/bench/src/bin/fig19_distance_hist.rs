@@ -1,40 +1,7 @@
-//! Fig. 19 — code-distance distribution of adapted patches:
-//! (a) l = 33 at 0.1% defects, (b) l = 39 at 0.3% defects, both links
-//! and qubits faulty; the d >= 27 mass is the yield of the distance-27
-//! target.
-
-use dqec_bench::{fmt, header, RunConfig};
-use dqec_chiplet::defect_model::DefectModel;
-use dqec_chiplet::yields::{sample_indicators, SampleConfig};
-use dqec_estimator::fidelity::distance_distribution;
+//! Thin wrapper: parses the shared flags and runs the `fig19_distance_hist`
+//! reproduction from `dqec_bench::figs` (TSV on stdout by default;
+//! see `--help`).
 
 fn main() {
-    let cfg = RunConfig::from_args();
-    header(
-        "fig19",
-        "code-distance distributions for l=33 @0.1% and l=39 @0.3%",
-        &cfg,
-    );
-    for (panel, l, rate, paper_yield) in [("(a)", 33u32, 0.001, 0.945), ("(b)", 39, 0.003, 0.946)] {
-        let config = SampleConfig {
-            samples: cfg.samples,
-            seed: cfg.seed,
-            ..SampleConfig::new(l, DefectModel::LinkAndQubit, rate)
-        };
-        let inds = sample_indicators(&config);
-        let dist = distance_distribution(&inds);
-        println!("\n## {panel} l={l} rate={rate}");
-        println!("distance\tproportion");
-        let mut ge27 = 0.0;
-        for (d, w) in &dist {
-            println!("{d}\t{}", fmt(*w));
-            if *d >= 27 {
-                ge27 += w;
-            }
-        }
-        println!(
-            "# proportion with d >= 27: {} (paper: {paper_yield})",
-            fmt(ge27)
-        );
-    }
+    dqec_bench::bin_main("fig19_distance_hist");
 }

@@ -1,63 +1,7 @@
-//! Fig. 20 — cutoff fidelity for disabling a bad qubit: stability
-//! experiments on a patch whose central data qubit has an elevated
-//! two-qubit error rate (5–15%), compared against disabling it and
-//! forming super-stabilizers. Where the curves cross tells whether the
-//! qubit should be kept or disabled.
-
-use dqec_bench::{fmt, header, RunConfig};
-use dqec_chiplet::experiment::stability_ler;
-use dqec_core::adapt::AdaptedPatch;
-use dqec_core::layout::PatchLayout;
-use dqec_core::{Coord, DefectSet};
+//! Thin wrapper: parses the shared flags and runs the `fig20_stability_cutoff`
+//! reproduction from `dqec_bench::figs` (TSV on stdout by default;
+//! see `--help`).
 
 fn main() {
-    let cfg = RunConfig::from_args();
-    header(
-        "fig20",
-        "stability experiment: keep vs disable a bad data qubit",
-        &cfg,
-    );
-    // All-X-boundary stability patch (even x even is required for k=0 on
-    // the rotated lattice; the paper's 'd=5' patch maps to 6x6 here).
-    let bad = Coord::new(5, 5);
-    let rounds = 8;
-    let ps: Vec<f64> = if cfg.full {
-        (1..=9).map(|i| i as f64 * 1e-3).collect()
-    } else {
-        vec![2e-3, 4e-3, 6e-3, 8e-3]
-    };
-    let bad_ps = [0.05, 0.08, 0.10, 0.15];
-
-    let keep_patch = AdaptedPatch::new(PatchLayout::stability(6, 6), &DefectSet::new());
-    let mut disable_defects = DefectSet::new();
-    disable_defects.add_data(bad);
-    let disable_patch = AdaptedPatch::new(PatchLayout::stability(6, 6), &disable_defects);
-    assert!(disable_patch.is_valid());
-
-    print!("p\tsuper-stabilizer");
-    for bp in bad_ps {
-        print!("\tfaulty p={bp}");
-    }
-    println!();
-    for &p in &ps {
-        let disable = stability_ler(&disable_patch, p, None, rounds, cfg.shots, cfg.seed)
-            .expect("stability circuit builds");
-        print!("{}\t{}", fmt(p), fmt(disable.ler()));
-        for &bp in &bad_ps {
-            let keep = stability_ler(
-                &keep_patch,
-                p,
-                Some((bad, bp)),
-                rounds,
-                cfg.shots,
-                cfg.seed ^ (1000.0 * bp) as u64,
-            )
-            .expect("stability circuit builds");
-            print!("\t{}", fmt(keep.ler()));
-        }
-        println!();
-    }
-    println!("\n# paper: above ~10% the bad qubit should always be disabled; below");
-    println!("# ~5% it should be kept unless the good qubits are extremely clean;");
-    println!("# at ~8% the cutoff sits near a good-qubit error rate of ~0.45%.");
+    dqec_bench::bin_main("fig20_stability_cutoff");
 }

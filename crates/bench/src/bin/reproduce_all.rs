@@ -1,85 +1,40 @@
-//! Master harness: runs every figure/table reproduction binary in
-//! sequence with shared settings, writing each output to
-//! `results/<name>.tsv`.
+//! Master harness: runs every figure/table reproduction in-process with
+//! shared settings, writing each output to `results/<name>.tsv` (or
+//! `.json` with `--json`; choose the directory with `--out DIR`).
 //!
-//! Usage: `cargo run --release -p dqec_bench --bin reproduce_all -- [--full] [--samples N] [--shots N]`
+//! Usage: `cargo run --release -p dqec_bench --bin reproduce_all -- [--full] [--samples N] [--shots N] [--json]`
 
-use std::process::Command;
-
-const BINARIES: &[&str] = &[
-    "fig05_slopes",
-    "fig06_ler_curves",
-    "fig07_shortest_logicals",
-    "fig08_disabled_fraction",
-    "fig09_cluster_diameter",
-    "fig10_faulty_count",
-    "fig11_selection",
-    "fig12_linkonly",
-    "fig13_linkqubit",
-    "fig14_merge_example",
-    "fig15_boundary_standards",
-    "fig16_rotation",
-    "fig17_target17",
-    "fig18_min_overhead",
-    "fig19_distance_hist",
-    "fig20_stability_cutoff",
-    "table01_02_resources",
-    "table03_04_fidelity",
-];
+use dqec_bench::{figs, run_reproduction, RunConfig};
 
 fn main() {
-    let passthrough: Vec<String> = std::env::args().skip(1).collect();
-    std::fs::create_dir_all("results").expect("create results dir");
-    let exe_dir = std::env::current_exe()
-        .expect("current exe")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
-    // `cargo run --bin reproduce_all` builds only this binary; fail up
-    // front with the fix rather than with 18 opaque launch errors.
-    let missing: Vec<&str> = BINARIES
-        .iter()
-        .copied()
-        .filter(|name| {
-            !exe_dir
-                .join(format!("{name}{}", std::env::consts::EXE_SUFFIX))
-                .exists()
-        })
-        .collect();
-    if !missing.is_empty() {
-        eprintln!(
-            "missing {} sibling binaries (e.g. {}); build them first with\n    \
-             cargo build --release -p dqec_bench --bins",
-            missing.len(),
-            missing[0]
-        );
-        std::process::exit(1);
-    }
+    let mut cfg = RunConfig::from_args();
+    // Default the output directory so stdout stays a progress log.
+    cfg.out.get_or_insert_with(|| "results".into());
     let mut failures = Vec::new();
-    for name in BINARIES {
-        eprintln!("=== running {name} ===");
+    for rep in figs::ALL {
+        eprintln!("=== running {} ===", rep.name);
         let started = std::time::Instant::now();
-        let output = Command::new(exe_dir.join(name)).args(&passthrough).output();
-        match output {
-            Ok(out) if out.status.success() => {
-                let path = format!("results/{name}.tsv");
-                std::fs::write(&path, &out.stdout).expect("write results");
-                eprintln!("    -> {path} ({:.1?})", started.elapsed());
-            }
-            Ok(out) => {
-                eprintln!("    FAILED: {}", String::from_utf8_lossy(&out.stderr));
-                failures.push(*name);
+        match run_reproduction(rep.name, &cfg) {
+            Ok(()) => {
+                let ext = if cfg.json { "json" } else { "tsv" };
+                eprintln!(
+                    "    -> {}/{}.{ext} ({:.1?})",
+                    cfg.out.as_ref().expect("out dir set above").display(),
+                    rep.name,
+                    started.elapsed()
+                );
             }
             Err(e) => {
-                eprintln!("    could not launch (build with --bins first): {e}");
-                failures.push(*name);
+                eprintln!("    FAILED: {e}");
+                failures.push(rep.name);
             }
         }
     }
     if failures.is_empty() {
         eprintln!(
-            "all {} reproductions complete; outputs in results/",
-            BINARIES.len()
+            "all {} reproductions complete; outputs in {}/",
+            figs::ALL.len(),
+            cfg.out.as_ref().expect("out dir set above").display()
         );
     } else {
         eprintln!("failed: {failures:?}");

@@ -1,75 +1,7 @@
-//! Tables 1 and 2 — resource estimation for a device supporting
-//! Shor-2048 (a 226 x 63 grid of distance-27 patches): the ideal
-//! no-defect device, the defect-intolerant modular baseline, and the
-//! super-stabilizer approach with the optimal chiplet size, at defect
-//! rates 0.1% and 0.3% on both qubits and links.
-
-use dqec_bench::{fmt, header, RunConfig};
-use dqec_chiplet::defect_model::DefectModel;
-use dqec_estimator::{defect_intolerant_row, no_defect_row, super_stabilizer_row, ApplicationSpec};
+//! Thin wrapper: parses the shared flags and runs the `table01_02_resources`
+//! reproduction from `dqec_bench::figs` (TSV on stdout by default;
+//! see `--help`).
 
 fn main() {
-    let cfg = RunConfig::from_args();
-    header(
-        "table01_02",
-        "Shor-2048 resource estimation (Tables 1-2)",
-        &cfg,
-    );
-    let spec = ApplicationSpec::shor_2048();
-    let candidates: Vec<u32> = (29..=43).step_by(2).collect();
-
-    for (table, rate, paper) in [
-        (
-            "Table 1",
-            0.001,
-            "(paper: l=33, yield 94.5%, overhead 1.58, 3.3e7 qubits)",
-        ),
-        (
-            "Table 2",
-            0.003,
-            "(paper: l=39, yield 94.6%, overhead 2.21, 4.6e7 qubits)",
-        ),
-    ] {
-        println!("\n## {table}: defect rate {rate} on qubits and links {paper}");
-        println!("approach\tl\tyield\toverhead\tqubits");
-        let ideal = no_defect_row(&spec);
-        println!(
-            "{}\t{}\t{}\t{}\t{}",
-            ideal.label,
-            ideal.l,
-            fmt(ideal.yield_fraction),
-            fmt(ideal.overhead),
-            fmt(ideal.total_qubits)
-        );
-        let intol = defect_intolerant_row(&spec, DefectModel::LinkAndQubit, rate);
-        println!(
-            "{}\t{}\t{}\t{}\t{}",
-            intol.label,
-            intol.l,
-            fmt(intol.yield_fraction),
-            fmt(intol.overhead),
-            fmt(intol.total_qubits)
-        );
-        let (ss, _) = super_stabilizer_row(
-            &spec,
-            DefectModel::LinkAndQubit,
-            rate,
-            &candidates,
-            cfg.samples,
-            cfg.seed,
-        );
-        println!(
-            "{}\t{}\t{}\t{}\t{}",
-            ss.label,
-            ss.l,
-            fmt(ss.yield_fraction),
-            fmt(ss.overhead),
-            fmt(ss.total_qubits)
-        );
-        println!(
-            "# super-stabilizer vs defect-intolerant advantage: {}X",
-            fmt(intol.overhead / ss.overhead)
-        );
-    }
-    println!("\n# paper: the advantage is 45X at 0.1% and more than 1e5X at 0.3%.");
+    dqec_bench::bin_main("table01_02_resources");
 }

@@ -1,0 +1,30 @@
+//! Fig. 8 — slope versus the proportion of disabled data qubits: an
+//! alternative indicator the paper evaluates (correlated with d but
+//! adds no extra information).
+
+use crate::{slope_dataset, FigResult, RunConfig};
+use dqec_chiplet::record::{Record, Sink, Value};
+
+/// Emits the figure's records.
+pub fn run(cfg: &RunConfig, sink: &mut dyn Sink) -> FigResult {
+    eprintln!("sampling defective patches and measuring slopes (slow)...");
+    let (l, d_range) = cfg.slope_patch();
+    let records = slope_dataset(l, d_range, cfg);
+    sink.emit(&Record::Columns(
+        ["d", "proportion_disabled", "slope"]
+            .map(String::from)
+            .to_vec(),
+    ));
+    for r in &records {
+        let Some(slope) = r.slope else { continue };
+        sink.emit(&Record::row([
+            Value::from(r.indicators.distance()),
+            r.indicators.proportion_disabled_data.into(),
+            slope.into(),
+        ]));
+    }
+    sink.emit(&Record::Note(
+        "paper: inversely correlated with the slope, but explained by d.".into(),
+    ));
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! Fig. 9 — slope versus the diameter of the largest disabled cluster:
+//! an indicator the paper evaluates and rejects (no predictive power
+//! beyond d).
+
+use crate::{slope_dataset, FigResult, RunConfig};
+use dqec_chiplet::record::{Record, Sink, Value};
+
+/// Emits the figure's records.
+pub fn run(cfg: &RunConfig, sink: &mut dyn Sink) -> FigResult {
+    eprintln!("sampling defective patches and measuring slopes (slow)...");
+    let (l, d_range) = cfg.slope_patch();
+    let records = slope_dataset(l, d_range, cfg);
+    sink.emit(&Record::Columns(
+        ["d", "largest_cluster_diameter", "slope"]
+            .map(String::from)
+            .to_vec(),
+    ));
+    for r in &records {
+        let Some(slope) = r.slope else { continue };
+        sink.emit(&Record::row([
+            Value::from(r.indicators.distance()),
+            r.indicators.largest_cluster_diameter.into(),
+            slope.into(),
+        ]));
+    }
+    sink.emit(&Record::Note(
+        "paper: the cluster diameter does not help predict the slope.".into(),
+    ));
+    Ok(())
+}

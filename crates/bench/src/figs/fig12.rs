@@ -1,0 +1,32 @@
+//! Fig. 12 — defective links only: yield of chiplets supporting a
+//! distance-9-equivalent patch and average fabricated qubits per
+//! logical qubit relative to the no-defect case (161), versus the
+//! fabrication error rate, for chiplet sizes l = 9 (defect-intolerant
+//! baseline), 11, 13, 15, 17. Each yield record carries both the yield
+//! and the overhead factor.
+
+use crate::figs::yield_overhead_figure;
+use crate::{FigResult, RunConfig};
+use dqec_chiplet::defect_model::DefectModel;
+use dqec_chiplet::record::{Record, Sink};
+
+/// Emits the figure's records.
+pub fn run(cfg: &RunConfig, sink: &mut dyn Sink) -> FigResult {
+    let rates: Vec<f64> = (0..=10).map(|i| i as f64 * 0.002).collect();
+    yield_overhead_figure(
+        cfg,
+        sink,
+        DefectModel::LinkOnly,
+        9,
+        9,
+        &[11, 13, 15, 17],
+        &rates,
+    )?;
+    sink.emit(&Record::Note(
+        "paper: baseline best below ~0.1%; l=11 to ~0.6%; l=13 to ~1.1%; l>=15 above.".into(),
+    ));
+    sink.emit(&Record::Note(
+        "paper: baseline overhead 18X at 1% and 336X at 2%.".into(),
+    ));
+    Ok(())
+}

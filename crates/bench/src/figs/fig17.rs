@@ -1,0 +1,26 @@
+//! Fig. 17 — larger chiplets for a distance-17 target, link defects
+//! only: yield and overhead relative to 577 qubits for
+//! l = 17 (baseline), 19, 21, 23, 25, 27.
+
+use crate::figs::yield_overhead_figure;
+use crate::{FigResult, RunConfig};
+use dqec_chiplet::defect_model::DefectModel;
+use dqec_chiplet::record::{Record, Sink};
+
+/// Emits the figure's records.
+pub fn run(cfg: &RunConfig, sink: &mut dyn Sink) -> FigResult {
+    let rates: Vec<f64> = (0..=10).map(|i| i as f64 * 0.001).collect();
+    yield_overhead_figure(
+        cfg,
+        sink,
+        DefectModel::LinkOnly,
+        17,
+        17,
+        &[19, 21, 23, 25, 27],
+        &rates,
+    )?;
+    sink.emit(&Record::Note(
+        "paper: baseline overhead exceeds 56000X at 1% defect rate.".into(),
+    ));
+    Ok(())
+}

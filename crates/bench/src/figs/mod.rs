@@ -1,0 +1,179 @@
+//! Figure/table reproduction logic.
+//!
+//! Each submodule reproduces one figure or table of the paper by
+//! declaring experiment specs and emitting typed records; the thin
+//! `src/bin/` wrappers, the in-process `reproduce_all` harness, and the
+//! golden-output tests all call the same functions through [`ALL`].
+
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod table01_02;
+pub mod table03_04;
+
+use crate::{FigResult, RunConfig};
+use dqec_chiplet::criteria::QualityTarget;
+use dqec_chiplet::defect_model::DefectModel;
+use dqec_chiplet::record::{Record, Sink, YieldRecord};
+use dqec_chiplet::yields::{
+    overhead_factor, sample_indicators, yield_from_indicators, SampleConfig,
+};
+use dqec_core::layout::PatchLayout;
+
+/// One figure/table reproduction: its binary name, a one-line
+/// description, and the record-emitting run function.
+pub struct Reproduction {
+    /// Binary name (`fig06_ler_curves`, `table01_02_resources`, ...).
+    pub name: &'static str,
+    /// One-line description shown in the output header.
+    pub what: &'static str,
+    /// Emits the figure's records under the given configuration.
+    pub run: fn(&RunConfig, &mut dyn Sink) -> FigResult,
+}
+
+/// Every reproduction, in the order `reproduce_all` runs them.
+pub const ALL: &[Reproduction] = &[
+    Reproduction {
+        name: "fig05_slopes",
+        what: "LER slope vs adapted code distance (link+qubit defects)",
+        run: fig05::run,
+    },
+    Reproduction {
+        name: "fig06_ler_curves",
+        what: "LER vs p for defect-free and defective patches",
+        run: fig06::run,
+    },
+    Reproduction {
+        name: "fig07_shortest_logicals",
+        what: "slope vs log(#shortest logicals), grouped by d",
+        run: fig07::run,
+    },
+    Reproduction {
+        name: "fig08_disabled_fraction",
+        what: "slope vs proportion of disabled data qubits",
+        run: fig08::run,
+    },
+    Reproduction {
+        name: "fig09_cluster_diameter",
+        what: "slope vs largest disabled-cluster diameter",
+        run: fig09::run,
+    },
+    Reproduction {
+        name: "fig10_faulty_count",
+        what: "slope vs number of faulty qubits (baseline indicator)",
+        run: fig10::run,
+    },
+    Reproduction {
+        name: "fig11_selection",
+        what: "selection quality: chosen indicators vs faulty-count baseline",
+        run: fig11::run,
+    },
+    Reproduction {
+        name: "fig12_linkonly",
+        what: "yield and overhead vs defect rate, link defects only, target d=9",
+        run: fig12::run,
+    },
+    Reproduction {
+        name: "fig13_linkqubit",
+        what: "yield and overhead vs defect rate, link+qubit defects, target d=9",
+        run: fig13::run,
+    },
+    Reproduction {
+        name: "fig14_merge_example",
+        what: "code distance before and after a lattice-surgery merge",
+        run: fig14::run,
+    },
+    Reproduction {
+        name: "fig15_boundary_standards",
+        what: "yield under boundary standards 1-4, link+qubit defects, l=13, d=9",
+        run: fig15::run,
+    },
+    Reproduction {
+        name: "fig16_rotation",
+        what: "yield with/without chiplet-rotation freedom, link+qubit defects, d=9",
+        run: fig16::run,
+    },
+    Reproduction {
+        name: "fig17_target17",
+        what: "yield and overhead vs defect rate, link-only, target d=17",
+        run: fig17::run,
+    },
+    Reproduction {
+        name: "fig18_min_overhead",
+        what: "minimum overhead factor vs defect rate for target d=9..17",
+        run: fig18::run,
+    },
+    Reproduction {
+        name: "fig19_distance_hist",
+        what: "code-distance distributions for l=33 @0.1% and l=39 @0.3%",
+        run: fig19::run,
+    },
+    Reproduction {
+        name: "fig20_stability_cutoff",
+        what: "stability experiment: keep vs disable a bad data qubit",
+        run: fig20::run,
+    },
+    Reproduction {
+        name: "table01_02_resources",
+        what: "Shor-2048 resource estimation (Tables 1-2)",
+        run: table01_02::run,
+    },
+    Reproduction {
+        name: "table03_04_fidelity",
+        what: "application fidelity at matched overhead (Tables 3-4)",
+        run: table03_04::run,
+    },
+];
+
+/// Shared shape of Figs. 12, 13 and 17: yield and overhead versus
+/// fabrication defect rate for a defect-intolerant baseline of size
+/// `baseline_l` and super-stabilizer chiplets of `sizes`, against a
+/// `target_d` quality target. Each sweep point becomes one
+/// [`Record::Yield`] carrying both the yield and the overhead factor.
+pub(crate) fn yield_overhead_figure(
+    cfg: &RunConfig,
+    sink: &mut dyn Sink,
+    model: DefectModel,
+    target_d: u32,
+    baseline_l: u32,
+    sizes: &[u32],
+    rates: &[f64],
+) -> FigResult {
+    let target = QualityTarget::defect_free(target_d);
+    for &rate in rates {
+        // Defect-intolerant baseline: the whole chiplet must be clean
+        // (closed form, no sampling).
+        let y = model.defect_free_probability(&PatchLayout::memory(baseline_l), rate);
+        sink.emit(&Record::Yield(
+            YieldRecord::analytic(format!("baseline(l={baseline_l})"), rate, y)
+                .with_overhead(overhead_factor(baseline_l, y, target_d)),
+        ));
+        for &l in sizes {
+            let config = SampleConfig {
+                samples: cfg.samples,
+                seed: cfg.seed,
+                ..SampleConfig::new(l, model, rate)
+            };
+            let inds = sample_indicators(&config);
+            let estimate = yield_from_indicators(&inds, &target);
+            sink.emit(&Record::Yield(
+                YieldRecord::sampled(format!("l={l}"), rate, estimate.kept, estimate.total)
+                    .with_overhead(overhead_factor(l, estimate.fraction(), target_d)),
+            ));
+        }
+    }
+    Ok(())
+}

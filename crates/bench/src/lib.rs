@@ -1,8 +1,11 @@
 //! # dqec-bench
 //!
 //! Reproduction harness for every table and figure in the paper's
-//! evaluation. Each binary in `src/bin/` regenerates one figure/table
-//! and prints the same rows/series the paper reports (TSV on stdout).
+//! evaluation. Each binary in `src/bin/` is a thin wrapper around a
+//! figure module in [`figs`]: it parses the shared [`RunConfig`],
+//! builds a [`Sink`] (TSV on stdout by default), and hands both to the
+//! figure's `run` function, which declares
+//! [`ExperimentSpec`]s and emits typed [`Record`]s.
 //!
 //! All binaries accept:
 //!
@@ -10,25 +13,33 @@
 //!   Monte-Carlo figures);
 //! * `--samples N` — chiplet samples per sweep point;
 //! * `--shots N` — Monte-Carlo shots per LER point;
-//! * `--seed N` — RNG seed.
+//! * `--seed N` — RNG seed;
+//! * `--json` — emit a JSON array of records instead of TSV;
+//! * `--out DIR` — write to `DIR/<name>.tsv` (or `.json`) instead of
+//!   stdout;
+//! * `--help` — usage.
 //!
-//! Default (quick) parameters reproduce the *shapes* of the paper's
-//! results in minutes; see `EXPERIMENTS.md` for recorded outputs.
+//! Unknown flags are rejected with exit code 2. Default (quick)
+//! parameters reproduce the *shapes* of the paper's results in minutes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod figs;
+
 use dqec_chiplet::defect_model::DefectModel;
-use dqec_chiplet::experiment::{fit_loglog, memory_ler_curve};
+use dqec_chiplet::record::{JsonSink, Record, Sink, TsvSink};
+use dqec_chiplet::runner::{ExperimentSpec, Runner};
 use dqec_core::adapt::AdaptedPatch;
 use dqec_core::indicators::PatchIndicators;
 use dqec_core::layout::PatchLayout;
-use dqec_core::DefectSet;
+use dqec_core::{CoreError, DefectSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::PathBuf;
 
 /// Command-line configuration shared by every reproduction binary.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunConfig {
     /// Paper-scale parameters when set.
     pub full: bool,
@@ -38,28 +49,104 @@ pub struct RunConfig {
     pub shots: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Emit JSON records instead of TSV.
+    pub json: bool,
+    /// Write output to `<dir>/<bin>.{tsv,json}` instead of stdout.
+    pub out: Option<PathBuf>,
 }
 
-impl RunConfig {
-    /// Parses the standard arguments from `std::env::args`.
-    pub fn from_args() -> RunConfig {
-        let args: Vec<String> = std::env::args().collect();
-        let full = args.iter().any(|a| a == "--full");
-        let get = |flag: &str, default: usize| -> usize {
-            args.iter()
-                .position(|a| a == flag)
-                .and_then(|i| args.get(i + 1))
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(default)
-        };
-        let samples = get("--samples", if full { 10_000 } else { 1_000 });
-        let shots = get("--shots", if full { 2_000_000 } else { 20_000 });
-        let seed = get("--seed", 0x00a5_7105) as u64;
+impl Default for RunConfig {
+    fn default() -> Self {
         RunConfig {
+            full: false,
+            samples: 1_000,
+            shots: 20_000,
+            seed: 0x00a5_7105,
+            json: false,
+            out: None,
+        }
+    }
+}
+
+/// The usage text printed by `--help` and on argument errors.
+pub const USAGE: &str = "\
+usage: <bin> [--full] [--samples N] [--shots N] [--seed N] [--json] [--out DIR] [--help]
+
+  --full        paper-scale parameters (slow; hours for Monte-Carlo figures)
+  --samples N   chiplet samples per sweep point
+  --shots N     Monte-Carlo shots per LER point
+  --seed N      base RNG seed
+  --json        emit a JSON array of records instead of TSV
+  --out DIR     write to DIR/<bin>.tsv (or .json) instead of stdout
+  --help        show this message";
+
+impl RunConfig {
+    /// Parses the standard arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown flags, missing values, and
+    /// unparseable numbers — a typo like `--shot 500` must fail loudly
+    /// rather than silently run the default shot count for hours.
+    pub fn parse(args: &[String]) -> Result<RunConfig, String> {
+        let mut full = false;
+        let mut samples: Option<usize> = None;
+        let mut shots: Option<usize> = None;
+        let mut seed: Option<u64> = None;
+        let mut json = false;
+        let mut out: Option<PathBuf> = None;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| -> Result<&String, String> {
+                it.next().ok_or(format!("{flag} requires a value"))
+            };
+            match arg.as_str() {
+                "--full" => full = true,
+                "--json" => json = true,
+                "--samples" => {
+                    let v = value("--samples")?;
+                    samples = Some(
+                        v.parse()
+                            .map_err(|_| format!("bad --samples value {v:?}"))?,
+                    );
+                }
+                "--shots" => {
+                    let v = value("--shots")?;
+                    shots = Some(v.parse().map_err(|_| format!("bad --shots value {v:?}"))?);
+                }
+                "--seed" => {
+                    let v = value("--seed")?;
+                    seed = Some(v.parse().map_err(|_| format!("bad --seed value {v:?}"))?);
+                }
+                "--out" => out = Some(PathBuf::from(value("--out")?)),
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        let defaults = RunConfig::default();
+        Ok(RunConfig {
             full,
-            samples,
-            shots,
-            seed,
+            samples: samples.unwrap_or(if full { 10_000 } else { defaults.samples }),
+            shots: shots.unwrap_or(if full { 2_000_000 } else { defaults.shots }),
+            seed: seed.unwrap_or(defaults.seed),
+            json,
+            out,
+        })
+    }
+
+    /// Parses `std::env::args`, printing usage and exiting with code 0
+    /// on `--help`/`-h` and code 2 on invalid arguments.
+    pub fn from_args() -> RunConfig {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        match Self::parse(&args) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                std::process::exit(2);
+            }
         }
     }
 
@@ -95,22 +182,65 @@ impl RunConfig {
             3
         }
     }
+
+    /// The [`Record::Meta`] header for a binary under this config.
+    pub fn meta(&self, name: &str, what: &str) -> Record {
+        Record::Meta {
+            name: name.to_string(),
+            what: what.to_string(),
+            mode: if self.full { "full" } else { "quick" }.to_string(),
+            samples: self.samples,
+            shots: self.shots,
+            seed: self.seed,
+        }
+    }
 }
 
-/// Prints the standard header for a reproduction binary.
-pub fn header(name: &str, what: &str, cfg: &RunConfig) {
-    println!("# {name}: {what}");
-    println!(
-        "# mode={} samples={} shots={} seed={}",
-        if cfg.full {
-            "full (paper-scale)"
-        } else {
-            "quick (shape-reproduction)"
-        },
-        cfg.samples,
-        cfg.shots,
-        cfg.seed
-    );
+/// Runs the named figure/table reproduction with `cfg`, routing records
+/// to stdout or `--out DIR/<name>.{tsv,json}` per the config.
+///
+/// # Errors
+///
+/// Propagates experiment failures and output I/O errors.
+///
+/// # Panics
+///
+/// Panics if `name` is not in [`figs::ALL`].
+pub fn run_reproduction(name: &str, cfg: &RunConfig) -> Result<(), String> {
+    let rep = figs::ALL
+        .iter()
+        .find(|r| r.name == name)
+        .unwrap_or_else(|| panic!("unknown reproduction {name:?}"));
+    let writer: Box<dyn std::io::Write> = match &cfg.out {
+        None => Box::new(std::io::stdout().lock()),
+        Some(dir) => {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+            let path = dir.join(format!("{name}.{}", if cfg.json { "json" } else { "tsv" }));
+            Box::new(
+                std::fs::File::create(&path)
+                    .map_err(|e| format!("create {}: {e}", path.display()))?,
+            )
+        }
+    };
+    let mut sink: Box<dyn Sink> = if cfg.json {
+        Box::new(JsonSink::new(writer))
+    } else {
+        Box::new(TsvSink::new(writer))
+    };
+    sink.emit(&cfg.meta(rep.name, rep.what));
+    let result = (rep.run)(cfg, sink.as_mut());
+    sink.finish();
+    result.map_err(|e| e.to_string())
+}
+
+/// The shared `main` of every reproduction binary: parse arguments, run
+/// the named figure, exit non-zero on failure.
+pub fn bin_main(name: &str) {
+    let cfg = RunConfig::from_args();
+    if let Err(e) = run_reproduction(name, &cfg) {
+        eprintln!("{name} failed: {e}");
+        std::process::exit(1);
+    }
 }
 
 /// One defective patch with its measured log-log slope.
@@ -125,7 +255,9 @@ pub struct SlopeRecord {
 /// Samples defective `l x l` chiplets (links and qubits faulty at the
 /// same rate, as in Fig. 5) until `per_group` patches of every adapted
 /// distance in `d_range` have been collected, then measures each
-/// patch's slope. Shared by the Fig. 5/7/8/9/10/11 binaries.
+/// patch's slope through the experiment [`Runner`] (one compiled
+/// circuit and decoding graph per patch, reweighted across the
+/// p-window). Shared by the Fig. 5/7/8/9/10/11 binaries.
 pub fn slope_dataset(
     l: u32,
     d_range: std::ops::RangeInclusive<u32>,
@@ -155,18 +287,22 @@ pub fn slope_dataset(
         }
     }
     let ps = cfg.slope_window();
+    let runner = Runner::new();
     let mut out = Vec::new();
     for (d, patches) in groups {
         for (i, patch) in patches.into_iter().enumerate() {
-            let rounds = rounds_for(&patch);
-            let slope = memory_ler_curve(&patch, &ps, rounds, cfg.shots, cfg.seed + i as u64)
+            let indicators = PatchIndicators::of(&patch);
+            let spec = ExperimentSpec::memory(patch)
+                .ps(&ps)
+                .shots(cfg.shots)
+                .seed(cfg.seed + i as u64)
+                .fit(true);
+            let slope = runner
+                .collect(&spec)
                 .ok()
-                .and_then(|curve| fit_loglog(&curve))
+                .and_then(|outcome| outcome.fit)
                 .map(|f| f.slope);
-            out.push(SlopeRecord {
-                indicators: PatchIndicators::of(&patch),
-                slope,
-            });
+            out.push(SlopeRecord { indicators, slope });
         }
         eprintln!("  [slope dataset] d={d} done");
     }
@@ -177,51 +313,95 @@ pub fn slope_dataset(
 /// protocol.
 pub fn defect_free_slope(d: u32, cfg: &RunConfig) -> Option<f64> {
     let patch = AdaptedPatch::new(PatchLayout::memory(d), &DefectSet::new());
-    let ps = cfg.slope_window();
-    memory_ler_curve(&patch, &ps, d, cfg.shots, cfg.seed ^ 0xdefec7)
+    let spec = ExperimentSpec::memory(patch)
+        .ps(&cfg.slope_window())
+        .rounds(d)
+        .shots(cfg.shots)
+        .seed(cfg.seed ^ 0xdefec7)
+        .fit(true);
+    Runner::new()
+        .collect(&spec)
         .ok()
-        .and_then(|curve| fit_loglog(&curve))
+        .and_then(|outcome| outcome.fit)
         .map(|f| f.slope)
 }
 
-/// Syndrome rounds used for a patch's memory experiment: its size,
-/// bounded below by the gauge schedule requirement.
+/// Syndrome rounds used for a patch's memory experiment (re-exported
+/// from the runner's default policy).
 pub fn rounds_for(patch: &AdaptedPatch) -> u32 {
-    let need = patch
-        .clusters()
-        .iter()
-        .filter(|c| c.has_gauges())
-        .map(|c| 2 * c.repetitions)
-        .max()
-        .unwrap_or(1);
-    patch.layout().width().max(need)
+    dqec_chiplet::runner::default_rounds(patch)
 }
 
 /// Formats an `f64` compactly for the TSV outputs.
 pub fn fmt(v: f64) -> String {
-    if v == 0.0 {
-        "0".into()
-    } else if v.abs() >= 0.01 && v.abs() < 1e6 {
-        format!("{v:.4}")
-    } else {
-        format!("{v:.3e}")
-    }
+    dqec_chiplet::record::fmt_compact(v)
 }
+
+/// A [`Result`] for figure runs: figures only fail on circuit
+/// generation, which [`CoreError`] covers.
+pub type FigResult = Result<(), CoreError>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn quick_config_defaults() {
-        let cfg = RunConfig {
-            full: false,
-            samples: 100,
-            shots: 1000,
-            seed: 1,
-        };
+        let cfg = RunConfig::default();
         assert_eq!(cfg.slope_window().len(), 3);
         assert_eq!(cfg.patches_per_group(), 3);
+        assert!(!cfg.json);
+    }
+
+    #[test]
+    fn parse_accepts_the_standard_flags() {
+        let cfg = RunConfig::parse(&args(&[
+            "--samples",
+            "5",
+            "--shots",
+            "100",
+            "--seed",
+            "9",
+            "--json",
+            "--out",
+            "results",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.samples, 5);
+        assert_eq!(cfg.shots, 100);
+        assert_eq!(cfg.seed, 9);
+        assert!(cfg.json);
+        assert_eq!(cfg.out, Some(PathBuf::from("results")));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags() {
+        // The motivating bug: `--shot 500` must not silently run the
+        // 20k default.
+        let err = RunConfig::parse(&args(&["--shot", "500"])).unwrap_err();
+        assert!(err.contains("--shot"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_missing_and_malformed_values() {
+        assert!(RunConfig::parse(&args(&["--shots"])).is_err());
+        assert!(RunConfig::parse(&args(&["--shots", "many"])).is_err());
+        assert!(RunConfig::parse(&args(&["--seed", "-1"])).is_err());
+    }
+
+    #[test]
+    fn full_mode_scales_defaults() {
+        let cfg = RunConfig::parse(&args(&["--full"])).unwrap();
+        assert!(cfg.full);
+        assert_eq!(cfg.samples, 10_000);
+        assert_eq!(cfg.shots, 2_000_000);
+        // Explicit values still win.
+        let cfg = RunConfig::parse(&args(&["--full", "--shots", "7"])).unwrap();
+        assert_eq!(cfg.shots, 7);
     }
 
     #[test]
@@ -238,5 +418,14 @@ mod tests {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(0.5), "0.5000");
         assert!(fmt(1e-7).contains('e'));
+    }
+
+    #[test]
+    fn every_reproduction_has_a_unique_name() {
+        let mut names: Vec<&str> = figs::ALL.iter().map(|r| r.name).collect();
+        assert_eq!(names.len(), 18, "18 figure/table reproductions");
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 18, "names must be unique");
     }
 }

@@ -10,41 +10,45 @@
 use dqec_core::adapt::AdaptedPatch;
 use dqec_core::circuit_gen::{memory_z, stability};
 use dqec_core::CoreError;
-use dqec_matching::{DecodeStats, MwpmDecoder};
+use dqec_matching::{DecodeStats, Decoder, MwpmDecoder};
 use dqec_sim::circuit::Circuit;
 use dqec_sim::frame::FrameSampler;
 use dqec_sim::noise::NoiseModel;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
-/// Samples `shots` noisy executions of `clean` under `noise` and
-/// decodes them, spreading work over CPU cores. Each 4096-shot batch
-/// is seeded by its index, so results are independent of thread count.
-pub fn sample_and_decode(
-    clean: &Circuit,
-    noise: &NoiseModel,
+/// Samples `shots` executions of the noisy circuit and decodes them
+/// with `decoder`, spreading `batch`-sized chunks over CPU cores. Each
+/// chunk's RNG comes from `make_rng(chunk_index)`, so results are
+/// independent of thread count for any deterministic seeding policy.
+pub fn sample_and_decode_with<D, R, F>(
+    noisy: &Circuit,
+    decoder: &D,
     shots: usize,
-    seed: u64,
-) -> DecodeStats {
-    let noisy = noise.apply(clean);
-    let decoder = MwpmDecoder::new(&noisy);
-    let batch = 4096usize;
+    batch: usize,
+    make_rng: F,
+) -> DecodeStats
+where
+    D: Decoder + ?Sized,
+    R: Rng,
+    F: Fn(u64) -> R + Sync,
+{
+    let batch = batch.max(1);
     let num_batches = shots.div_ceil(batch);
     let results: Vec<DecodeStats> = (0..num_batches)
         .into_par_iter()
         .map(|b| {
-            let sampler = FrameSampler::new(&noisy);
+            let sampler = FrameSampler::new(noisy);
             let n = batch.min(shots - b * batch);
-            let mut rng =
-                StdRng::seed_from_u64(seed ^ (b as u64 + 1).wrapping_mul(0xd134_2543_de82_ef95));
+            let mut rng = make_rng(b as u64);
             let shot_batch = sampler.sample(n, &mut rng);
             decoder.decode_batch(&shot_batch)
         })
         .collect();
     let mut stats = DecodeStats {
         shots: 0,
-        failures: vec![0; noisy.observables().len()],
+        failures: vec![0; decoder.num_observables()],
     };
     for s in results {
         stats.shots += s.shots;
@@ -53,6 +57,26 @@ pub fn sample_and_decode(
         }
     }
     stats
+}
+
+/// Samples `shots` noisy executions of `clean` under `noise` and
+/// decodes them, spreading work over CPU cores. Each 4096-shot batch
+/// is seeded by its index, so results are independent of thread count.
+///
+/// Builds a fresh [`MwpmDecoder`] per call; sweeps over many `p` values
+/// on one circuit should use `crate::runner::Runner`, which reuses the
+/// decoding graph across the sweep.
+pub fn sample_and_decode(
+    clean: &Circuit,
+    noise: &NoiseModel,
+    shots: usize,
+    seed: u64,
+) -> DecodeStats {
+    let noisy = noise.apply(clean);
+    let decoder = MwpmDecoder::new(&noisy);
+    sample_and_decode_with(&noisy, &decoder, shots, 4096, |b| {
+        StdRng::seed_from_u64(seed ^ (b + 1).wrapping_mul(0xd134_2543_de82_ef95))
+    })
 }
 
 /// One logical-error-rate measurement.
@@ -68,9 +92,31 @@ pub struct LerPoint {
 }
 
 impl LerPoint {
-    /// The logical error rate estimate.
+    /// The logical error rate estimate (0 when no shots were sampled,
+    /// so degenerate sweep points render as a rate instead of NaN).
     pub fn ler(&self) -> f64 {
-        self.failures as f64 / self.shots as f64
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.shots as f64
+        }
+    }
+
+    /// The 95% Wilson confidence interval of the logical error rate, so
+    /// curves carry error bars like the paper's plots. With no shots
+    /// the interval is vacuous: `(0, 1)`.
+    pub fn ci95(&self) -> (f64, f64) {
+        if self.shots == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.shots as f64;
+        let p = self.failures as f64 / n;
+        let z = 1.96f64;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
     }
 }
 
@@ -276,6 +322,29 @@ mod tests {
             .collect();
         let fit = fit_loglog(&points).unwrap();
         assert!((fit.slope - 2.0).abs() < 0.05, "slope={}", fit.slope);
+    }
+
+    #[test]
+    fn zero_shot_point_has_zero_ler_and_vacuous_interval() {
+        let pt = LerPoint {
+            p: 1e-3,
+            shots: 0,
+            failures: 0,
+        };
+        assert_eq!(pt.ler(), 0.0);
+        assert_eq!(pt.ci95(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn ci95_brackets_the_estimate() {
+        let pt = LerPoint {
+            p: 1e-3,
+            shots: 1000,
+            failures: 37,
+        };
+        let (lo, hi) = pt.ci95();
+        assert!(lo < pt.ler() && pt.ler() < hi);
+        assert!(lo > 0.02 && hi < 0.06);
     }
 
     #[test]

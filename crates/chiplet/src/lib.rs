@@ -5,6 +5,11 @@
 //! criteria, yield and resource-overhead estimation, and Monte-Carlo
 //! logical-error-rate experiments with slope fits.
 //!
+//! Experiments are described declaratively with [`ExperimentSpec`] and
+//! executed by a [`Runner`] that compiles the circuit and decoding
+//! graph once per patch, reweighting per swept error rate; results flow
+//! as typed [`Record`]s into a [`Sink`] (TSV, JSON, memory, or null).
+//!
 //! # Examples
 //!
 //! Estimating the yield of l = 7 chiplets against a d = 5 target:
@@ -30,12 +35,19 @@ pub mod criteria;
 pub mod defect_model;
 pub mod device;
 pub mod experiment;
+pub mod record;
+pub mod runner;
 pub mod yields;
 
 pub use criteria::{QualityTarget, Ranking};
 pub use defect_model::DefectModel;
 pub use device::{assemble_device, AssemblyReport, DeviceSpec};
 pub use experiment::{fit_loglog, memory_ler, stability_ler, LerPoint, SlopeFit};
+pub use record::{
+    fmt_compact, JsonSink, LerRecord, MemorySink, NullSink, Record, Sink, SlopeFitRecord, TsvSink,
+    Value, YieldRecord,
+};
+pub use runner::{default_rounds, ExperimentSpec, Protocol, RunOutcome, Runner};
 pub use yields::{
     cost_per_logical, overhead_factor, sample_indicators, yield_from_indicators, SampleConfig,
     YieldEstimate,

@@ -1,0 +1,62 @@
+//! Runner determinism: the same spec + seed must produce identical
+//! records regardless of how many worker threads execute the batches.
+//!
+//! Per-batch ChaCha8 streams are keyed by `(seed, batch index)` and the
+//! rayon shim preserves input order, so the outcome is a pure function
+//! of the spec. To actually vary the thread count we exploit the shim's
+//! process-wide worker budget: runs launched from inside an outer
+//! parallel fan-out find the budget exhausted and execute sequentially,
+//! while a top-level run uses every core.
+
+use dqec_chiplet::record::MemorySink;
+use dqec_chiplet::runner::{ExperimentSpec, Runner};
+use dqec_core::adapt::AdaptedPatch;
+use dqec_core::layout::PatchLayout;
+use dqec_core::{Coord, DefectSet};
+use rayon::prelude::*;
+
+fn spec() -> ExperimentSpec {
+    let mut defects = DefectSet::new();
+    defects.add_data(Coord::new(5, 5));
+    let patch = AdaptedPatch::new(PatchLayout::memory(5), &defects);
+    ExperimentSpec::memory(patch)
+        .ps(&[6e-3, 9e-3])
+        .shots(10_000)
+        .seed(1234)
+        .label("determinism")
+        .fit(true)
+}
+
+#[test]
+fn identical_records_across_thread_counts() {
+    // Top-level: parallel across the machine's cores.
+    let mut parallel_sink = MemorySink::default();
+    let parallel = Runner::new()
+        .run(&spec(), &mut parallel_sink)
+        .expect("circuit builds");
+
+    // Nested: each run competes for the exhausted worker budget, so its
+    // batches run (mostly or fully) sequentially.
+    let nested: Vec<_> = (0..4u32)
+        .into_par_iter()
+        .map(|_| {
+            let mut sink = MemorySink::default();
+            let outcome = Runner::new()
+                .run(&spec(), &mut sink)
+                .expect("circuit builds");
+            (outcome, sink.records)
+        })
+        .collect();
+
+    for (outcome, records) in nested {
+        assert_eq!(outcome, parallel, "outcome must not depend on threading");
+        assert_eq!(records, parallel_sink.records, "records must match too");
+    }
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let a = Runner::new().collect(&spec()).expect("circuit builds");
+    let b = Runner::new().collect(&spec()).expect("circuit builds");
+    assert_eq!(a, b);
+}

@@ -8,8 +8,113 @@
 use crate::blossom::min_weight_perfect_matching;
 use crate::graph::DecodingGraph;
 use dqec_sim::circuit::{CheckBasis, Circuit};
-use dqec_sim::dem::DetectorErrorModel;
+use dqec_sim::dem::{DetectorErrorModel, ParametricDem};
 use dqec_sim::frame::ShotBatch;
+use dqec_sim::noise::NoiseModel;
+use std::collections::HashMap;
+
+/// A syndrome decoder for a fixed circuit.
+///
+/// This is the seam every consumer outside `dqec_matching` decodes
+/// through: the experiment `Runner` in `dqec_chiplet` drives any
+/// `dyn Decoder`, so union-find, correlated-matching, or lookup
+/// decoders drop in beside [`MwpmDecoder`] without touching the
+/// experiment plumbing.
+///
+/// Implementors must be deterministic: the same events must always
+/// produce the same prediction (the experiment harness relies on this
+/// for thread-count-independent results).
+pub trait Decoder: Send + Sync {
+    /// The number of logical observables predictions cover.
+    fn num_observables(&self) -> usize;
+
+    /// Predicts the observable flips for one shot's detection events
+    /// (flagged detector ids, any basis, ascending or not).
+    fn decode_events(&self, events: &[u32]) -> u64;
+
+    /// Re-derives internal weights for a new noise model *without*
+    /// rebuilding the decoder, so a p-sweep over one circuit pays the
+    /// construction cost once. Returns `false` when this decoder cannot
+    /// reweight (the caller should rebuild instead); the default
+    /// implementation always does.
+    fn reweight(&mut self, noise: &NoiseModel) -> bool {
+        let _ = noise;
+        false
+    }
+
+    /// Decodes every shot of a batch and tallies logical failures.
+    fn decode_batch(&self, batch: &ShotBatch) -> DecodeStats {
+        let shots = batch.detectors.shots();
+        let mut failures = vec![0usize; self.num_observables()];
+        let events_by_shot = batch.detection_events_by_shot();
+        for (shot, events) in events_by_shot.iter().enumerate() {
+            let predicted = self.decode_events(events);
+            for (o, f) in failures.iter_mut().enumerate() {
+                let actual = batch.observables.get(o, shot);
+                let pred = (predicted >> o) & 1 == 1;
+                if actual != pred {
+                    *f += 1;
+                }
+            }
+        }
+        DecodeStats { shots, failures }
+    }
+}
+
+/// Asserts the invariants every [`Decoder`] implementation must hold on
+/// `circuit`, which is expected to decode a noiseless batch perfectly:
+/// empty events predict nothing, predictions are deterministic and
+/// independent of event order, batch decoding tallies every shot, and a
+/// noiseless batch decodes without logical failures.
+///
+/// Shared by implementors as a conformance test; see
+/// `tests/decoder_trait.rs` for its use on [`MwpmDecoder`].
+///
+/// # Panics
+///
+/// Panics (via assertions) when the decoder violates an invariant.
+pub fn check_decoder_conformance<D: Decoder>(decoder: &D, circuit: &Circuit) {
+    use dqec_sim::frame::FrameSampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    assert_eq!(
+        decoder.num_observables(),
+        circuit.observables().len(),
+        "num_observables must match the circuit"
+    );
+    assert_eq!(
+        decoder.decode_events(&[]),
+        0,
+        "empty events must predict no flips"
+    );
+
+    // Determinism and event-order independence on a handful of synthetic
+    // symptoms (pairs of same-basis detectors are always matchable).
+    let dets: Vec<u32> = (0..circuit.detectors().len() as u32).collect();
+    for pair in dets.windows(2) {
+        let fwd = decoder.decode_events(pair);
+        let rev: Vec<u32> = pair.iter().rev().copied().collect();
+        assert_eq!(fwd, decoder.decode_events(pair), "must be deterministic");
+        assert_eq!(
+            fwd,
+            decoder.decode_events(&rev),
+            "must not depend on event order"
+        );
+    }
+
+    // A noiseless batch has no detection events and no observable flips,
+    // so every conforming decoder reports zero failures.
+    let batch = FrameSampler::new(circuit).sample(256, &mut StdRng::seed_from_u64(0xc0f));
+    let stats = decoder.decode_batch(&batch);
+    assert_eq!(stats.shots, 256, "batch decoding must tally every shot");
+    assert_eq!(stats.failures.len(), decoder.num_observables());
+    assert!(
+        stats.failures.iter().all(|&f| f == 0),
+        "noiseless shots must not fail: {:?}",
+        stats.failures
+    );
+}
 
 /// Outcome statistics of decoding a batch of shots.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -71,6 +176,7 @@ impl DecodeStats {
 /// c.add_detector(&[m, d], CheckBasis::Z, (0, 0, 1))?;
 /// c.include_observable(0, &[d])?;
 ///
+/// use dqec_matching::Decoder;
 /// let decoder = MwpmDecoder::new(&c);
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
 /// let batch = FrameSampler::new(&c).sample(2000, &mut rng);
@@ -85,6 +191,20 @@ pub struct MwpmDecoder {
     x_graph: DecodingGraph,
     det_basis: Vec<CheckBasis>,
     num_observables: usize,
+    /// Present when built via [`MwpmDecoder::from_clean`]: enables
+    /// in-place reweighting for a different baseline error rate.
+    parametric: Option<Box<ParametricState>>,
+}
+
+#[derive(Debug, Clone)]
+struct ParametricState {
+    pdem: ParametricDem,
+    /// The per-qubit overrides the template was built with; reweighting
+    /// is only valid while they are unchanged.
+    overrides: HashMap<u32, f64>,
+    /// The baseline `p` the graphs currently carry; reweighting to the
+    /// same value is a no-op.
+    current_p: f64,
 }
 
 impl MwpmDecoder {
@@ -103,7 +223,54 @@ impl MwpmDecoder {
             x_graph: DecodingGraph::build_with_observables(circuit, dem, CheckBasis::X, x_mask),
             det_basis: circuit.detectors().iter().map(|d| d.basis).collect(),
             num_observables: circuit.observables().len(),
+            parametric: None,
         }
+    }
+
+    /// Builds a *reweightable* decoder: applies `noise` to the clean
+    /// circuit, extracts a parametric detector error model, and keeps it
+    /// so later [`Decoder::reweight`] calls can move the edge weights to
+    /// a different baseline `p` without re-walking the circuit.
+    ///
+    /// Build the template at the sweep's largest `p` (any `p > 0`
+    /// works): a template built at `p = 0` has no noise ops at all and
+    /// cannot represent the mechanisms that appear at `p > 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dqec_matching::{Decoder, MwpmDecoder};
+    /// use dqec_sim::circuit::{CheckBasis, Circuit};
+    /// use dqec_sim::noise::NoiseModel;
+    ///
+    /// let mut clean = Circuit::new(2);
+    /// clean.reset(0)?;
+    /// clean.reset(1)?;
+    /// clean.cx(0, 1)?;
+    /// let m = clean.measure_reset(1)?;
+    /// clean.add_detector(&[m], CheckBasis::Z, (0, 0, 0))?;
+    /// let d = clean.measure(0)?;
+    /// clean.add_detector(&[m, d], CheckBasis::Z, (0, 0, 1))?;
+    /// clean.include_observable(0, &[d])?;
+    ///
+    /// // Build once at the top of the sweep, reweight per point.
+    /// let mut decoder = MwpmDecoder::from_clean(&clean, &NoiseModel::new(2e-3));
+    /// for p in [2e-3, 1e-3, 5e-4] {
+    ///     assert!(decoder.reweight(&NoiseModel::new(p)));
+    /// }
+    /// # Ok::<(), dqec_sim::SimError>(())
+    /// ```
+    pub fn from_clean(clean: &Circuit, noise: &NoiseModel) -> Self {
+        let (noisy, params) = noise.apply_with_params(clean);
+        let pdem = ParametricDem::from_noisy(&noisy, &params);
+        let dem = pdem.concretize(noise.p());
+        let mut decoder = Self::with_dem(&noisy, &dem);
+        decoder.parametric = Some(Box::new(ParametricState {
+            pdem,
+            overrides: noise.overrides().clone(),
+            current_p: noise.p(),
+        }));
+        decoder
     }
 
     /// The Z-basis decoding graph.
@@ -115,10 +282,14 @@ impl MwpmDecoder {
     pub fn x_graph(&self) -> &DecodingGraph {
         &self.x_graph
     }
+}
 
-    /// Predicts the observable flips for one shot's detection events
-    /// (flagged detector ids, any basis, ascending or not).
-    pub fn decode_events(&self, events: &[u32]) -> u64 {
+impl Decoder for MwpmDecoder {
+    fn num_observables(&self) -> usize {
+        self.num_observables
+    }
+
+    fn decode_events(&self, events: &[u32]) -> u64 {
         let mut z_events = Vec::new();
         let mut x_events = Vec::new();
         for &d in events {
@@ -130,22 +301,26 @@ impl MwpmDecoder {
         decode_one(&self.z_graph, &z_events) ^ decode_one(&self.x_graph, &x_events)
     }
 
-    /// Decodes every shot of a batch and tallies logical failures.
-    pub fn decode_batch(&self, batch: &ShotBatch) -> DecodeStats {
-        let shots = batch.detectors.shots();
-        let mut failures = vec![0usize; self.num_observables];
-        let events_by_shot = batch.detection_events_by_shot();
-        for (shot, events) in events_by_shot.iter().enumerate() {
-            let predicted = self.decode_events(events);
-            for (o, f) in failures.iter_mut().enumerate() {
-                let actual = batch.observables.get(o, shot);
-                let pred = (predicted >> o) & 1 == 1;
-                if actual != pred {
-                    *f += 1;
-                }
-            }
+    /// Reweights both basis graphs from the cached parametric DEM.
+    /// Requires construction via [`MwpmDecoder::from_clean`] and a noise
+    /// model with the *same* per-qubit overrides as the template (the
+    /// overrides shape the mechanism structure; only the baseline `p`
+    /// may move). Returns `false` otherwise.
+    fn reweight(&mut self, noise: &NoiseModel) -> bool {
+        let Some(state) = &mut self.parametric else {
+            return false;
+        };
+        if state.overrides != *noise.overrides() {
+            return false;
         }
-        DecodeStats { shots, failures }
+        if state.current_p == noise.p() {
+            return true; // weights already match
+        }
+        let dem = state.pdem.concretize(noise.p());
+        self.z_graph.reweight_from(&dem);
+        self.x_graph.reweight_from(&dem);
+        state.current_p = noise.p();
+        true
     }
 }
 
@@ -283,6 +458,51 @@ mod tests {
         let c = repetition(2, 0.01);
         let decoder = MwpmDecoder::new(&c);
         assert_eq!(decoder.decode_events(&[]), 0);
+    }
+
+    #[test]
+    fn reweighted_decoder_matches_fresh_decoder() {
+        // Clean repetition circuit; the noise model supplies the errors.
+        // Reweighted weights agree with a fresh build to ~1 ulp, which
+        // can flip exact ties between degenerate corrections, so compare
+        // per-shot predictions with a small tolerance instead of
+        // demanding bit-identical tallies.
+        let clean = repetition(3, 0.0);
+        let mut reweightable = MwpmDecoder::from_clean(&clean, &NoiseModel::new(2e-2));
+        for p in [2e-2, 8e-3, 4e-2] {
+            let noise = NoiseModel::new(p);
+            assert!(reweightable.reweight(&noise));
+            let noisy = noise.apply(&clean);
+            let fresh = MwpmDecoder::new(&noisy);
+            let batch = FrameSampler::new(&noisy).sample(8000, &mut StdRng::seed_from_u64(17));
+            let events = batch.detection_events_by_shot();
+            let mismatches = events
+                .iter()
+                .filter(|ev| reweightable.decode_events(ev) != fresh.decode_events(ev))
+                .count();
+            assert!(
+                mismatches <= events.len() / 100,
+                "p={p}: {mismatches} of {} predictions differ from a fresh build",
+                events.len()
+            );
+        }
+    }
+
+    #[test]
+    fn plain_decoder_declines_reweighting() {
+        let c = repetition(2, 0.01);
+        let mut decoder = MwpmDecoder::new(&c);
+        assert!(!decoder.reweight(&NoiseModel::new(1e-3)));
+    }
+
+    #[test]
+    fn reweight_rejects_changed_overrides() {
+        let clean = repetition(2, 0.0);
+        let template = NoiseModel::new(1e-2).with_bad_qubit(0, 0.2);
+        let mut decoder = MwpmDecoder::from_clean(&clean, &template);
+        assert!(decoder.reweight(&NoiseModel::new(5e-3).with_bad_qubit(0, 0.2)));
+        assert!(!decoder.reweight(&NoiseModel::new(5e-3)));
+        assert!(!decoder.reweight(&NoiseModel::new(5e-3).with_bad_qubit(1, 0.2)));
     }
 
     #[test]

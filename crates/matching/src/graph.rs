@@ -54,12 +54,24 @@ pub struct DecodingGraph {
     node_of_det: Vec<Option<u32>>,
     det_of_node: Vec<u32>,
     edges: Vec<GraphEdge>,
+    /// Per edge, the indices (into the source DEM's mechanism list, in
+    /// accumulation order) whose XOR-combination gives its probability;
+    /// kept so [`DecodingGraph::reweight_from`] can recompute weights.
+    edge_sources: Vec<Vec<u32>>,
     /// Row-major `(n+1) x (n+1)` distances; index `n` is the boundary.
     dist: Vec<f64>,
     /// Observable parity along the corresponding shortest path.
     parity: Vec<u64>,
+    /// Row-major shortest-path trees: `pred[s*(n+1)+t]` is the edge
+    /// index reaching `t` on the cached `s → t` path (`NO_PRED` for
+    /// the source itself and unreachable nodes). Reweighting re-derives
+    /// distances along these trees instead of re-running Dijkstra.
+    pred: Vec<u32>,
     diagnostics: GraphDiagnostics,
 }
+
+/// Sentinel for "no predecessor edge" in the shortest-path trees.
+const NO_PRED: u32 = u32::MAX;
 
 impl DecodingGraph {
     /// Builds the decoding graph for `basis` from a circuit's DEM,
@@ -131,6 +143,7 @@ impl DecodingGraph {
         struct Accum {
             p: f64,
             obs_votes: HashMap<u64, f64>,
+            sources: Vec<u32>,
         }
         let mut accum: HashMap<Key, Accum> = HashMap::new();
         let key_of = |dets: &[u32]| -> Key {
@@ -140,15 +153,17 @@ impl DecodingGraph {
                 _ => unreachable!(),
             }
         };
-        let add_edge = |nodes: &[u32], p: f64, obs: u64, accum: &mut HashMap<Key, Accum>| {
-            let e = accum.entry(key_of(nodes)).or_default();
-            e.p = e.p * (1.0 - p) + p * (1.0 - e.p);
-            *e.obs_votes.entry(obs).or_insert(0.0) += p;
-        };
+        let add_edge =
+            |nodes: &[u32], p: f64, obs: u64, mech: u32, accum: &mut HashMap<Key, Accum>| {
+                let e = accum.entry(key_of(nodes)).or_default();
+                e.p = e.p * (1.0 - p) + p * (1.0 - e.p);
+                *e.obs_votes.entry(obs).or_insert(0.0) += p;
+                e.sources.push(mech);
+            };
 
         // Pass 1: simple mechanisms (<= 2 same-basis detectors).
-        let mut deferred: Vec<(&Vec<u32>, u64, f64)> = Vec::new();
-        for mech in &dem.mechanisms {
+        let mut deferred: Vec<(u32, &Vec<u32>, u64, f64)> = Vec::new();
+        for (m, mech) in dem.mechanisms.iter().enumerate() {
             let nodes: Vec<u32> = mech
                 .detectors
                 .iter()
@@ -165,14 +180,14 @@ impl DecodingGraph {
             }
             let obs = mech.observables & obs_mask;
             match nodes.len() {
-                1 | 2 => add_edge(&nodes, mech.probability, obs, &mut accum),
-                _ => deferred.push((&mech.detectors, obs, mech.probability)),
+                1 | 2 => add_edge(&nodes, mech.probability, obs, m as u32, &mut accum),
+                _ => deferred.push((m as u32, &mech.detectors, obs, mech.probability)),
             }
         }
 
         // Pass 2: decompose multi-detector mechanisms into known edges.
         let known: std::collections::HashSet<Key> = accum.keys().copied().collect();
-        for (dets, obs, p) in deferred {
+        for (m, dets, obs, p) in deferred {
             let nodes: Vec<u32> = dets
                 .iter()
                 .filter_map(|&d| node_of_det[d as usize])
@@ -183,7 +198,7 @@ impl DecodingGraph {
                 // mechanism resolves disagreements below).
                 for (i, part) in parts.iter().enumerate() {
                     let part_obs = if i == 0 { obs } else { 0 };
-                    add_edge(part, p, part_obs, &mut accum);
+                    add_edge(part, p, part_obs, m, &mut accum);
                 }
             } else {
                 diagnostics.undecomposable_mechanisms += 1;
@@ -191,14 +206,14 @@ impl DecodingGraph {
                 while i < nodes.len() {
                     let part: Vec<u32> = nodes[i..(i + 2).min(nodes.len())].to_vec();
                     let part_obs = if i == 0 { obs } else { 0 };
-                    add_edge(&part, p, part_obs, &mut accum);
+                    add_edge(&part, p, part_obs, m, &mut accum);
                     i += 2;
                 }
             }
         }
 
         // Finalize edges: pick the dominant observable mask per edge.
-        let mut edges = Vec::with_capacity(accum.len());
+        let mut paired = Vec::with_capacity(accum.len());
         for ((a, b), acc) in accum {
             let (&obs, _) = acc
                 .obs_votes
@@ -208,24 +223,162 @@ impl DecodingGraph {
             if acc.obs_votes.len() > 1 {
                 diagnostics.conflicting_observable_edges += 1;
             }
-            edges.push(GraphEdge {
-                a,
-                b: (b != u32::MAX).then_some(b),
-                probability: acc.p,
-                observables: obs,
-            });
+            paired.push((
+                GraphEdge {
+                    a,
+                    b: (b != u32::MAX).then_some(b),
+                    probability: acc.p,
+                    observables: obs,
+                },
+                acc.sources,
+            ));
         }
-        edges.sort_by_key(|e| (e.a, e.b));
+        paired.sort_by_key(|(e, _)| (e.a, e.b));
+        let (edges, edge_sources): (Vec<GraphEdge>, Vec<Vec<u32>>) = paired.into_iter().unzip();
 
-        let (dist, parity) = all_pairs(n, &edges);
+        let (dist, parity, pred) = all_pairs(n, &edges);
         DecodingGraph {
             basis,
             node_of_det,
             det_of_node,
             edges,
+            edge_sources,
             dist,
             parity,
+            pred,
             diagnostics,
+        }
+    }
+
+    /// Recomputes every edge's probability from `dem` — which must be a
+    /// reweighting of the DEM this graph was built from, i.e. have the
+    /// same mechanisms in the same order (as produced by
+    /// `dqec_sim::dem::ParametricDem::concretize`) — then refreshes the
+    /// cached shortest-path tables. The graph *structure* (nodes, edges,
+    /// observable masks) is reused, and so are the cached shortest-path
+    /// trees: each row's distances are first re-derived along its old
+    /// tree in O(V + E) and accepted when the shortest-path certificate
+    /// (no edge can relax any distance further) holds; only rows whose
+    /// tree went stale re-run Dijkstra. Under the paper's noise model a
+    /// p-change shifts every edge weight by nearly the same amount, so
+    /// trees almost always survive — this is what makes sweeping a
+    /// logical-error-rate curve much cheaper than rebuilding the decoder
+    /// at every physical error rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dem` has fewer mechanisms than the graph was built
+    /// with.
+    pub fn reweight_from(&mut self, dem: &DetectorErrorModel) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        for (edge, sources) in self.edges.iter_mut().zip(&self.edge_sources) {
+            let mut p_acc = 0.0;
+            for &m in sources {
+                let p = dem.mechanisms[m as usize].probability;
+                p_acc = p_acc * (1.0 - p) + p * (1.0 - p_acc);
+            }
+            edge.probability = p_acc;
+        }
+
+        let n = self.det_of_node.len();
+        let total = n + 1;
+        let weights: Vec<f64> = self
+            .edges
+            .iter()
+            .map(|e| weight_of(e.probability))
+            .collect();
+        let endpoints: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .map(|e| (e.a as usize, e.b.map_or(n, |x| x as usize)))
+            .collect();
+        let csr = Csr::build(total, &endpoints, &weights);
+
+        // Row scratch, reused across sources.
+        let mut order: Vec<u32> = (0..total as u32).collect();
+        let mut d = vec![f64::INFINITY; total];
+        let mut par = vec![0u64; total];
+        let mut heap: BinaryHeap<Reverse<HeapItem>> = BinaryHeap::new();
+        for src in 0..total {
+            let row = src * total;
+            let old = &self.dist[row..row + total];
+            // Parents settled before children, so increasing old
+            // distance is a topological order of the old tree.
+            order.sort_unstable_by(|&a, &b| {
+                old[a as usize]
+                    .partial_cmp(&old[b as usize])
+                    .expect("finite distances")
+                    .then(a.cmp(&b))
+            });
+            let pred = &mut self.pred[row..row + total];
+            for &t in order.iter() {
+                let t = t as usize;
+                if t == src {
+                    d[t] = 0.0;
+                    par[t] = 0;
+                    continue;
+                }
+                match pred[t] {
+                    NO_PRED => {
+                        // Unreachable before; weights cannot change that.
+                        d[t] = f64::INFINITY;
+                        par[t] = 0;
+                    }
+                    e => {
+                        let e = e as usize;
+                        let (a, b) = endpoints[e];
+                        let parent = if a == t { b } else { a };
+                        d[t] = d[parent] + weights[e];
+                        par[t] = par[parent] ^ self.edges[e].observables;
+                    }
+                }
+            }
+            // The tree distances are upper bounds achieved by real
+            // paths. Repair them to the exact optimum with a
+            // warm-started Dijkstra: seed the heap with every edge
+            // relaxation that still improves a bound, then run the
+            // usual pop-min/relax loop to the fixed point. Rows whose
+            // tree survived the weight change (the common case under a
+            // uniform p-shift) skip the loop entirely.
+            heap.clear();
+            for (e, &(a, b)) in endpoints.iter().enumerate() {
+                let w = weights[e];
+                let obs = self.edges[e].observables;
+                if d[a] + w < d[b] {
+                    d[b] = d[a] + w;
+                    par[b] = par[a] ^ obs;
+                    pred[b] = e as u32;
+                    heap.push(Reverse(HeapItem(d[b], b as u32)));
+                }
+                if d[b] + w < d[a] {
+                    d[a] = d[b] + w;
+                    par[a] = par[b] ^ obs;
+                    pred[a] = e as u32;
+                    heap.push(Reverse(HeapItem(d[a], a as u32)));
+                }
+            }
+            while let Some(Reverse(HeapItem(du, u))) = heap.pop() {
+                let u = u as usize;
+                if du > d[u] {
+                    continue;
+                }
+                for &(v, w, _, e) in &csr.entries[csr.starts[u]..csr.starts[u + 1]] {
+                    let v = v as usize;
+                    let nd = du + w;
+                    if nd < d[v] {
+                        d[v] = nd;
+                        par[v] = par[u] ^ self.edges[e as usize].observables;
+                        pred[v] = e;
+                        heap.push(Reverse(HeapItem(nd, v as u32)));
+                    }
+                }
+            }
+            for t in 0..total {
+                self.dist[row + t] = if d[t].is_finite() { d[t] } else { UNREACHABLE };
+                self.parity[row + t] = par[t];
+            }
         }
     }
 
@@ -359,71 +512,129 @@ fn decompose(
     None
 }
 
-/// All-pairs Dijkstra over `n` real nodes plus the boundary (index `n`).
-fn all_pairs(n: usize, edges: &[GraphEdge]) -> (Vec<f64>, Vec<u64>) {
+/// Flat CSR adjacency shared by the all-pairs build and per-row
+/// Dijkstra fallbacks; entries carry the edge index so predecessor
+/// trees can be recorded.
+struct Csr {
+    starts: Vec<usize>,
+    /// `(neighbor, weight, observables, edge index)`.
+    entries: Vec<(u32, f64, u64, u32)>,
+}
+
+impl Csr {
+    fn build(total: usize, endpoints: &[(usize, usize)], weights: &[f64]) -> Csr {
+        let mut degree = vec![0usize; total];
+        for &(a, b) in endpoints {
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        let mut starts = vec![0usize; total + 1];
+        for v in 0..total {
+            starts[v + 1] = starts[v] + degree[v];
+        }
+        let mut cursor = starts.clone();
+        let mut entries = vec![(0u32, 0.0f64, 0u64, 0u32); starts[total]];
+        for (e, &(a, b)) in endpoints.iter().enumerate() {
+            let w = weights[e];
+            entries[cursor[a]] = (b as u32, w, 0, e as u32);
+            cursor[a] += 1;
+            entries[cursor[b]] = (a as u32, w, 0, e as u32);
+            cursor[b] += 1;
+        }
+        Csr { starts, entries }
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapItem(f64, u32);
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("finite weights")
+            .then(self.1.cmp(&other.1))
+    }
+}
+
+/// One full Dijkstra from `src`, writing distances, path parities, and
+/// the predecessor-edge tree into the provided row buffers.
+fn dijkstra_row(
+    src: usize,
+    csr: &Csr,
+    edges: &[GraphEdge],
+    d: &mut [f64],
+    par: &mut [u64],
+    pred: &mut [u32],
+) {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
-    let total = n + 1;
-    let mut adj: Vec<Vec<(u32, f64, u64)>> = vec![Vec::new(); total];
-    for e in edges {
-        let w = weight_of(e.probability);
-        let b = e.b.map_or(n, |x| x as usize);
-        adj[e.a as usize].push((b as u32, w, e.observables));
-        adj[b].push((e.a, w, e.observables));
+    d.fill(f64::INFINITY);
+    par.fill(0);
+    pred.fill(NO_PRED);
+    let mut done = vec![false; d.len()];
+    let mut heap: BinaryHeap<Reverse<HeapItem>> = BinaryHeap::new();
+    d[src] = 0.0;
+    heap.push(Reverse(HeapItem(0.0, src as u32)));
+    while let Some(Reverse(HeapItem(du, u))) = heap.pop() {
+        let u = u as usize;
+        if done[u] {
+            continue;
+        }
+        done[u] = true;
+        for &(v, w, _, e) in &csr.entries[csr.starts[u]..csr.starts[u + 1]] {
+            let v = v as usize;
+            let nd = du + w;
+            if nd < d[v] {
+                d[v] = nd;
+                par[v] = par[u] ^ edges[e as usize].observables;
+                pred[v] = e;
+                heap.push(Reverse(HeapItem(nd, v as u32)));
+            }
+        }
     }
+}
+
+/// All-pairs Dijkstra over `n` real nodes plus the boundary (index `n`),
+/// also recording each row's shortest-path tree (predecessor edges) so
+/// [`DecodingGraph::reweight_from`] can refresh distances without
+/// re-running every Dijkstra.
+fn all_pairs(n: usize, edges: &[GraphEdge]) -> (Vec<f64>, Vec<u64>, Vec<u32>) {
+    let total = n + 1;
+    let endpoints: Vec<(usize, usize)> = edges
+        .iter()
+        .map(|e| (e.a as usize, e.b.map_or(n, |x| x as usize)))
+        .collect();
+    let weights: Vec<f64> = edges.iter().map(|e| weight_of(e.probability)).collect();
+    let csr = Csr::build(total, &endpoints, &weights);
+
     let mut dist = vec![UNREACHABLE; total * total];
     let mut parity = vec![0u64; total * total];
-
-    #[derive(PartialEq)]
-    struct HeapItem(f64, u32);
-    impl Eq for HeapItem {}
-    impl PartialOrd for HeapItem {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for HeapItem {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0
-                .partial_cmp(&other.0)
-                .expect("finite weights")
-                .then(self.1.cmp(&other.1))
-        }
-    }
-
+    let mut pred = vec![NO_PRED; total * total];
     let mut d = vec![f64::INFINITY; total];
     let mut par = vec![0u64; total];
-    let mut done = vec![false; total];
     for src in 0..total {
-        d.fill(f64::INFINITY);
-        par.fill(0);
-        done.fill(false);
-        d[src] = 0.0;
-        let mut heap: BinaryHeap<Reverse<HeapItem>> = BinaryHeap::new();
-        heap.push(Reverse(HeapItem(0.0, src as u32)));
-        while let Some(Reverse(HeapItem(du, u))) = heap.pop() {
-            let u = u as usize;
-            if done[u] {
-                continue;
-            }
-            done[u] = true;
-            for &(v, w, obs) in &adj[u] {
-                let v = v as usize;
-                let nd = du + w;
-                if nd < d[v] {
-                    d[v] = nd;
-                    par[v] = par[u] ^ obs;
-                    heap.push(Reverse(HeapItem(nd, v as u32)));
-                }
-            }
-        }
-        for v in 0..total {
-            dist[src * total + v] = if d[v].is_finite() { d[v] } else { UNREACHABLE };
-            parity[src * total + v] = par[v];
+        let row = src * total;
+        dijkstra_row(
+            src,
+            &csr,
+            edges,
+            &mut d,
+            &mut par,
+            &mut pred[row..row + total],
+        );
+        for t in 0..total {
+            dist[row + t] = if d[t].is_finite() { d[t] } else { UNREACHABLE };
+            parity[row + t] = par[t];
         }
     }
-    (dist, parity)
+    (dist, parity, pred)
 }
 
 #[cfg(test)]
@@ -505,6 +716,53 @@ mod tests {
                 assert!((dab - dba).abs() < 1e-9);
                 let via_boundary = g.distance(Some(a), None) + g.distance(None, Some(b));
                 assert!(dab <= via_boundary + 1e-9, "triangle through boundary");
+            }
+        }
+    }
+
+    #[test]
+    fn reweighted_graph_matches_fresh_build() {
+        use dqec_sim::dem::ParametricDem;
+        use dqec_sim::noise::NoiseModel;
+
+        // Strip the hand-placed noise and let the model decorate the
+        // clean circuit, so rates follow the parametric form.
+        let clean = repetition_circuit(3, 0.0);
+        let template = NoiseModel::new(1e-3);
+        let (noisy, params) = template.apply_with_params(&clean);
+        let pdem = ParametricDem::from_noisy(&noisy, &params);
+        let mut graph = DecodingGraph::build(&noisy, &pdem.concretize(template.p()), CheckBasis::Z);
+
+        for p in [5e-4, 2e-3, 1e-2] {
+            graph.reweight_from(&pdem.concretize(p));
+            let fresh_noisy = NoiseModel::new(p).apply(&clean);
+            let fresh = DecodingGraph::build(
+                &fresh_noisy,
+                &DetectorErrorModel::from_circuit(&fresh_noisy),
+                CheckBasis::Z,
+            );
+            assert_eq!(graph.edges().len(), fresh.edges().len());
+            for (a, b) in graph.edges().iter().zip(fresh.edges()) {
+                assert_eq!((a.a, a.b), (b.a, b.b));
+                assert!(
+                    (a.probability - b.probability).abs() < 1e-12,
+                    "p={p}: edge ({},{:?}) prob {} vs {}",
+                    a.a,
+                    a.b,
+                    a.probability,
+                    b.probability
+                );
+            }
+            let n = graph.num_nodes() as u32;
+            for x in 0..n {
+                for y in 0..n {
+                    let d_re = graph.distance(Some(x), Some(y));
+                    let d_fr = fresh.distance(Some(x), Some(y));
+                    assert!(
+                        (d_re - d_fr).abs() < 1e-9,
+                        "p={p}: dist({x},{y}) {d_re} vs {d_fr}"
+                    );
+                }
             }
         }
     }

@@ -9,8 +9,12 @@
 //! * [`graph`] — per-basis decoding graphs built from a circuit's
 //!   detector error model, with cached all-pairs shortest paths and
 //!   observable parities;
-//! * [`decoder`] — the per-shot decoder: split detection events by
-//!   basis, match against the boundary, XOR predicted observables.
+//! * [`decoder`] — the [`Decoder`] trait every consumer decodes
+//!   through, and its first implementor [`MwpmDecoder`]: split
+//!   detection events by basis, match against the boundary, XOR
+//!   predicted observables. Decoders built with
+//!   [`MwpmDecoder::from_clean`] can be *reweighted* to a new physical
+//!   error rate without rebuilding their graphs.
 //!
 //! # Examples
 //!
@@ -24,5 +28,5 @@ pub mod decoder;
 pub mod graph;
 
 pub use blossom::{min_weight_perfect_matching, PerfectMatching};
-pub use decoder::{DecodeStats, MwpmDecoder};
+pub use decoder::{check_decoder_conformance, DecodeStats, Decoder, MwpmDecoder};
 pub use graph::{DecodingGraph, GraphDiagnostics, GraphEdge};

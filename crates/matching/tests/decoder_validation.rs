@@ -1,7 +1,7 @@
 //! Decoder validation: graph-distance sanity on structured circuits and
 //! behaviour under extreme syndromes.
 
-use dqec_matching::{DecodingGraph, MwpmDecoder};
+use dqec_matching::{Decoder, DecodingGraph, MwpmDecoder};
 use dqec_sim::circuit::{CheckBasis, Circuit, Noise1};
 use dqec_sim::dem::DetectorErrorModel;
 

@@ -9,6 +9,7 @@
 //! matching decoder and the decoding-graph weights are built from.
 
 use crate::circuit::{Circuit, Gate1, Gate2, Noise1, Op};
+use crate::noise::NoiseParam;
 use std::collections::HashMap;
 
 /// A sensitivity set: detectors plus an observable bitmask.
@@ -109,122 +110,16 @@ impl DetectorErrorModel {
     ///
     /// Panics if the circuit uses more than 64 observables.
     pub fn from_circuit(circuit: &Circuit) -> Self {
-        assert!(
-            circuit.observables().len() <= 64,
-            "at most 64 observables supported"
-        );
-        let nq = circuit.num_qubits() as usize;
-
-        // Record -> (detectors containing it, observable mask).
-        let mut det_of_record: Vec<Vec<u32>> =
-            vec![Vec::new(); circuit.num_measurements() as usize];
-        for (d, det) in circuit.detectors().iter().enumerate() {
-            for &r in &det.records {
-                det_of_record[r as usize].push(d as u32);
-            }
-        }
-        let mut obs_of_record: Vec<u64> = vec![0; circuit.num_measurements() as usize];
-        for (o, obs) in circuit.observables().iter().enumerate() {
-            for &r in obs {
-                obs_of_record[r as usize] ^= 1 << o;
-            }
-        }
-
-        let mut xmap: Vec<Sens> = vec![Sens::default(); nq];
-        let mut zmap: Vec<Sens> = vec![Sens::default(); nq];
         let mut raw: HashMap<(Vec<u32>, u64), f64> = HashMap::new();
-        let add = |sens: &Sens, p: f64, raw: &mut HashMap<(Vec<u32>, u64), f64>| {
-            if sens.is_empty() || p <= 0.0 {
+        walk_mechanisms(circuit, |sens, _idx, fraction, op_p| {
+            let branch_p = fraction * op_p;
+            if sens.is_empty() || branch_p <= 0.0 {
                 return;
             }
             let key = (sens.dets.clone(), sens.obs);
             let q = raw.entry(key).or_insert(0.0);
-            *q = *q * (1.0 - p) + p * (1.0 - *q);
-        };
-
-        let mut next_record = circuit.num_measurements() as usize;
-        for op in circuit.ops().iter().rev() {
-            match *op {
-                Op::Gate1 { kind: Gate1::H, q } => {
-                    let q = q as usize;
-                    std::mem::swap(&mut xmap[q], &mut zmap[q]);
-                }
-                Op::Gate1 { kind: Gate1::S, q } => {
-                    // X before S acts as Y after S.
-                    let q = q as usize;
-                    let z = zmap[q].clone();
-                    xmap[q].xor_in_place(&z);
-                }
-                Op::Gate1 { .. } => {}
-                Op::Gate2 {
-                    kind: Gate2::Cx,
-                    a,
-                    b,
-                } => {
-                    let (c, t) = (a as usize, b as usize);
-                    let xt = xmap[t].clone();
-                    xmap[c].xor_in_place(&xt);
-                    let zc = zmap[c].clone();
-                    zmap[t].xor_in_place(&zc);
-                }
-                Op::Gate2 {
-                    kind: Gate2::Cz,
-                    a,
-                    b,
-                } => {
-                    let (a, b) = (a as usize, b as usize);
-                    let zb = zmap[b].clone();
-                    let za = zmap[a].clone();
-                    xmap[a].xor_in_place(&zb);
-                    xmap[b].xor_in_place(&za);
-                }
-                Op::Reset { q } => {
-                    let q = q as usize;
-                    xmap[q] = Sens::default();
-                    zmap[q] = Sens::default();
-                }
-                Op::Measure { q } => {
-                    next_record -= 1;
-                    let q = q as usize;
-                    let m = Sens {
-                        dets: det_of_record[next_record].clone(),
-                        obs: obs_of_record[next_record],
-                    };
-                    xmap[q].xor_in_place(&m);
-                }
-                Op::Noise1 { kind, q, p } => {
-                    let q = q as usize;
-                    match kind {
-                        Noise1::XError => add(&xmap[q], p, &mut raw),
-                        Noise1::ZError => add(&zmap[q], p, &mut raw),
-                        Noise1::Depolarize1 => {
-                            let y = xmap[q].xor(&zmap[q]);
-                            add(&xmap[q], p / 3.0, &mut raw);
-                            add(&zmap[q], p / 3.0, &mut raw);
-                            add(&y, p / 3.0, &mut raw);
-                        }
-                    }
-                }
-                Op::Depolarize2 { a, b, p } => {
-                    let (a, b) = (a as usize, b as usize);
-                    let comp = |x: &Sens, z: &Sens| -> [Sens; 4] {
-                        [Sens::default(), x.clone(), x.xor(z), z.clone()]
-                    };
-                    let ca = comp(&xmap[a], &zmap[a]);
-                    let cb = comp(&xmap[b], &zmap[b]);
-                    for (i, sa) in ca.iter().enumerate() {
-                        for (j, sb) in cb.iter().enumerate() {
-                            if i == 0 && j == 0 {
-                                continue;
-                            }
-                            add(&sa.xor(sb), p / 15.0, &mut raw);
-                        }
-                    }
-                }
-                Op::Tick => {}
-            }
-        }
-        debug_assert_eq!(next_record, 0, "record bookkeeping must balance");
+            *q = *q * (1.0 - branch_p) + branch_p * (1.0 - *q);
+        });
 
         let mut mechanisms: Vec<ErrorMechanism> = raw
             .into_iter()
@@ -250,6 +145,272 @@ impl DetectorErrorModel {
             undetectable_logical_mechanisms: undetectable,
         }
     }
+}
+
+/// One error mechanism whose probability is a *function* of the noise
+/// model's baseline `p` rather than a number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParametricMechanism {
+    /// Sorted ids of the detectors this mechanism flips.
+    pub detectors: Vec<u32>,
+    /// Bitmask of observables this mechanism flips.
+    pub observables: u64,
+    /// Contributing noise branches: each fires with probability
+    /// `fraction · param.rate(p)`, and the mechanism's probability is
+    /// their XOR-combination.
+    pub branches: Vec<(NoiseParam, f64)>,
+}
+
+impl ParametricMechanism {
+    /// The mechanism's firing probability at baseline rate `p`.
+    pub fn probability(&self, p: f64) -> f64 {
+        // XOR-combining is multiplicative in q = 1 - 2·prob.
+        let q: f64 = self
+            .branches
+            .iter()
+            .map(|(param, k)| 1.0 - 2.0 * k * param.rate(p))
+            .product();
+        (1.0 - q) / 2.0
+    }
+}
+
+/// A detector error model whose mechanism probabilities can be
+/// re-evaluated for any baseline rate `p` without re-walking the
+/// circuit — the expensive part of [`DetectorErrorModel::from_circuit`].
+///
+/// Built from the noisy circuit and the per-op [`NoiseParam`]s returned
+/// by `NoiseModel::apply_with_params`; [`ParametricDem::concretize`]
+/// then yields the same mechanisms (same symptoms, same order) as a
+/// fresh extraction of the circuit re-noised at `p`, up to floating
+/// point roundoff in the probabilities.
+///
+/// # Examples
+///
+/// ```
+/// use dqec_sim::circuit::{CheckBasis, Circuit};
+/// use dqec_sim::dem::{DetectorErrorModel, ParametricDem};
+/// use dqec_sim::noise::NoiseModel;
+///
+/// let mut clean = Circuit::new(1);
+/// clean.reset(0)?;
+/// let m = clean.measure(0)?;
+/// clean.add_detector(&[m], CheckBasis::Z, (0, 0, 0))?;
+///
+/// let template = NoiseModel::new(1e-3);
+/// let (noisy, params) = template.apply_with_params(&clean);
+/// let pdem = ParametricDem::from_noisy(&noisy, &params);
+///
+/// // Reweight to p = 5e-3 without touching the circuit again.
+/// let at_5e3 = pdem.concretize(5e-3);
+/// let fresh = DetectorErrorModel::from_circuit(&NoiseModel::new(5e-3).apply(&clean));
+/// assert_eq!(at_5e3.mechanisms.len(), fresh.mechanisms.len());
+/// # Ok::<(), dqec_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParametricDem {
+    /// Total number of detectors in the source circuit.
+    pub num_detectors: usize,
+    /// Total number of observables in the source circuit.
+    pub num_observables: usize,
+    /// Deduplicated parametric mechanisms, sorted like
+    /// [`DetectorErrorModel::from_circuit`] sorts its mechanisms.
+    pub mechanisms: Vec<ParametricMechanism>,
+}
+
+impl ParametricDem {
+    /// Extracts the parametric DEM of a noisy circuit, given one
+    /// [`NoiseParam`] per noise op in circuit order (as returned by
+    /// `NoiseModel::apply_with_params`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` does not have exactly one entry per noise op
+    /// or the circuit uses more than 64 observables.
+    pub fn from_noisy(circuit: &Circuit, params: &[NoiseParam]) -> Self {
+        type Branches = Vec<(NoiseParam, f64)>;
+        let mut raw: HashMap<(Vec<u32>, u64), Branches> = HashMap::new();
+        assert_eq!(
+            params.len(),
+            circuit
+                .ops()
+                .iter()
+                .filter(|op| matches!(op, Op::Noise1 { .. } | Op::Depolarize2 { .. }))
+                .count(),
+            "one NoiseParam per noise op required"
+        );
+        walk_mechanisms(circuit, |sens, idx, fraction, _op_p| {
+            if sens.is_empty() || fraction <= 0.0 {
+                return;
+            }
+            raw.entry((sens.dets.clone(), sens.obs))
+                .or_default()
+                .push((params[idx], fraction));
+        });
+        let mut mechanisms: Vec<ParametricMechanism> = raw
+            .into_iter()
+            .map(|((detectors, observables), branches)| ParametricMechanism {
+                detectors,
+                observables,
+                branches,
+            })
+            .collect();
+        mechanisms.sort_by(|a, b| {
+            a.detectors
+                .cmp(&b.detectors)
+                .then(a.observables.cmp(&b.observables))
+        });
+        ParametricDem {
+            num_detectors: circuit.detectors().len(),
+            num_observables: circuit.observables().len(),
+            mechanisms,
+        }
+    }
+
+    /// Evaluates every mechanism's probability at baseline rate `p`,
+    /// producing a concrete [`DetectorErrorModel`] with the same
+    /// mechanisms in the same order for every `p`.
+    pub fn concretize(&self, p: f64) -> DetectorErrorModel {
+        let mechanisms: Vec<ErrorMechanism> = self
+            .mechanisms
+            .iter()
+            .map(|m| ErrorMechanism {
+                detectors: m.detectors.clone(),
+                observables: m.observables,
+                probability: m.probability(p),
+            })
+            .collect();
+        let undetectable = mechanisms
+            .iter()
+            .filter(|m| m.detectors.is_empty() && m.observables != 0)
+            .count();
+        DetectorErrorModel {
+            num_detectors: self.num_detectors,
+            num_observables: self.num_observables,
+            mechanisms,
+            undetectable_logical_mechanisms: undetectable,
+        }
+    }
+}
+
+/// Walks `circuit` backward, calling `visit(sens, noise_index, fraction,
+/// op_p)` for every branch of every noise op: `sens` is the branch's
+/// symptom, `noise_index` the op's index among the circuit's noise ops
+/// in *forward* order, and the branch fires with probability
+/// `fraction · op_p` (the Pauli-component share of the op's rate).
+fn walk_mechanisms<F: FnMut(&Sens, usize, f64, f64)>(circuit: &Circuit, mut visit: F) {
+    assert!(
+        circuit.observables().len() <= 64,
+        "at most 64 observables supported"
+    );
+    let nq = circuit.num_qubits() as usize;
+
+    // Record -> (detectors containing it, observable mask).
+    let mut det_of_record: Vec<Vec<u32>> = vec![Vec::new(); circuit.num_measurements() as usize];
+    for (d, det) in circuit.detectors().iter().enumerate() {
+        for &r in &det.records {
+            det_of_record[r as usize].push(d as u32);
+        }
+    }
+    let mut obs_of_record: Vec<u64> = vec![0; circuit.num_measurements() as usize];
+    for (o, obs) in circuit.observables().iter().enumerate() {
+        for &r in obs {
+            obs_of_record[r as usize] ^= 1 << o;
+        }
+    }
+
+    let mut xmap: Vec<Sens> = vec![Sens::default(); nq];
+    let mut zmap: Vec<Sens> = vec![Sens::default(); nq];
+    let mut next_record = circuit.num_measurements() as usize;
+    let mut next_noise = circuit
+        .ops()
+        .iter()
+        .filter(|op| matches!(op, Op::Noise1 { .. } | Op::Depolarize2 { .. }))
+        .count();
+    for op in circuit.ops().iter().rev() {
+        match *op {
+            Op::Gate1 { kind: Gate1::H, q } => {
+                let q = q as usize;
+                std::mem::swap(&mut xmap[q], &mut zmap[q]);
+            }
+            Op::Gate1 { kind: Gate1::S, q } => {
+                // X before S acts as Y after S.
+                let q = q as usize;
+                let z = zmap[q].clone();
+                xmap[q].xor_in_place(&z);
+            }
+            Op::Gate1 { .. } => {}
+            Op::Gate2 {
+                kind: Gate2::Cx,
+                a,
+                b,
+            } => {
+                let (c, t) = (a as usize, b as usize);
+                let xt = xmap[t].clone();
+                xmap[c].xor_in_place(&xt);
+                let zc = zmap[c].clone();
+                zmap[t].xor_in_place(&zc);
+            }
+            Op::Gate2 {
+                kind: Gate2::Cz,
+                a,
+                b,
+            } => {
+                let (a, b) = (a as usize, b as usize);
+                let zb = zmap[b].clone();
+                let za = zmap[a].clone();
+                xmap[a].xor_in_place(&zb);
+                xmap[b].xor_in_place(&za);
+            }
+            Op::Reset { q } => {
+                let q = q as usize;
+                xmap[q] = Sens::default();
+                zmap[q] = Sens::default();
+            }
+            Op::Measure { q } => {
+                next_record -= 1;
+                let q = q as usize;
+                let m = Sens {
+                    dets: det_of_record[next_record].clone(),
+                    obs: obs_of_record[next_record],
+                };
+                xmap[q].xor_in_place(&m);
+            }
+            Op::Noise1 { kind, q, p } => {
+                next_noise -= 1;
+                let q = q as usize;
+                match kind {
+                    Noise1::XError => visit(&xmap[q], next_noise, 1.0, p),
+                    Noise1::ZError => visit(&zmap[q], next_noise, 1.0, p),
+                    Noise1::Depolarize1 => {
+                        let y = xmap[q].xor(&zmap[q]);
+                        visit(&xmap[q], next_noise, 1.0 / 3.0, p);
+                        visit(&zmap[q], next_noise, 1.0 / 3.0, p);
+                        visit(&y, next_noise, 1.0 / 3.0, p);
+                    }
+                }
+            }
+            Op::Depolarize2 { a, b, p } => {
+                next_noise -= 1;
+                let (a, b) = (a as usize, b as usize);
+                let comp = |x: &Sens, z: &Sens| -> [Sens; 4] {
+                    [Sens::default(), x.clone(), x.xor(z), z.clone()]
+                };
+                let ca = comp(&xmap[a], &zmap[a]);
+                let cb = comp(&xmap[b], &zmap[b]);
+                for (i, sa) in ca.iter().enumerate() {
+                    for (j, sb) in cb.iter().enumerate() {
+                        if i == 0 && j == 0 {
+                            continue;
+                        }
+                        visit(&sa.xor(sb), next_noise, 1.0 / 15.0, p);
+                    }
+                }
+            }
+            Op::Tick => {}
+        }
+    }
+    debug_assert_eq!(next_record, 0, "record bookkeeping must balance");
+    debug_assert_eq!(next_noise, 0, "noise-op bookkeeping must balance");
 }
 
 #[cfg(test)]
@@ -354,6 +515,48 @@ mod tests {
         c.include_observable(0, &[m]).unwrap();
         let dem = DetectorErrorModel::from_circuit(&c);
         assert_eq!(dem.undetectable_logical_mechanisms, 1);
+    }
+
+    #[test]
+    fn parametric_concretize_matches_fresh_extraction() {
+        use crate::noise::NoiseModel;
+        // A small two-qubit syndrome round with gates of every kind the
+        // noise model decorates, plus a per-qubit override.
+        let mut clean = Circuit::new(2);
+        clean.reset(0).unwrap();
+        clean.reset(1).unwrap();
+        clean.h(1).unwrap();
+        clean.cx(0, 1).unwrap();
+        clean.h(1).unwrap();
+        let m = clean.measure(1).unwrap();
+        clean.add_detector(&[m], CheckBasis::X, (0, 0, 0)).unwrap();
+        let d = clean.measure(0).unwrap();
+        c_add_obs(&mut clean, d);
+
+        let template = NoiseModel::new(1e-3).with_bad_qubit(0, 0.08);
+        let (noisy, params) = template.apply_with_params(&clean);
+        let pdem = ParametricDem::from_noisy(&noisy, &params);
+
+        for p in [1e-3, 3e-3, 8e-3, 2e-2] {
+            let reweighted = pdem.concretize(p);
+            let model = NoiseModel::new(p).with_bad_qubit(0, 0.08);
+            let fresh = DetectorErrorModel::from_circuit(&model.apply(&clean));
+            assert_eq!(reweighted.mechanisms.len(), fresh.mechanisms.len());
+            for (a, b) in reweighted.mechanisms.iter().zip(&fresh.mechanisms) {
+                assert_eq!(a.detectors, b.detectors, "symptom order differs");
+                assert_eq!(a.observables, b.observables);
+                assert!(
+                    (a.probability - b.probability).abs() < 1e-12,
+                    "p={p}: {} vs {}",
+                    a.probability,
+                    b.probability
+                );
+            }
+        }
+    }
+
+    fn c_add_obs(c: &mut Circuit, d: crate::MeasRecord) {
+        c.include_observable(0, &[d]).unwrap();
     }
 
     #[test]

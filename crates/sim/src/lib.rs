@@ -57,8 +57,8 @@ pub mod pauli;
 pub mod tableau;
 
 pub use circuit::{CheckBasis, Circuit, MeasRecord};
-pub use dem::DetectorErrorModel;
+pub use dem::{DetectorErrorModel, ParametricDem};
 pub use error::SimError;
 pub use frame::{BitTable, FrameSampler, ShotBatch};
-pub use noise::NoiseModel;
+pub use noise::{NoiseModel, NoiseParam};
 pub use tableau::ReferenceSample;

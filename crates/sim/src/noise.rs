@@ -15,6 +15,39 @@ pub const ONE_QUBIT_RATIO: f64 = 0.8;
 /// Ratio of readout/reset flip error to two-qubit gate error.
 pub const READOUT_RATIO: f64 = 8.0 / 15.0;
 
+/// How one inserted noise channel's probability depends on the model's
+/// baseline two-qubit error rate `p`.
+///
+/// [`NoiseModel::apply_with_params`] returns one of these per inserted
+/// noise op, in circuit order, so a decoding graph built once can be
+/// *reweighted* for a different `p` without re-extracting the detector
+/// error model (see `dqec_sim::dem::ParametricDem`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseParam {
+    /// `probability = ratio · max(p, floor)`: a model-inserted channel
+    /// whose rate scales with the baseline, with `floor` the largest
+    /// per-qubit absolute override touching the op (0 when none).
+    Scaled {
+        /// Multiplier relative to the two-qubit rate (1, 0.8, or 8/15).
+        ratio: f64,
+        /// Largest absolute per-qubit override involved, or 0.
+        floor: f64,
+    },
+    /// A noise op already present in the clean circuit; its probability
+    /// does not depend on the model's baseline.
+    Fixed(f64),
+}
+
+impl NoiseParam {
+    /// The channel's probability under baseline two-qubit rate `p`.
+    pub fn rate(&self, p: f64) -> f64 {
+        match *self {
+            NoiseParam::Scaled { ratio, floor } => ratio * p.max(floor),
+            NoiseParam::Fixed(q) => q,
+        }
+    }
+}
+
 /// Circuit-level depolarizing noise with optional per-qubit overrides.
 ///
 /// # Examples
@@ -72,6 +105,11 @@ impl NoiseModel {
         self
     }
 
+    /// The per-qubit absolute rate overrides (empty for the plain model).
+    pub fn overrides(&self) -> &HashMap<u32, f64> {
+        &self.overrides
+    }
+
     /// The effective two-qubit rate for a gate touching `qubits`.
     fn rate(&self, qubits: &[u32]) -> f64 {
         qubits
@@ -80,37 +118,68 @@ impl NoiseModel {
             .fold(self.p, f64::max)
     }
 
+    /// The largest absolute override among `qubits` (0 when none), i.e.
+    /// the `floor` of the [`NoiseParam`] for an op touching them.
+    fn floor(&self, qubits: &[u32]) -> f64 {
+        qubits
+            .iter()
+            .filter_map(|q| self.overrides.get(q).copied())
+            .fold(0.0, f64::max)
+    }
+
     /// Inserts noise channels around every operation of `clean`,
     /// returning the noisy circuit. Detector and observable definitions
     /// are preserved (measurement order is unchanged).
     pub fn apply(&self, clean: &Circuit) -> Circuit {
+        self.apply_with_params(clean).0
+    }
+
+    /// Like [`NoiseModel::apply`], but also returns one [`NoiseParam`]
+    /// per inserted noise op, in circuit order, describing how that
+    /// op's probability depends on the baseline `p`. Channels whose
+    /// rate is zero under this model are skipped in both outputs, so
+    /// build the template at `p > 0` when the parametrization matters.
+    pub fn apply_with_params(&self, clean: &Circuit) -> (Circuit, Vec<NoiseParam>) {
         let mut noisy = Circuit::new(clean.num_qubits());
+        let mut params = Vec::new();
+        let scaled = |ratio: f64, qubits: &[u32], params: &mut Vec<NoiseParam>| -> f64 {
+            let r = ratio * self.rate(qubits);
+            if r > 0.0 {
+                params.push(NoiseParam::Scaled {
+                    ratio,
+                    floor: self.floor(qubits),
+                });
+            }
+            r
+        };
         for op in clean.ops() {
             match *op {
                 Op::Gate1 { kind, q } => {
                     push_gate1(&mut noisy, kind, q);
-                    let r = ONE_QUBIT_RATIO * self.rate(&[q]);
+                    let r = scaled(ONE_QUBIT_RATIO, &[q], &mut params);
                     noisy.noise1(Noise1::Depolarize1, q, r).expect("validated");
                 }
                 Op::Gate2 { kind, a, b } => {
                     push_gate2(&mut noisy, kind, a, b);
-                    let r = self.rate(&[a, b]);
+                    let r = scaled(1.0, &[a, b], &mut params);
                     noisy.depolarize2(a, b, r).expect("validated");
                 }
                 Op::Reset { q } => {
                     noisy.reset(q).expect("validated");
-                    let r = READOUT_RATIO * self.rate(&[q]);
+                    let r = scaled(READOUT_RATIO, &[q], &mut params);
                     noisy.noise1(Noise1::XError, q, r).expect("validated");
                 }
                 Op::Measure { q } => {
-                    let r = READOUT_RATIO * self.rate(&[q]);
+                    let r = scaled(READOUT_RATIO, &[q], &mut params);
                     noisy.noise1(Noise1::XError, q, r).expect("validated");
                     noisy.measure(q).expect("validated");
                 }
                 Op::Noise1 { kind, q, p } => {
+                    params.push(NoiseParam::Fixed(p));
                     noisy.noise1(kind, q, p).expect("validated");
                 }
                 Op::Depolarize2 { a, b, p } => {
+                    params.push(NoiseParam::Fixed(p));
                     noisy.depolarize2(a, b, p).expect("validated");
                 }
                 Op::Tick => noisy.tick(),
@@ -132,7 +201,7 @@ impl NoiseModel {
                 .include_observable(o as u32, &records)
                 .expect("records preserved");
         }
-        noisy
+        (noisy, params)
     }
 }
 
@@ -213,5 +282,46 @@ mod tests {
     fn ratios_match_paper() {
         assert!((ONE_QUBIT_RATIO - 0.8).abs() < 1e-15);
         assert!((READOUT_RATIO - 8.0 / 15.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn params_align_with_noise_ops() {
+        let model = NoiseModel::new(2e-3).with_bad_qubit(0, 0.1);
+        let (noisy, params) = model.apply_with_params(&clean_round());
+        assert_eq!(noisy.num_noise_ops(), params.len());
+        // Every param reproduces the concrete rate in the circuit.
+        let mut i = 0;
+        for op in noisy.ops() {
+            let concrete = match *op {
+                Op::Noise1 { p, .. } | Op::Depolarize2 { p, .. } => p,
+                _ => continue,
+            };
+            assert!(
+                (params[i].rate(model.p()) - concrete).abs() < 1e-15,
+                "param {i} disagrees with circuit rate"
+            );
+            i += 1;
+        }
+    }
+
+    #[test]
+    fn scaled_param_tracks_p_and_respects_floor() {
+        let p = NoiseParam::Scaled {
+            ratio: 0.8,
+            floor: 0.05,
+        };
+        assert!((p.rate(1e-3) - 0.8 * 0.05).abs() < 1e-15);
+        assert!((p.rate(0.2) - 0.8 * 0.2).abs() < 1e-15);
+        assert!((NoiseParam::Fixed(0.3).rate(1e-3) - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn preexisting_noise_becomes_fixed_param() {
+        let mut c = Circuit::new(1);
+        c.reset(0).unwrap();
+        c.noise1(Noise1::XError, 0, 0.07).unwrap();
+        c.measure(0).unwrap();
+        let (_, params) = NoiseModel::new(1e-3).apply_with_params(&c);
+        assert!(params.contains(&NoiseParam::Fixed(0.07)));
     }
 }

@@ -1,51 +1,58 @@
 //! Memory experiment: measure logical error rates of defective and
 //! defect-free patches under circuit-level noise, end to end through
 //! the whole stack (adaptation, circuit generation, frame sampling,
-//! MWPM decoding).
+//! MWPM decoding) — driven by the unified `ExperimentSpec`/`Runner`
+//! API, with records rendered as TSV on stdout.
 //!
 //! Run with: `cargo run --release --example memory_experiment`
 
-use dqec::chiplet::experiment::{fit_loglog, memory_ler_curve};
-use dqec::core::{AdaptedPatch, Coord, DefectSet, PatchIndicators, PatchLayout};
+use dqec::prelude::*;
 
 fn main() {
     let shots = 30_000;
     let ps = [2e-3, 3e-3, 4.5e-3];
+    let runner = Runner::new();
+    let mut sink = TsvSink::new(std::io::stdout().lock());
 
-    println!("defect-free patches:");
-    println!(
-        "{:>4} {:>9} {:>9} {:>9} {:>7}",
-        "d", "p", "LER", "±", "slope"
-    );
+    sink.emit(&Record::Section("defect-free patches".into()));
     for l in [3u32, 5, 7] {
         let patch = AdaptedPatch::new(PatchLayout::memory(l), &DefectSet::new());
-        let curve = memory_ler_curve(&patch, &ps, l, shots, 7).expect("circuit builds");
-        for pt in &curve {
-            let ler = pt.ler();
-            let sigma = (ler * (1.0 - ler) / pt.shots as f64).sqrt();
-            println!("{l:>4} {:>9.4} {ler:>9.5} {sigma:>9.5}", pt.p);
-        }
-        if let Some(fit) = fit_loglog(&curve) {
-            println!(
-                "      slope = {:.2} (expect ~ (d+1)/2 = {:.1})",
+        let spec = ExperimentSpec::memory(patch)
+            .ps(&ps)
+            .rounds(l)
+            .shots(shots)
+            .seed(7)
+            .label(format!("d={l}"))
+            .fit(true);
+        let outcome = runner.run(&spec, &mut sink).expect("circuit builds");
+        if let Some(fit) = outcome.fit {
+            sink.emit(&Record::Note(format!(
+                "d={l}: slope = {:.2} (expect ~ (d+1)/2 = {:.1})",
                 fit.slope,
                 (l + 1) as f64 / 2.0
-            );
+            )));
         }
     }
 
     // A defective l=7 chiplet: one broken data qubit drops d to 6.
-    println!("\ndefective l=7 chiplet (broken data qubit at (7,7)):");
+    sink.emit(&Record::Section(
+        "defective l=7 chiplet (broken data qubit at (7,7))".into(),
+    ));
     let mut defects = DefectSet::new();
     defects.add_data(Coord::new(7, 7));
     let patch = AdaptedPatch::new(PatchLayout::memory(7), &defects);
     let ind = PatchIndicators::of(&patch);
-    println!("adapted distance: {}", ind.distance());
-    let curve = memory_ler_curve(&patch, &ps, 7, shots, 8).expect("circuit builds");
-    for pt in &curve {
-        println!("   p={:>7.4}  LER={:>9.5}", pt.p, pt.ler());
-    }
-    if let Some(fit) = fit_loglog(&curve) {
-        println!("   slope = {:.2}", fit.slope);
-    }
+    sink.emit(&Record::Note(format!(
+        "adapted distance: {}",
+        ind.distance()
+    )));
+    let spec = ExperimentSpec::memory(patch)
+        .ps(&ps)
+        .rounds(7)
+        .shots(shots)
+        .seed(8)
+        .label("defective l=7")
+        .fit(true);
+    runner.run(&spec, &mut sink).expect("circuit builds");
+    sink.finish();
 }

@@ -19,8 +19,11 @@
 //!
 //! # Quick start
 //!
+//! Adapt a defective chiplet and measure its logical error rate
+//! through the unified experiment API:
+//!
 //! ```
-//! use dqec::core::{AdaptedPatch, Coord, DefectSet, PatchIndicators, PatchLayout};
+//! use dqec::prelude::*;
 //!
 //! // A 7x7 chiplet with a broken syndrome qubit in the interior.
 //! let mut defects = DefectSet::new();
@@ -28,9 +31,18 @@
 //!
 //! let patch = AdaptedPatch::new(PatchLayout::memory(7), &defects);
 //! assert!(patch.is_valid());
+//! assert_eq!(PatchIndicators::of(&patch).distance(), 5); // paper Fig. 1b
 //!
-//! let ind = PatchIndicators::of(&patch);
-//! assert_eq!(ind.distance(), 5); // paper Fig. 1b
+//! // Sweep a LER curve: the circuit and decoding graph are compiled
+//! // once and reweighted per point.
+//! let spec = ExperimentSpec::memory(patch)
+//!     .ps(&[6e-3, 9e-3])
+//!     .shots(2_000)
+//!     .seed(1)
+//!     .label("d=5");
+//! let outcome = Runner::new().run(&spec, &mut NullSink)?;
+//! assert_eq!(outcome.points.len(), 2);
+//! # Ok::<(), dqec::core::CoreError>(())
 //! ```
 //!
 //! See `examples/` for end-to-end memory experiments, chiplet yield
@@ -45,3 +57,23 @@ pub use dqec_core as core;
 pub use dqec_estimator as estimator;
 pub use dqec_matching as matching;
 pub use dqec_sim as sim;
+
+/// One-stop imports for the common workflow: adapt a patch, declare an
+/// [`ExperimentSpec`](chiplet::runner::ExperimentSpec), run it, and
+/// route typed records into a sink.
+pub mod prelude {
+    pub use crate::chiplet::record::{
+        JsonSink, LerRecord, MemorySink, NullSink, Record, Sink, SlopeFitRecord, TsvSink, Value,
+        YieldRecord,
+    };
+    pub use crate::chiplet::runner::{
+        default_rounds, DecoderBuilder, ExperimentSpec, Protocol, RunOutcome, Runner,
+    };
+    pub use crate::chiplet::{
+        fit_loglog, sample_indicators, yield_from_indicators, DefectModel, LerPoint, QualityTarget,
+        SampleConfig, SlopeFit,
+    };
+    pub use crate::core::{AdaptedPatch, Coord, DefectSet, PatchIndicators, PatchLayout, Side};
+    pub use crate::matching::{Decoder, MwpmDecoder};
+    pub use crate::sim::{Circuit, NoiseModel};
+}

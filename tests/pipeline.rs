@@ -3,7 +3,7 @@
 
 use dqec::chiplet::experiment::{memory_ler, stability_ler};
 use dqec::core::{memory_z, AdaptedPatch, Coord, DefectSet, PatchIndicators, PatchLayout};
-use dqec::matching::MwpmDecoder;
+use dqec::matching::{Decoder, MwpmDecoder};
 use dqec::sim::{FrameSampler, NoiseModel, ReferenceSample};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
