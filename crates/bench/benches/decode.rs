@@ -1,0 +1,49 @@
+//! Criterion benchmark for the per-shot decode kernel: the sparse batch
+//! path (component splitting, scratch/arena reuse, memoization,
+//! shot-parallel chunks) versus the pre-optimization dense reference
+//! that builds one `2k × 2k` blossom problem per shot. The acceptance
+//! bar for this PR's hot-path rework is ≥2x on the d = 9, p = 1e-3
+//! batch-decode kernel; `cargo run -p dqec_bench --bin bench_decode`
+//! emits the same comparison as `BENCH_decode.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dqec_core::adapt::AdaptedPatch;
+use dqec_core::layout::PatchLayout;
+use dqec_core::{memory_z, DefectSet};
+use dqec_matching::{Decoder, MwpmDecoder};
+use dqec_sim::frame::FrameSampler;
+use dqec_sim::noise::NoiseModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode");
+    group.sample_size(10);
+    for (d, p) in [(5u32, 1e-3f64), (9, 1e-3), (9, 5e-3)] {
+        let patch = AdaptedPatch::new(PatchLayout::memory(d), &DefectSet::new());
+        let exp = memory_z(&patch, d).unwrap();
+        let noisy = NoiseModel::new(p).apply(&exp.circuit);
+        let decoder = MwpmDecoder::new(&noisy);
+        let shots = 2000;
+        let batch = FrameSampler::new(&noisy).sample(shots, &mut StdRng::seed_from_u64(0xdec0de));
+        let ev = batch.shot_events();
+
+        group.bench_function(format!("dense_d{d}_p{p:.0e}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for s in 0..ev.shots() {
+                    acc ^= decoder.decode_events_dense(ev.events_of(s));
+                }
+                std::hint::black_box(acc)
+            })
+        });
+
+        group.bench_function(format!("sparse_batch_d{d}_p{p:.0e}"), |b| {
+            b.iter(|| std::hint::black_box(decoder.decode_batch(&batch)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(decode, bench_decode);
+criterion_main!(decode);

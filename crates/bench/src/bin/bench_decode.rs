@@ -1,0 +1,174 @@
+//! Harness-free decode-throughput benchmark: measures shots/second of
+//! the sparse batch-decode path (`Decoder::decode_batch`: component
+//! splitting, scratch/arena reuse, syndrome memoization, shot-parallel
+//! chunks) against the pre-optimization dense reference
+//! (`MwpmDecoder::decode_events_dense`, one `2k × 2k` blossom per shot)
+//! on d = 5/7/9 memory circuits at p = 1e-3 and 5e-3, and writes the
+//! numbers to `BENCH_decode.json` so successive PRs can track the
+//! trajectory.
+
+use dqec_core::adapt::AdaptedPatch;
+use dqec_core::layout::PatchLayout;
+use dqec_core::{memory_z, DefectSet};
+use dqec_matching::{Decoder, MwpmDecoder};
+use dqec_sim::frame::FrameSampler;
+use dqec_sim::noise::NoiseModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+use std::time::Instant;
+
+const USAGE: &str = "\
+usage: bench_decode [--shots N] [--out FILE] [--help]
+
+  --shots N   shots per (d, p) point (default 4000)
+  --out FILE  where to write the JSON report (default BENCH_decode.json)
+  --help      show this message";
+
+struct Args {
+    shots: usize,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut shots = 4000usize;
+    let mut out = std::path::PathBuf::from("BENCH_decode.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--shots" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("error: --shots requires a value\n{USAGE}");
+                    std::process::exit(2);
+                });
+                shots = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: bad --shots value {v:?}\n{USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("error: --out requires a value\n{USAGE}");
+                    std::process::exit(2);
+                });
+                out = std::path::PathBuf::from(v);
+            }
+            other => {
+                eprintln!("error: unknown flag {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Args { shots, out }
+}
+
+struct Point {
+    d: u32,
+    p: f64,
+    shots: usize,
+    mean_events: f64,
+    dense_shots_per_sec: f64,
+    sparse_shots_per_sec: f64,
+    speedup: f64,
+}
+
+/// Median-of-3 timed runs of `f`, in seconds.
+fn time3(mut f: impl FnMut()) -> f64 {
+    let mut samples = [0.0f64; 3];
+    for s in &mut samples {
+        let t0 = Instant::now();
+        f();
+        *s = t0.elapsed().as_secs_f64();
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[1]
+}
+
+fn main() {
+    let args = parse_args();
+    let mut points = Vec::new();
+    for d in [5u32, 7, 9] {
+        let patch = AdaptedPatch::new(PatchLayout::memory(d), &DefectSet::new());
+        let exp = memory_z(&patch, d).expect("defect-free memory circuit");
+        for p in [1e-3f64, 5e-3] {
+            let noisy = NoiseModel::new(p).apply(&exp.circuit);
+            let decoder = MwpmDecoder::new(&noisy);
+            let seed = 0x000b_e9c4 ^ (u64::from(d) << 8) ^ p.to_bits();
+            let batch =
+                FrameSampler::new(&noisy).sample(args.shots, &mut StdRng::seed_from_u64(seed));
+            let ev = batch.shot_events();
+            let mean_events = ev.total_events() as f64 / args.shots as f64;
+
+            // Both sides are pinned to one worker so the reported
+            // speedup is purely algorithmic and comparable across
+            // machines with different core counts (recorded as
+            // "workers" in the JSON).
+            // Pre-PR dense reference: per-shot allocated 2k x 2k
+            // matrix, fresh blossom solve, no fast paths.
+            let t_dense = rayon::with_worker_cap(1, || {
+                time3(|| {
+                    let mut acc = 0u64;
+                    for s in 0..ev.shots() {
+                        acc ^= decoder.decode_events_dense(ev.events_of(s));
+                    }
+                    std::hint::black_box(acc);
+                })
+            });
+
+            // Sparse batch path, as the experiment runner drives it.
+            let t_sparse = rayon::with_worker_cap(1, || {
+                decoder.decode_batch(&batch); // warm-up
+                time3(|| {
+                    std::hint::black_box(decoder.decode_batch(&batch));
+                })
+            });
+
+            let point = Point {
+                d,
+                p,
+                shots: args.shots,
+                mean_events,
+                dense_shots_per_sec: args.shots as f64 / t_dense,
+                sparse_shots_per_sec: args.shots as f64 / t_sparse,
+                speedup: t_dense / t_sparse,
+            };
+            eprintln!(
+                "d={} p={:.0e}: {:.1} events/shot, dense {:.0} shots/s, sparse {:.0} shots/s, {:.1}x",
+                point.d,
+                point.p,
+                point.mean_events,
+                point.dense_shots_per_sec,
+                point.sparse_shots_per_sec,
+                point.speedup
+            );
+            points.push(point);
+        }
+    }
+
+    let mut json = String::from("[\n");
+    for (i, pt) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"d\": {}, \"p\": {}, \"shots\": {}, \"workers\": 1, \"mean_events_per_shot\": {:.3}, \
+             \"dense_shots_per_sec\": {:.1}, \"sparse_shots_per_sec\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            pt.d,
+            pt.p,
+            pt.shots,
+            pt.mean_events,
+            pt.dense_shots_per_sec,
+            pt.sparse_shots_per_sec,
+            pt.speedup,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("]\n");
+    let mut file = std::fs::File::create(&args.out)
+        .unwrap_or_else(|e| panic!("create {}: {e}", args.out.display()));
+    file.write_all(json.as_bytes())
+        .unwrap_or_else(|e| panic!("write {}: {e}", args.out.display()));
+    eprintln!("wrote {}", args.out.display());
+}

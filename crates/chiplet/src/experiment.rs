@@ -46,15 +46,9 @@ where
             decoder.decode_batch(&shot_batch)
         })
         .collect();
-    let mut stats = DecodeStats {
-        shots: 0,
-        failures: vec![0; decoder.num_observables()],
-    };
-    for s in results {
-        stats.shots += s.shots;
-        for (a, b) in stats.failures.iter_mut().zip(&s.failures) {
-            *a += b;
-        }
+    let mut stats = DecodeStats::new(decoder.num_observables());
+    for s in &results {
+        stats.merge(s);
     }
     stats
 }

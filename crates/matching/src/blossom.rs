@@ -9,7 +9,13 @@
 //!
 //! The decoder calls this per shot on the complete graph over flagged
 //! detectors plus virtual boundary copies; typical sizes are tens of
-//! vertices, far below the algorithm's comfortable range.
+//! vertices, far below the algorithm's comfortable range. To keep the
+//! per-shot cost allocation-free, all solver state lives in a reusable
+//! [`BlossomArena`]: the `(2n+1)²` edge matrix, the blossom membership
+//! tables, and every label/queue buffer are flat index-based vectors
+//! that are resized (never reallocated once warm) between solves.
+
+use std::collections::VecDeque;
 
 /// Result of a perfect matching computation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +30,10 @@ pub struct PerfectMatching {
 /// Weights are arbitrary finite `f64`s; they are scaled internally to
 /// integers, so ties may be broken arbitrarily within a relative
 /// precision of about 1e-9 of the weight range.
+///
+/// This is the convenient one-shot entry point; hot loops should hold a
+/// [`BlossomArena`] and call [`BlossomArena::solve_min_weight`] with a
+/// flat row-major matrix to reuse the solver's internal buffers.
 ///
 /// # Panics
 ///
@@ -48,56 +58,15 @@ pub struct PerfectMatching {
 /// ```
 pub fn min_weight_perfect_matching(weights: &[Vec<f64>]) -> PerfectMatching {
     let n = weights.len();
-    assert!(
-        n.is_multiple_of(2),
-        "perfect matching needs an even vertex count, got {n}"
-    );
-    if n == 0 {
-        return PerfectMatching { mate: Vec::new() };
-    }
-    for row in weights {
+    let mut flat = vec![0.0f64; n * n];
+    for (i, row) in weights.iter().enumerate() {
         assert_eq!(row.len(), n, "weight matrix must be square");
-        for &w in row {
-            assert!(w.is_finite(), "weights must be finite, got {w}");
-        }
+        flat[i * n..(i + 1) * n].copy_from_slice(row);
     }
-    // Scale to integers. Use a resolution fine enough to keep ordering.
-    let mut max_abs = 0.0f64;
-    for row in weights {
-        for &w in row {
-            max_abs = max_abs.max(w.abs());
-        }
-    }
-    let scale = if max_abs == 0.0 { 1.0 } else { 1e9 / max_abs };
-    // Transform min -> max: w' = big - w, all >= 1.
-    let big: i64 = (max_abs * scale).round() as i64 + 2;
-    let mut g = vec![vec![0i64; n + 1]; n + 1];
-    for i in 0..n {
-        for j in 0..n {
-            if i != j {
-                g[i + 1][j + 1] = big - (weights[i][j] * scale).round() as i64;
-                debug_assert!(g[i + 1][j + 1] >= 1);
-            }
-        }
-    }
-    let mate1 = max_weight_matching_1idx(n, &g);
-    let mate: Vec<usize> = (1..=n)
-        .map(|v| {
-            assert!(
-                mate1[v] != 0,
-                "matching is not perfect; this cannot happen on complete graphs"
-            );
-            mate1[v] - 1
-        })
-        .collect();
+    let mut arena = BlossomArena::new();
+    let mut mate = Vec::new();
+    arena.solve_min_weight(n, &flat, &mut mate);
     PerfectMatching { mate }
-}
-
-/// Maximum-weight matching on a 1-indexed dense graph; `g[u][v]` is the
-/// weight of edge (u, v), 0 meaning "no edge". Returns the 1-indexed
-/// mate array (0 = unmatched).
-fn max_weight_matching_1idx(n: usize, w: &[Vec<i64>]) -> Vec<usize> {
-    Solver::new(n, w).run()
 }
 
 #[derive(Clone, Copy, Default)]
@@ -107,58 +76,187 @@ struct Edge {
     w: i64,
 }
 
-struct Solver {
+/// Reusable storage for the blossom solver.
+///
+/// Every solve call re-initialises (but does not reallocate, once the
+/// buffers have grown to the working size) the dense edge matrix, the
+/// dual labels, the blossom membership tables, and the BFS queue. One
+/// arena decodes millions of shots without touching the allocator.
+///
+/// Results are bit-identical to the historical per-call solver: the
+/// same weight matrix always yields the same mate array.
+pub struct BlossomArena {
+    /// Problem size of the current solve (real vertices).
     n: usize,
+    /// Highest vertex id in use (real + active blossoms).
     n_x: usize,
-    g: Vec<Vec<Edge>>,
+    /// Matrix stride: `2n + 1` (ids are 1-based; 0 means "none").
+    m: usize,
+    /// Stride of `flower_from` rows: `n + 1`.
+    fstride: usize,
+    /// Flat `m × m` edge matrix; `g[u * m + v]`.
+    g: Vec<Edge>,
+    /// Dual labels.
     lab: Vec<i64>,
     mate: Vec<usize>,
     slack: Vec<usize>,
+    /// Surface (outermost blossom) of each vertex.
     st: Vec<usize>,
     pa: Vec<usize>,
-    flower_from: Vec<Vec<usize>>,
+    /// Flat `m × (n + 1)`: for blossom `b` and real vertex `x`, the
+    /// direct child of `b` containing `x` (0 if none).
+    flower_from: Vec<usize>,
     s: Vec<i8>,
     vis: Vec<u32>,
     vis_t: u32,
+    /// Blossom cycles; inner vectors are cleared, not dropped, between
+    /// solves so their capacity is reused.
     flower: Vec<Vec<usize>>,
-    q: std::collections::VecDeque<usize>,
+    q: VecDeque<usize>,
+    /// Scaled integer weights, kept so `solve_min_weight` needs no
+    /// temporary matrix.
+    scaled: Vec<i64>,
 }
 
-impl Solver {
-    fn new(n: usize, w: &[Vec<i64>]) -> Self {
-        let m = 2 * n + 1;
-        let mut g = vec![vec![Edge::default(); m]; m];
-        for u in 1..=n {
-            for v in 1..=n {
-                g[u][v] = Edge { u, v, w: w[u][v] };
+impl Default for BlossomArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlossomArena {
+    /// Creates an empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        BlossomArena {
+            n: 0,
+            n_x: 0,
+            m: 0,
+            fstride: 0,
+            g: Vec::new(),
+            lab: Vec::new(),
+            mate: Vec::new(),
+            slack: Vec::new(),
+            st: Vec::new(),
+            pa: Vec::new(),
+            flower_from: Vec::new(),
+            s: Vec::new(),
+            vis: Vec::new(),
+            vis_t: 0,
+            flower: Vec::new(),
+            q: VecDeque::new(),
+            scaled: Vec::new(),
+        }
+    }
+
+    /// Computes a minimum-weight perfect matching of the complete graph
+    /// on `n` vertices with the flat row-major `n × n` matrix
+    /// `weights`, writing 0-indexed mates into `mate_out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is odd, `weights` is not `n²` long, or any weight
+    /// is not finite.
+    pub fn solve_min_weight(&mut self, n: usize, weights: &[f64], mate_out: &mut Vec<usize>) {
+        assert!(
+            n.is_multiple_of(2),
+            "perfect matching needs an even vertex count, got {n}"
+        );
+        assert_eq!(weights.len(), n * n, "weight matrix must be n x n");
+        mate_out.clear();
+        if n == 0 {
+            return;
+        }
+        // Scale to integers. Use a resolution fine enough to keep
+        // ordering; transform min -> max via w' = big - w so every edge
+        // is profitable (weight >= 1) and the maximum matching is
+        // perfect.
+        let mut max_abs = 0.0f64;
+        for &w in weights {
+            assert!(w.is_finite(), "weights must be finite, got {w}");
+            max_abs = max_abs.max(w.abs());
+        }
+        let scale = if max_abs == 0.0 { 1.0 } else { 1e9 / max_abs };
+        let big: i64 = (max_abs * scale).round() as i64 + 2;
+        self.scaled.clear();
+        self.scaled.resize(n * n, 0);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    self.scaled[i * n + j] = big - (weights[i * n + j] * scale).round() as i64;
+                    debug_assert!(self.scaled[i * n + j] >= 1);
+                }
             }
         }
-        Solver {
-            n,
-            n_x: n,
-            g,
-            lab: vec![0; m],
-            mate: vec![0; m],
-            slack: vec![0; m],
-            st: (0..m).collect(),
-            pa: vec![0; m],
-            flower_from: vec![vec![0; n + 1]; m],
-            s: vec![-1; m],
-            vis: vec![0; m],
-            vis_t: 0,
-            flower: vec![Vec::new(); m],
-            q: std::collections::VecDeque::new(),
+        self.reset(n);
+        self.run();
+        mate_out.reserve(n);
+        for v in 1..=n {
+            assert!(
+                self.mate[v] != 0,
+                "matching is not perfect; this cannot happen on complete graphs"
+            );
+            mate_out.push(self.mate[v] - 1);
         }
+    }
+
+    /// Re-initialises all solver state for a size-`n` problem, reusing
+    /// buffer capacity, and loads the scaled weight matrix.
+    fn reset(&mut self, n: usize) {
+        let m = 2 * n + 1;
+        self.n = n;
+        self.n_x = n;
+        self.m = m;
+        self.fstride = n + 1;
+        self.vis_t = 0;
+        self.g.clear();
+        self.g.resize(m * m, Edge::default());
+        for u in 1..=n {
+            for v in 1..=n {
+                self.g[u * m + v] = Edge {
+                    u,
+                    v,
+                    w: self.scaled[(u - 1) * n + (v - 1)],
+                };
+            }
+        }
+        self.lab.clear();
+        self.lab.resize(m, 0);
+        self.mate.clear();
+        self.mate.resize(m, 0);
+        self.slack.clear();
+        self.slack.resize(m, 0);
+        self.st.clear();
+        self.st.extend(0..m);
+        self.pa.clear();
+        self.pa.resize(m, 0);
+        self.flower_from.clear();
+        self.flower_from.resize(m * self.fstride, 0);
+        self.s.clear();
+        self.s.resize(m, -1);
+        self.vis.clear();
+        self.vis.resize(m, 0);
+        for f in &mut self.flower {
+            f.clear();
+        }
+        if self.flower.len() < m {
+            self.flower.resize_with(m, Vec::new);
+        }
+        self.q.clear();
+    }
+
+    #[inline]
+    fn ge(&self, u: usize, v: usize) -> Edge {
+        self.g[u * self.m + v]
     }
 
     #[inline]
     fn e_delta(&self, e: &Edge) -> i64 {
-        self.lab[e.u] + self.lab[e.v] - self.g[e.u][e.v].w * 2
+        self.lab[e.u] + self.lab[e.v] - self.ge(e.u, e.v).w * 2
     }
 
     fn update_slack(&mut self, u: usize, x: usize) {
         if self.slack[x] == 0
-            || self.e_delta(&self.g[u][x]) < self.e_delta(&self.g[self.slack[x]][x])
+            || self.e_delta(&self.ge(u, x)) < self.e_delta(&self.ge(self.slack[x], x))
         {
             self.slack[x] = u;
         }
@@ -167,7 +265,7 @@ impl Solver {
     fn set_slack(&mut self, x: usize) {
         self.slack[x] = 0;
         for u in 1..=self.n {
-            if self.g[u][x].w > 0 && self.st[u] != x && self.s[self.st[u]] == 0 {
+            if self.ge(u, x).w > 0 && self.st[u] != x && self.s[self.st[u]] == 0 {
                 self.update_slack(u, x);
             }
         }
@@ -177,20 +275,24 @@ impl Solver {
         if x <= self.n {
             self.q.push_back(x);
         } else {
-            let children = self.flower[x].clone();
-            for y in children {
+            // Take the cycle out instead of cloning it: the recursion
+            // only descends into children, never back into `x`.
+            let children = std::mem::take(&mut self.flower[x]);
+            for &y in &children {
                 self.q_push(y);
             }
+            self.flower[x] = children;
         }
     }
 
     fn set_st(&mut self, x: usize, b: usize) {
         self.st[x] = b;
         if x > self.n {
-            let children = self.flower[x].clone();
-            for y in children {
+            let children = std::mem::take(&mut self.flower[x]);
+            for &y in &children {
                 self.set_st(y, b);
             }
+            self.flower[x] = children;
         }
     }
 
@@ -208,10 +310,10 @@ impl Solver {
     }
 
     fn set_match(&mut self, u: usize, v: usize) {
-        self.mate[u] = self.g[u][v].v;
+        let e = self.ge(u, v);
+        self.mate[u] = e.v;
         if u > self.n {
-            let e = self.g[u][v];
-            let xr = self.flower_from[u][e.u];
+            let xr = self.flower_from[u * self.fstride + e.u];
             let pr = self.get_pr(u, xr);
             for i in 0..pr {
                 let a = self.flower[u][i];
@@ -257,6 +359,7 @@ impl Solver {
     }
 
     fn add_blossom(&mut self, u: usize, lca: usize, v: usize) {
+        let m = self.m;
         let mut b = self.n + 1;
         while b <= self.n_x && self.st[b] != 0 {
             b += 1;
@@ -267,63 +370,71 @@ impl Solver {
         self.lab[b] = 0;
         self.s[b] = 0;
         self.mate[b] = self.mate[lca];
-        self.flower[b] = vec![lca];
+        // Build the blossom cycle in place, reusing the vector's
+        // capacity from earlier solves.
+        let mut cycle = std::mem::take(&mut self.flower[b]);
+        cycle.clear();
+        cycle.push(lca);
         let mut x = u;
         while x != lca {
-            self.flower[b].push(x);
+            cycle.push(x);
             let y = self.st[self.mate[x]];
-            self.flower[b].push(y);
+            cycle.push(y);
             self.q_push(y);
             x = self.st[self.pa[y]];
         }
-        self.flower[b][1..].reverse();
+        cycle[1..].reverse();
         let mut x = v;
         while x != lca {
-            self.flower[b].push(x);
+            cycle.push(x);
             let y = self.st[self.mate[x]];
-            self.flower[b].push(y);
+            cycle.push(y);
             self.q_push(y);
             x = self.st[self.pa[y]];
         }
-        let fl = self.flower[b].clone();
+        self.flower[b] = cycle;
         self.set_st(b, b);
         for x in 1..=self.n_x {
-            self.g[b][x].w = 0;
-            self.g[x][b].w = 0;
+            self.g[b * m + x].w = 0;
+            self.g[x * m + b].w = 0;
         }
         for x in 1..=self.n {
-            self.flower_from[b][x] = 0;
+            self.flower_from[b * self.fstride + x] = 0;
         }
-        for &xs in &fl {
+        let cycle = std::mem::take(&mut self.flower[b]);
+        for &xs in &cycle {
             for x in 1..=self.n_x {
-                if self.g[b][x].w == 0 || self.e_delta(&self.g[xs][x]) < self.e_delta(&self.g[b][x])
+                if self.g[b * m + x].w == 0
+                    || self.e_delta(&self.ge(xs, x)) < self.e_delta(&self.ge(b, x))
                 {
-                    self.g[b][x] = self.g[xs][x];
-                    self.g[x][b] = self.g[x][xs];
+                    self.g[b * m + x] = self.g[xs * m + x];
+                    self.g[x * m + b] = self.g[x * m + xs];
                 }
             }
             for x in 1..=self.n {
-                if self.flower_from[xs][x] != 0 {
-                    self.flower_from[b][x] = xs;
+                if self.flower_from[xs * self.fstride + x] != 0 {
+                    self.flower_from[b * self.fstride + x] = xs;
                 }
             }
         }
+        self.flower[b] = cycle;
         self.set_slack(b);
     }
 
     fn expand_blossom(&mut self, b: usize) {
-        let fl = self.flower[b].clone();
-        for &x in &fl {
+        let cycle = std::mem::take(&mut self.flower[b]);
+        for &x in &cycle {
             self.set_st(x, x);
         }
-        let xr = self.flower_from[b][self.g[b][self.pa[b]].u];
+        self.flower[b] = cycle;
+        let xr = self.flower_from[b * self.fstride + self.ge(b, self.pa[b]).u];
         let pr = self.get_pr(b, xr);
-        let fl = self.flower[b].clone();
+        let cycle = std::mem::take(&mut self.flower[b]);
         let mut i = 0;
         while i < pr {
-            let xs = fl[i];
-            let xns = fl[i + 1];
-            self.pa[xs] = self.g[xns][xs].u;
+            let xs = cycle[i];
+            let xns = cycle[i + 1];
+            self.pa[xs] = self.ge(xns, xs).u;
             self.s[xs] = 1;
             self.s[xns] = 0;
             self.slack[xs] = 0;
@@ -333,10 +444,11 @@ impl Solver {
         }
         self.s[xr] = 1;
         self.pa[xr] = self.pa[b];
-        for &xs in fl.iter().skip(pr + 1) {
+        for &xs in cycle.iter().skip(pr + 1) {
             self.s[xs] = -1;
             self.set_slack(xs);
         }
+        self.flower[b] = cycle;
         self.st[b] = 0;
     }
 
@@ -385,9 +497,9 @@ impl Solver {
                     continue;
                 }
                 for v in 1..=self.n {
-                    if self.g[u][v].w > 0 && self.st[u] != self.st[v] {
-                        if self.e_delta(&self.g[u][v]) == 0 {
-                            if self.on_found_edge(self.g[u][v]) {
+                    if self.ge(u, v).w > 0 && self.st[u] != self.st[v] {
+                        if self.e_delta(&self.ge(u, v)) == 0 {
+                            if self.on_found_edge(self.ge(u, v)) {
                                 return true;
                             }
                         } else {
@@ -405,7 +517,7 @@ impl Solver {
             }
             for x in 1..=self.n_x {
                 if self.st[x] == x && self.slack[x] != 0 {
-                    let delta = self.e_delta(&self.g[self.slack[x]][x]);
+                    let delta = self.e_delta(&self.ge(self.slack[x], x));
                     if self.s[x] == -1 {
                         d = d.min(delta);
                     } else if self.s[x] == 0 {
@@ -439,9 +551,9 @@ impl Solver {
                 if self.st[x] == x
                     && self.slack[x] != 0
                     && self.st[self.slack[x]] != x
-                    && self.e_delta(&self.g[self.slack[x]][x]) == 0
+                    && self.e_delta(&self.ge(self.slack[x], x)) == 0
                 {
-                    let e = self.g[self.slack[x]][x];
+                    let e = self.ge(self.slack[x], x);
                     if self.on_found_edge(e) {
                         return true;
                     }
@@ -455,26 +567,23 @@ impl Solver {
         }
     }
 
-    fn run(mut self) -> Vec<usize> {
+    fn run(&mut self) {
         for u in 1..=self.n {
             self.mate[u] = 0;
             for v in 1..=self.n {
-                self.flower_from[u][v] = if u == v { u } else { 0 };
+                self.flower_from[u * self.fstride + v] = if u == v { u } else { 0 };
             }
         }
         let mut w_max = 0;
         for u in 1..=self.n {
             for v in 1..=self.n {
-                w_max = w_max.max(self.g[u][v].w);
+                w_max = w_max.max(self.ge(u, v).w);
             }
         }
         for u in 1..=self.n {
             self.lab[u] = w_max;
         }
         while self.matching_round() {}
-        let mut mate = vec![0usize; self.n + 1];
-        mate[1..(self.n + 1)].copy_from_slice(&self.mate[1..(self.n + 1)]);
-        mate
     }
 }
 
@@ -604,6 +713,35 @@ mod tests {
                 (got - want).abs() < 1e-6,
                 "trial {trial}: got {got}, want {want} (n={n})"
             );
+        }
+    }
+
+    #[test]
+    fn reused_arena_matches_fresh_solver() {
+        // The whole point of the arena: solving many instances through
+        // one arena must give bit-identical mates to fresh solves, with
+        // varying sizes in between to exercise stale-state clearing.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xa7e7a);
+        let mut arena = BlossomArena::new();
+        let mut mate = Vec::new();
+        for trial in 0..100 {
+            let n = 2 * rng.gen_range(1..=8usize);
+            let mut flat = vec![0.0f64; n * n];
+            let mut rows = vec![vec![0.0f64; n]; n];
+            for i in 0..n {
+                for j in i + 1..n {
+                    let c = (rng.gen_range(0.0..10.0f64) * 16.0).round() / 16.0;
+                    flat[i * n + j] = c;
+                    flat[j * n + i] = c;
+                    rows[i][j] = c;
+                    rows[j][i] = c;
+                }
+            }
+            arena.solve_min_weight(n, &flat, &mut mate);
+            let fresh = min_weight_perfect_matching(&rows);
+            assert_eq!(mate, fresh.mate, "trial {trial} (n={n})");
         }
     }
 

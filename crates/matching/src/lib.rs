@@ -5,14 +5,20 @@
 //! problem sizes used in the ASPLOS'24 chiplet-codesign reproduction.
 //!
 //! * [`blossom`] — exact O(n³) weighted blossom matching on dense
-//!   graphs, property-tested against brute force;
+//!   graphs, property-tested against brute force, with all solver
+//!   state in a reusable [`BlossomArena`] so hot loops never allocate;
 //! * [`graph`] — per-basis decoding graphs built from a circuit's
 //!   detector error model, with cached all-pairs shortest paths and
 //!   observable parities;
 //! * [`decoder`] — the [`Decoder`] trait every consumer decodes
 //!   through, and its first implementor [`MwpmDecoder`]: split
 //!   detection events by basis, match against the boundary, XOR
-//!   predicted observables. Decoders built with
+//!   predicted observables. The per-shot path is sparse (fast paths
+//!   for small syndromes, independent-component splitting before the
+//!   dense solve) and allocation-free via [`DecodeScratch`]; batch
+//!   decoding memoizes repeated syndromes ([`SyndromeCache`]) and runs
+//!   shot-parallel with worker-count-independent tallies
+//!   ([`DecodeStats::merge`]). Decoders built with
 //!   [`MwpmDecoder::from_clean`] can be *reweighted* to a new physical
 //!   error rate without rebuilding their graphs.
 //!
@@ -27,6 +33,8 @@ pub mod blossom;
 pub mod decoder;
 pub mod graph;
 
-pub use blossom::{min_weight_perfect_matching, PerfectMatching};
-pub use decoder::{check_decoder_conformance, DecodeStats, Decoder, MwpmDecoder};
+pub use blossom::{min_weight_perfect_matching, BlossomArena, PerfectMatching};
+pub use decoder::{
+    check_decoder_conformance, DecodeScratch, DecodeStats, Decoder, MwpmDecoder, SyndromeCache,
+};
 pub use graph::{DecodingGraph, GraphDiagnostics, GraphEdge};

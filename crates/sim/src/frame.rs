@@ -52,6 +52,23 @@ impl BitTable {
         (self.data[row * self.words_per_row + shot / 64] >> (shot % 64)) & 1 == 1
     }
 
+    /// Writes the bit for `(row, shot)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, row: usize, shot: usize, value: bool) {
+        assert!(row < self.rows && shot < self.shots, "index out of range");
+        let word = &mut self.data[row * self.words_per_row + shot / 64];
+        let bit = 1u64 << (shot % 64);
+        if value {
+            *word |= bit;
+        } else {
+            *word &= !bit;
+        }
+    }
+
     /// Mutable word slice of one row.
     #[inline]
     pub fn row_mut(&mut self, row: usize) -> &mut [u64] {
@@ -90,20 +107,57 @@ impl BitTable {
     }
 
     /// Indices of set bits in a row, ascending.
+    ///
+    /// Thin wrapper over [`BitTable::ones_in_row_iter`]; hot paths
+    /// should use the iterator directly to avoid the `Vec` allocation.
     pub fn ones_in_row(&self, row: usize) -> Vec<usize> {
-        let mut out = Vec::new();
-        for (wi, &word) in self.row(row).iter().enumerate() {
-            let mut word = word;
-            while word != 0 {
-                let b = word.trailing_zeros() as usize;
-                let shot = wi * 64 + b;
-                if shot < self.shots {
-                    out.push(shot);
+        self.ones_in_row_iter(row).collect()
+    }
+
+    /// Iterates the indices of set bits in a row, ascending, without
+    /// allocating.
+    pub fn ones_in_row_iter(&self, row: usize) -> OnesInRow<'_> {
+        OnesInRow {
+            words: self.row(row),
+            next_word: 0,
+            current: 0,
+            base: 0,
+            shots: self.shots,
+        }
+    }
+}
+
+/// Iterator over the set-bit positions of one [`BitTable`] row; see
+/// [`BitTable::ones_in_row_iter`].
+#[derive(Debug, Clone)]
+pub struct OnesInRow<'a> {
+    words: &'a [u64],
+    next_word: usize,
+    current: u64,
+    base: usize,
+    shots: usize,
+}
+
+impl Iterator for OnesInRow<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            while self.current == 0 {
+                if self.next_word == self.words.len() {
+                    return None;
                 }
-                word &= word - 1;
+                self.current = self.words[self.next_word];
+                self.base = self.next_word * 64;
+                self.next_word += 1;
+            }
+            let b = self.current.trailing_zeros() as usize;
+            self.current &= self.current - 1;
+            let shot = self.base + b;
+            if shot < self.shots {
+                return Some(shot);
             }
         }
-        out
     }
 }
 
@@ -130,14 +184,74 @@ impl ShotBatch {
 
     /// Flagged detector ids for every shot, computed in one row-major
     /// scan (fast at low physical error rates).
+    ///
+    /// Each shot's events land in their own `Vec`; batch decoders
+    /// should prefer [`ShotBatch::shot_events`], which packs all events
+    /// into two flat arrays with no per-shot allocation.
     pub fn detection_events_by_shot(&self) -> Vec<Vec<u32>> {
         let mut out = vec![Vec::new(); self.detectors.shots()];
         for d in 0..self.detectors.rows() {
-            for shot in self.detectors.ones_in_row(d) {
+            for shot in self.detectors.ones_in_row_iter(d) {
                 out[shot].push(d as u32);
             }
         }
         out
+    }
+
+    /// Flagged detector ids for every shot as a flat CSR-style index:
+    /// two row-major scans (count, then fill), two allocations total
+    /// regardless of shot count, events ascending within each shot.
+    pub fn shot_events(&self) -> ShotEvents {
+        let shots = self.detectors.shots();
+        let mut offsets = vec![0u32; shots + 1];
+        for d in 0..self.detectors.rows() {
+            for shot in self.detectors.ones_in_row_iter(d) {
+                offsets[shot + 1] += 1;
+            }
+        }
+        for s in 0..shots {
+            offsets[s + 1] += offsets[s];
+        }
+        let mut cursor: Vec<u32> = offsets[..shots].to_vec();
+        let mut events = vec![0u32; *offsets.last().expect("offsets nonempty") as usize];
+        for d in 0..self.detectors.rows() {
+            for shot in self.detectors.ones_in_row_iter(d) {
+                events[cursor[shot] as usize] = d as u32;
+                cursor[shot] += 1;
+            }
+        }
+        ShotEvents { offsets, events }
+    }
+}
+
+/// Detection events of a whole batch in flat CSR form: shot `s` owns
+/// `events[offsets[s]..offsets[s + 1]]`, ascending. Built by
+/// [`ShotBatch::shot_events`].
+#[derive(Debug, Clone)]
+pub struct ShotEvents {
+    offsets: Vec<u32>,
+    events: Vec<u32>,
+}
+
+impl ShotEvents {
+    /// The number of shots indexed.
+    pub fn shots(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The total number of detection events across all shots.
+    pub fn total_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The flagged detector ids of one shot, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shot` is out of range.
+    #[inline]
+    pub fn events_of(&self, shot: usize) -> &[u32] {
+        &self.events[self.offsets[shot] as usize..self.offsets[shot + 1] as usize]
     }
 }
 
@@ -495,6 +609,46 @@ mod tests {
         let by_shot = batch.detection_events_by_shot();
         for shot in [0usize, 1, 100, 776] {
             assert_eq!(by_shot[shot], batch.detection_events(shot));
+        }
+    }
+
+    #[test]
+    fn ones_in_row_iter_matches_vec_form() {
+        let mut t = BitTable::zeros(1, 200);
+        for shot in [0usize, 63, 64, 65, 128, 199] {
+            t.set(0, shot, true);
+        }
+        let from_iter: Vec<usize> = t.ones_in_row_iter(0).collect();
+        assert_eq!(from_iter, t.ones_in_row(0));
+        assert_eq!(from_iter, vec![0, 63, 64, 65, 128, 199]);
+        // Clearing a bit works too.
+        t.set(0, 64, false);
+        assert_eq!(t.ones_in_row(0), vec![0, 63, 65, 128, 199]);
+        // An all-zero row yields nothing without allocating.
+        let z = BitTable::zeros(1, 100);
+        assert_eq!(z.ones_in_row_iter(0).next(), None);
+    }
+
+    #[test]
+    fn shot_events_matches_per_shot_vectors() {
+        let mut c = Circuit::new(3);
+        for q in 0..3 {
+            c.reset(q).unwrap();
+            c.noise1(Noise1::XError, q, 0.25).unwrap();
+        }
+        for q in 0..3 {
+            let m = c.measure(q).unwrap();
+            c.add_detector(&[m], CheckBasis::Z, (q as i32, 0, 0))
+                .unwrap();
+        }
+        let batch = FrameSampler::new(&c).sample(513, &mut rng());
+        let flat = batch.shot_events();
+        let by_shot = batch.detection_events_by_shot();
+        assert_eq!(flat.shots(), 513);
+        let total: usize = by_shot.iter().map(Vec::len).sum();
+        assert_eq!(flat.total_events(), total);
+        for (shot, events) in by_shot.iter().enumerate() {
+            assert_eq!(flat.events_of(shot), events.as_slice());
         }
     }
 }

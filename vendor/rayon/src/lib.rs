@@ -32,6 +32,31 @@ fn budget() -> &'static AtomicIsize {
     })
 }
 
+thread_local! {
+    /// Per-thread override of the fan-out width; see [`with_worker_cap`].
+    static WORKER_CAP: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Runs `f` with every parallel fan-out *started on this thread* capped
+/// at `workers` total threads (including the calling thread), then
+/// restores the previous cap. `workers <= 1` forces sequential
+/// execution. Real rayon expresses this with a scoped thread pool; the
+/// shim only needs the cap at the fan-out call site, which always runs
+/// on the calling thread.
+///
+/// Used by determinism tests to assert that results are identical with
+/// 1, 4, or 16 workers.
+pub fn with_worker_cap<R>(workers: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WORKER_CAP.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(WORKER_CAP.with(|c| c.replace(Some(workers))));
+    f()
+}
+
 /// Takes up to `want` worker-thread permits from the global budget.
 fn acquire_workers(want: usize) -> usize {
     let budget = budget();
@@ -205,8 +230,13 @@ impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParallelIterator for ParMap<T, F> {
             return Vec::new();
         }
         // The caller's thread is one worker; borrow the rest from the
-        // global budget (zero available → run sequentially).
-        let permits = WorkerPermits(acquire_workers(n.saturating_sub(1)));
+        // global budget (zero available → run sequentially), further
+        // limited by any `with_worker_cap` scope on this thread.
+        let mut want = n.saturating_sub(1);
+        if let Some(cap) = WORKER_CAP.with(|c| c.get()) {
+            want = want.min(cap.saturating_sub(1));
+        }
+        let permits = WorkerPermits(acquire_workers(want));
         let workers = permits.0 + 1;
         if workers <= 1 {
             return items.into_iter().map(f).collect();
@@ -293,6 +323,26 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
         panic!("worker permits leaked after a panicking par map");
+    }
+
+    #[test]
+    fn worker_cap_preserves_results_and_restores() {
+        let want: Vec<u64> = (0..500u64).map(|x| x * 3).collect();
+        for cap in [1usize, 4, 16] {
+            let got: Vec<u64> = super::with_worker_cap(cap, || {
+                (0..500u64).into_par_iter().map(|x| x * 3).collect()
+            });
+            assert_eq!(got, want, "cap={cap}");
+        }
+        // Nested caps restore the outer value on exit.
+        super::with_worker_cap(4, || {
+            super::with_worker_cap(1, || {
+                let got: Vec<u64> = (0..10u64).into_par_iter().map(|x| x).collect();
+                assert_eq!(got.len(), 10);
+            });
+            let got: Vec<u64> = (0..10u64).into_par_iter().map(|x| x).collect();
+            assert_eq!(got.len(), 10);
+        });
     }
 
     #[test]
