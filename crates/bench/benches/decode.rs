@@ -1,16 +1,18 @@
-//! Criterion benchmark for the per-shot decode kernel: the sparse batch
-//! path (component splitting, scratch/arena reuse, memoization,
+//! Criterion benchmark for the per-shot decode kernel: the sparse MWPM
+//! batch path (component splitting, scratch/arena reuse, memoization,
 //! shot-parallel chunks) versus the pre-optimization dense reference
-//! that builds one `2k × 2k` blossom problem per shot. The acceptance
-//! bar for this PR's hot-path rework is ≥2x on the d = 9, p = 1e-3
-//! batch-decode kernel; `cargo run -p dqec_bench --bin bench_decode`
-//! emits the same comparison as `BENCH_decode.json`.
+//! that builds one `2k × 2k` blossom problem per shot, plus the
+//! union-find batch path (first-event shortcuts, cluster growth and
+//! peeling) on the same shots. Acceptance bars: ≥2x sparse-vs-dense
+//! (PR 3) and ≥3x uf-vs-sparse at d = 9, p = 1e-3 (PR 4);
+//! `cargo run -p dqec_bench --bin bench_decode` emits the same
+//! comparisons as `BENCH_decode.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dqec_core::adapt::AdaptedPatch;
 use dqec_core::layout::PatchLayout;
 use dqec_core::{memory_z, DefectSet};
-use dqec_matching::{Decoder, MwpmDecoder};
+use dqec_matching::{Decoder, MwpmDecoder, UfDecoder};
 use dqec_sim::frame::FrameSampler;
 use dqec_sim::noise::NoiseModel;
 use rand::rngs::StdRng;
@@ -24,6 +26,7 @@ fn bench_decode(c: &mut Criterion) {
         let exp = memory_z(&patch, d).unwrap();
         let noisy = NoiseModel::new(p).apply(&exp.circuit);
         let decoder = MwpmDecoder::new(&noisy);
+        let uf = UfDecoder::new(&noisy);
         let shots = 2000;
         let batch = FrameSampler::new(&noisy).sample(shots, &mut StdRng::seed_from_u64(0xdec0de));
         let ev = batch.shot_events();
@@ -40,6 +43,10 @@ fn bench_decode(c: &mut Criterion) {
 
         group.bench_function(format!("sparse_batch_d{d}_p{p:.0e}"), |b| {
             b.iter(|| std::hint::black_box(decoder.decode_batch(&batch)))
+        });
+
+        group.bench_function(format!("uf_batch_d{d}_p{p:.0e}"), |b| {
+            b.iter(|| std::hint::black_box(uf.decode_batch(&batch)))
         });
     }
     group.finish();

@@ -1,16 +1,24 @@
-//! Harness-free decode-throughput benchmark: measures shots/second of
-//! the sparse batch-decode path (`Decoder::decode_batch`: component
-//! splitting, scratch/arena reuse, syndrome memoization, shot-parallel
-//! chunks) against the pre-optimization dense reference
-//! (`MwpmDecoder::decode_events_dense`, one `2k × 2k` blossom per shot)
-//! on d = 5/7/9 memory circuits at p = 1e-3 and 5e-3, and writes the
+//! Harness-free decode-throughput benchmark: measures shots/second on
+//! d = 5/7/9 memory circuits at p = 1e-3 and 5e-3 and writes the
 //! numbers to `BENCH_decode.json` so successive PRs can track the
 //! trajectory.
+//!
+//! Two row families, selected with `--decoder`:
+//!
+//! * `mwpm` — the sparse batch-decode path (`Decoder::decode_batch`:
+//!   component splitting, scratch/arena reuse, syndrome memoization)
+//!   against the pre-optimization dense reference
+//!   (`MwpmDecoder::decode_events_dense`, one `2k × 2k` blossom per
+//!   shot); `speedup` is sparse over dense.
+//! * `uf` — the union-find decoder's batch path against the *current*
+//!   sparse MWPM batch path on the same shots;
+//!   `speedup_vs_mwpm` is uf over mwpm.
 
+use dqec_chiplet::runner::DecoderChoice;
 use dqec_core::adapt::AdaptedPatch;
 use dqec_core::layout::PatchLayout;
 use dqec_core::{memory_z, DefectSet};
-use dqec_matching::{Decoder, MwpmDecoder};
+use dqec_matching::{Decoder, MwpmDecoder, UfDecoder};
 use dqec_sim::frame::FrameSampler;
 use dqec_sim::noise::NoiseModel;
 use rand::rngs::StdRng;
@@ -19,20 +27,24 @@ use std::io::Write;
 use std::time::Instant;
 
 const USAGE: &str = "\
-usage: bench_decode [--shots N] [--out FILE] [--help]
+usage: bench_decode [--shots N] [--decoder NAME] [--out FILE] [--help]
 
-  --shots N   shots per (d, p) point (default 4000)
-  --out FILE  where to write the JSON report (default BENCH_decode.json)
-  --help      show this message";
+  --shots N       shots per (d, p) point (default 4000)
+  --decoder NAME  which decoder rows to emit: mwpm, uf, or all (default all)
+  --out FILE      where to write the JSON report (default BENCH_decode.json)
+  --help          show this message";
 
 struct Args {
     shots: usize,
+    mwpm: bool,
+    uf: bool,
     out: std::path::PathBuf,
 }
 
 fn parse_args() -> Args {
     let mut shots = 4000usize;
     let mut out = std::path::PathBuf::from("BENCH_decode.json");
+    let (mut mwpm, mut uf) = (true, true);
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -51,6 +63,23 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--decoder" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("error: --decoder requires a value\n{USAGE}");
+                    std::process::exit(2);
+                });
+                (mwpm, uf) = match v.as_str() {
+                    "all" => (true, true),
+                    name => match DecoderChoice::parse(name) {
+                        Ok(DecoderChoice::Mwpm) => (true, false),
+                        Ok(DecoderChoice::Uf) => (false, true),
+                        Err(e) => {
+                            eprintln!("error: {e} (or \"all\")\n{USAGE}");
+                            std::process::exit(2);
+                        }
+                    },
+                };
+            }
             "--out" => {
                 let v = it.next().unwrap_or_else(|| {
                     eprintln!("error: --out requires a value\n{USAGE}");
@@ -64,17 +93,12 @@ fn parse_args() -> Args {
             }
         }
     }
-    Args { shots, out }
-}
-
-struct Point {
-    d: u32,
-    p: f64,
-    shots: usize,
-    mean_events: f64,
-    dense_shots_per_sec: f64,
-    sparse_shots_per_sec: f64,
-    speedup: f64,
+    Args {
+        shots,
+        mwpm,
+        uf,
+        out,
+    }
 }
 
 /// Median-of-3 timed runs of `f`, in seconds.
@@ -91,79 +115,90 @@ fn time3(mut f: impl FnMut()) -> f64 {
 
 fn main() {
     let args = parse_args();
-    let mut points = Vec::new();
+    let mut rows: Vec<String> = Vec::new();
     for d in [5u32, 7, 9] {
         let patch = AdaptedPatch::new(PatchLayout::memory(d), &DefectSet::new());
         let exp = memory_z(&patch, d).expect("defect-free memory circuit");
         for p in [1e-3f64, 5e-3] {
             let noisy = NoiseModel::new(p).apply(&exp.circuit);
-            let decoder = MwpmDecoder::new(&noisy);
+            let mwpm = MwpmDecoder::new(&noisy);
             let seed = 0x000b_e9c4 ^ (u64::from(d) << 8) ^ p.to_bits();
             let batch =
                 FrameSampler::new(&noisy).sample(args.shots, &mut StdRng::seed_from_u64(seed));
             let ev = batch.shot_events();
             let mean_events = ev.total_events() as f64 / args.shots as f64;
 
-            // Both sides are pinned to one worker so the reported
-            // speedup is purely algorithmic and comparable across
+            // Everything is pinned to one worker so the reported
+            // speedups are purely algorithmic and comparable across
             // machines with different core counts (recorded as
             // "workers" in the JSON).
-            // Pre-PR dense reference: per-shot allocated 2k x 2k
-            // matrix, fresh blossom solve, no fast paths.
-            let t_dense = rayon::with_worker_cap(1, || {
-                time3(|| {
-                    let mut acc = 0u64;
-                    for s in 0..ev.shots() {
-                        acc ^= decoder.decode_events_dense(ev.events_of(s));
-                    }
-                    std::hint::black_box(acc);
-                })
-            });
-
-            // Sparse batch path, as the experiment runner drives it.
+            // Sparse MWPM batch path, as the experiment runner drives
+            // it; also the reference the `uf` rows compare against.
             let t_sparse = rayon::with_worker_cap(1, || {
-                decoder.decode_batch(&batch); // warm-up
+                mwpm.decode_batch(&batch); // warm-up
                 time3(|| {
-                    std::hint::black_box(decoder.decode_batch(&batch));
+                    std::hint::black_box(mwpm.decode_batch(&batch));
                 })
             });
+            let sparse_sps = args.shots as f64 / t_sparse;
 
-            let point = Point {
-                d,
-                p,
-                shots: args.shots,
-                mean_events,
-                dense_shots_per_sec: args.shots as f64 / t_dense,
-                sparse_shots_per_sec: args.shots as f64 / t_sparse,
-                speedup: t_dense / t_sparse,
-            };
-            eprintln!(
-                "d={} p={:.0e}: {:.1} events/shot, dense {:.0} shots/s, sparse {:.0} shots/s, {:.1}x",
-                point.d,
-                point.p,
-                point.mean_events,
-                point.dense_shots_per_sec,
-                point.sparse_shots_per_sec,
-                point.speedup
-            );
-            points.push(point);
+            if args.mwpm {
+                // Pre-PR dense reference: per-shot allocated 2k x 2k
+                // matrix, fresh blossom solve, no fast paths.
+                let t_dense = rayon::with_worker_cap(1, || {
+                    time3(|| {
+                        let mut acc = 0u64;
+                        for s in 0..ev.shots() {
+                            acc ^= mwpm.decode_events_dense(ev.events_of(s));
+                        }
+                        std::hint::black_box(acc);
+                    })
+                });
+                let dense_sps = args.shots as f64 / t_dense;
+                eprintln!(
+                    "mwpm d={d} p={p:.0e}: {mean_events:.1} events/shot, dense {dense_sps:.0} shots/s, \
+                     sparse {sparse_sps:.0} shots/s, {:.1}x",
+                    t_dense / t_sparse
+                );
+                rows.push(format!(
+                    "{{\"decoder\": \"mwpm\", \"d\": {d}, \"p\": {p}, \"shots\": {}, \"workers\": 1, \
+                     \"mean_events_per_shot\": {mean_events:.3}, \"dense_shots_per_sec\": {dense_sps:.1}, \
+                     \"sparse_shots_per_sec\": {sparse_sps:.1}, \"speedup\": {:.2}}}",
+                    args.shots,
+                    t_dense / t_sparse
+                ));
+            }
+
+            if args.uf {
+                let uf = UfDecoder::new(&noisy);
+                let t_uf = rayon::with_worker_cap(1, || {
+                    uf.decode_batch(&batch); // warm-up
+                    time3(|| {
+                        std::hint::black_box(uf.decode_batch(&batch));
+                    })
+                });
+                let uf_sps = args.shots as f64 / t_uf;
+                eprintln!(
+                    "uf   d={d} p={p:.0e}: {mean_events:.1} events/shot, uf {uf_sps:.0} shots/s, \
+                     mwpm {sparse_sps:.0} shots/s, {:.1}x",
+                    t_sparse / t_uf
+                );
+                rows.push(format!(
+                    "{{\"decoder\": \"uf\", \"d\": {d}, \"p\": {p}, \"shots\": {}, \"workers\": 1, \
+                     \"mean_events_per_shot\": {mean_events:.3}, \"uf_shots_per_sec\": {uf_sps:.1}, \
+                     \"mwpm_shots_per_sec\": {sparse_sps:.1}, \"speedup_vs_mwpm\": {:.2}}}",
+                    args.shots,
+                    t_sparse / t_uf
+                ));
+            }
         }
     }
 
     let mut json = String::from("[\n");
-    for (i, pt) in points.iter().enumerate() {
-        json.push_str(&format!(
-            "  {{\"d\": {}, \"p\": {}, \"shots\": {}, \"workers\": 1, \"mean_events_per_shot\": {:.3}, \
-             \"dense_shots_per_sec\": {:.1}, \"sparse_shots_per_sec\": {:.1}, \"speedup\": {:.2}}}{}\n",
-            pt.d,
-            pt.p,
-            pt.shots,
-            pt.mean_events,
-            pt.dense_shots_per_sec,
-            pt.sparse_shots_per_sec,
-            pt.speedup,
-            if i + 1 == points.len() { "" } else { "," }
-        ));
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str("  ");
+        json.push_str(row);
+        json.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
     }
     json.push_str("]\n");
     let mut file = std::fs::File::create(&args.out)

@@ -26,12 +26,14 @@ pub fn run(cfg: &RunConfig, sink: &mut dyn Sink) -> FigResult {
     };
     for &d in &ds {
         let patch = AdaptedPatch::new(PatchLayout::memory(d), &DefectSet::new());
-        let spec = ExperimentSpec::memory(patch)
-            .ps(&ps)
-            .rounds(d)
-            .shots(cfg.shots)
-            .seed(cfg.seed)
-            .label(format!("d={d}"));
+        let spec = cfg.spec_with_decoder(
+            ExperimentSpec::memory(patch)
+                .ps(&ps)
+                .rounds(d)
+                .shots(cfg.shots)
+                .seed(cfg.seed)
+                .label(format!("d={d}")),
+        );
         runner.run(&spec, sink)?;
     }
 
@@ -57,11 +59,13 @@ pub fn run(cfg: &RunConfig, sink: &mut dyn Sink) -> FigResult {
         }
     }
     for (d, patch) in examples {
-        let spec = ExperimentSpec::memory(patch)
-            .ps(&ps)
-            .shots(cfg.shots)
-            .seed(cfg.seed ^ 0xde)
-            .label(format!("defective d={d}"));
+        let spec = cfg.spec_with_decoder(
+            ExperimentSpec::memory(patch)
+                .ps(&ps)
+                .shots(cfg.shots)
+                .seed(cfg.seed ^ 0xde)
+                .label(format!("defective d={d}")),
+        );
         runner.run(&spec, sink)?;
     }
     sink.emit(&Record::Note(

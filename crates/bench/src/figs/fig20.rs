@@ -33,24 +33,28 @@ pub fn run(cfg: &RunConfig, sink: &mut dyn Sink) -> FigResult {
     disable_defects.add_data(bad);
     let disable_patch = AdaptedPatch::new(PatchLayout::stability(6, 6), &disable_defects);
     assert!(disable_patch.is_valid());
-    let spec = ExperimentSpec::stability(disable_patch)
-        .ps(&ps)
-        .rounds(rounds)
-        .shots(cfg.shots)
-        .seed(cfg.seed)
-        .label("super-stabilizer");
+    let spec = cfg.spec_with_decoder(
+        ExperimentSpec::stability(disable_patch)
+            .ps(&ps)
+            .rounds(rounds)
+            .shots(cfg.shots)
+            .seed(cfg.seed)
+            .label("super-stabilizer"),
+    );
     runner.run(&spec, sink)?;
 
     // Keep the bad qubit at each elevated error rate.
     let keep_patch = AdaptedPatch::new(PatchLayout::stability(6, 6), &DefectSet::new());
     for bp in bad_ps {
-        let spec = ExperimentSpec::stability(keep_patch.clone())
-            .ps(&ps)
-            .rounds(rounds)
-            .shots(cfg.shots)
-            .seed(cfg.seed ^ (1000.0 * bp) as u64)
-            .bad_qubit(bad, bp)
-            .label(format!("faulty p={bp}"));
+        let spec = cfg.spec_with_decoder(
+            ExperimentSpec::stability(keep_patch.clone())
+                .ps(&ps)
+                .rounds(rounds)
+                .shots(cfg.shots)
+                .seed(cfg.seed ^ (1000.0 * bp) as u64)
+                .bad_qubit(bad, bp)
+                .label(format!("faulty p={bp}")),
+        );
         runner.run(&spec, sink)?;
     }
     sink.emit(&dqec_chiplet::record::Record::Note(

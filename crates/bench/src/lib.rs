@@ -29,7 +29,7 @@ pub mod figs;
 
 use dqec_chiplet::defect_model::DefectModel;
 use dqec_chiplet::record::{JsonSink, Record, Sink, TsvSink};
-use dqec_chiplet::runner::{ExperimentSpec, Runner};
+use dqec_chiplet::runner::{DecoderChoice, ExperimentSpec, Runner};
 use dqec_core::adapt::AdaptedPatch;
 use dqec_core::indicators::PatchIndicators;
 use dqec_core::layout::PatchLayout;
@@ -53,6 +53,8 @@ pub struct RunConfig {
     pub json: bool,
     /// Write output to `<dir>/<bin>.{tsv,json}` instead of stdout.
     pub out: Option<PathBuf>,
+    /// Which decoder backend LER experiments run through.
+    pub decoder: DecoderChoice,
 }
 
 impl Default for RunConfig {
@@ -64,21 +66,26 @@ impl Default for RunConfig {
             seed: 0x00a5_7105,
             json: false,
             out: None,
+            decoder: DecoderChoice::default(),
         }
     }
 }
 
 /// The usage text printed by `--help` and on argument errors.
 pub const USAGE: &str = "\
-usage: <bin> [--full] [--samples N] [--shots N] [--seed N] [--json] [--out DIR] [--help]
+usage: <bin> [--full] [--samples N] [--shots N] [--seed N] [--decoder NAME]
+             [--json] [--out DIR] [--help]
 
-  --full        paper-scale parameters (slow; hours for Monte-Carlo figures)
-  --samples N   chiplet samples per sweep point
-  --shots N     Monte-Carlo shots per LER point
-  --seed N      base RNG seed
-  --json        emit a JSON array of records instead of TSV
-  --out DIR     write to DIR/<bin>.tsv (or .json) instead of stdout
-  --help        show this message";
+  --full          paper-scale parameters (slow; hours for Monte-Carlo figures)
+  --samples N     chiplet samples per sweep point
+  --shots N       Monte-Carlo shots per LER point
+  --seed N        base RNG seed
+  --decoder NAME  decoder backend for LER experiments: mwpm (exact
+                  minimum-weight matching, default) or uf (union-find:
+                  several times faster, slightly less accurate)
+  --json          emit a JSON array of records instead of TSV
+  --out DIR       write to DIR/<bin>.tsv (or .json) instead of stdout
+  --help          show this message";
 
 impl RunConfig {
     /// Parses the standard arguments (without the program name).
@@ -95,6 +102,7 @@ impl RunConfig {
         let mut seed: Option<u64> = None;
         let mut json = false;
         let mut out: Option<PathBuf> = None;
+        let mut decoder = DecoderChoice::default();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let mut value = |flag: &str| -> Result<&String, String> {
@@ -119,6 +127,7 @@ impl RunConfig {
                     seed = Some(v.parse().map_err(|_| format!("bad --seed value {v:?}"))?);
                 }
                 "--out" => out = Some(PathBuf::from(value("--out")?)),
+                "--decoder" => decoder = DecoderChoice::parse(value("--decoder")?)?,
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -130,6 +139,7 @@ impl RunConfig {
             seed: seed.unwrap_or(defaults.seed),
             json,
             out,
+            decoder,
         })
     }
 
@@ -181,6 +191,13 @@ impl RunConfig {
         } else {
             3
         }
+    }
+
+    /// Attaches this config's decoder backend to an experiment spec;
+    /// every LER experiment in the figure modules goes through this, so
+    /// `--decoder` selects the backend end-to-end.
+    pub fn spec_with_decoder(&self, spec: ExperimentSpec) -> ExperimentSpec {
+        spec.decoder(self.decoder.builder())
     }
 
     /// The [`Record::Meta`] header for a binary under this config.
@@ -292,11 +309,13 @@ pub fn slope_dataset(
     for (d, patches) in groups {
         for (i, patch) in patches.into_iter().enumerate() {
             let indicators = PatchIndicators::of(&patch);
-            let spec = ExperimentSpec::memory(patch)
-                .ps(&ps)
-                .shots(cfg.shots)
-                .seed(cfg.seed + i as u64)
-                .fit(true);
+            let spec = cfg.spec_with_decoder(
+                ExperimentSpec::memory(patch)
+                    .ps(&ps)
+                    .shots(cfg.shots)
+                    .seed(cfg.seed + i as u64)
+                    .fit(true),
+            );
             let slope = runner
                 .collect(&spec)
                 .ok()
@@ -313,12 +332,14 @@ pub fn slope_dataset(
 /// protocol.
 pub fn defect_free_slope(d: u32, cfg: &RunConfig) -> Option<f64> {
     let patch = AdaptedPatch::new(PatchLayout::memory(d), &DefectSet::new());
-    let spec = ExperimentSpec::memory(patch)
-        .ps(&cfg.slope_window())
-        .rounds(d)
-        .shots(cfg.shots)
-        .seed(cfg.seed ^ 0xdefec7)
-        .fit(true);
+    let spec = cfg.spec_with_decoder(
+        ExperimentSpec::memory(patch)
+            .ps(&cfg.slope_window())
+            .rounds(d)
+            .shots(cfg.shots)
+            .seed(cfg.seed ^ 0xdefec7)
+            .fit(true),
+    );
     Runner::new()
         .collect(&spec)
         .ok()
@@ -376,6 +397,21 @@ mod tests {
         assert_eq!(cfg.seed, 9);
         assert!(cfg.json);
         assert_eq!(cfg.out, Some(PathBuf::from("results")));
+    }
+
+    #[test]
+    fn parse_accepts_and_validates_decoder_choice() {
+        let cfg = RunConfig::parse(&args(&["--decoder", "uf"])).unwrap();
+        assert_eq!(cfg.decoder, dqec_chiplet::runner::DecoderChoice::Uf);
+        let cfg = RunConfig::parse(&args(&["--decoder", "mwpm"])).unwrap();
+        assert_eq!(cfg.decoder, dqec_chiplet::runner::DecoderChoice::Mwpm);
+        // An unknown decoder fails loudly and names the valid choices
+        // (the binary front-end turns this into exit code 2).
+        let err = RunConfig::parse(&args(&["--decoder", "tensor"])).unwrap_err();
+        assert!(err.contains("mwpm") && err.contains("uf"), "{err}");
+        assert!(RunConfig::parse(&args(&["--decoder"])).is_err());
+        // The help text lists the flag and both choices.
+        assert!(USAGE.contains("--decoder") && USAGE.contains("mwpm") && USAGE.contains("uf"));
     }
 
     #[test]

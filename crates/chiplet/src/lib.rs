@@ -47,7 +47,7 @@ pub use record::{
     fmt_compact, JsonSink, LerRecord, MemorySink, NullSink, Record, Sink, SlopeFitRecord, TsvSink,
     Value, YieldRecord,
 };
-pub use runner::{default_rounds, ExperimentSpec, Protocol, RunOutcome, Runner};
+pub use runner::{default_rounds, DecoderChoice, ExperimentSpec, Protocol, RunOutcome, Runner};
 pub use yields::{
     cost_per_logical, overhead_factor, sample_indicators, yield_from_indicators, SampleConfig,
     YieldEstimate,

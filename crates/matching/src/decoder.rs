@@ -25,6 +25,7 @@ use dqec_sim::noise::NoiseModel;
 use rayon::prelude::*;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::hash::Hasher;
 
 /// Shots per work unit in batch decoding. Chunk boundaries depend only
 /// on the shot count — never on the worker count — so per-chunk caches
@@ -38,11 +39,124 @@ const DEFAULT_CACHE_ENTRIES: usize = 1 << 15;
 /// [`DecodeScratch::with_candidate_cap`].
 const DEFAULT_CANDIDATE_CAP: usize = 8;
 
+/// Syndromes longer than this are not memoized: large event lists
+/// essentially never repeat within a chunk, so hashing and storing them
+/// would only burn time and memory on guaranteed misses.
+const CACHE_KEY_MAX_EVENTS: usize = 16;
+
+/// FxHash-style multiply-rotate hasher for the syndrome memo: event
+/// lists are short integer slices, for which SipHash's per-call setup
+/// dominates the decode fast path. Not DoS-resistant — keys here are
+/// detector ids from our own sampler, never attacker-controlled.
+#[derive(Default)]
+pub(crate) struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        const K: u64 = 0x517c_c1b7_2722_0a95;
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+}
+
 /// Fixed-size chunk ranges covering `0..shots`.
 fn chunk_ranges(shots: usize) -> Vec<(usize, usize)> {
     (0..shots.div_ceil(DECODE_CHUNK))
         .map(|c| (c * DECODE_CHUNK, ((c + 1) * DECODE_CHUNK).min(shots)))
         .collect()
+}
+
+/// The shared scratch-reusing, syndrome-memoizing batch decode: fans
+/// fixed-size shot chunks out over worker threads, gives each chunk a
+/// private scratch (from `new_scratch`) and [`SyndromeCache`], and
+/// decodes each shot with `decode`. Chunk boundaries depend only on the
+/// shot count and `decode` is contractually deterministic, so
+/// predictions are identical for any worker count. Used by both the
+/// MWPM and union-find `decode_all` implementations.
+pub(crate) fn decode_all_chunked<S, N, F>(batch: &ShotBatch, new_scratch: N, decode: F) -> Vec<u64>
+where
+    N: Fn() -> S + Sync,
+    F: Fn(&[u32], &mut S) -> u64 + Sync,
+{
+    let ev = batch.shot_events();
+    let shots = ev.shots();
+    let ev = &ev;
+    let new_scratch = &new_scratch;
+    let decode = &decode;
+    let parts: Vec<Vec<u64>> = chunk_ranges(shots)
+        .into_par_iter()
+        .map(|(lo, hi)| {
+            let mut scratch = new_scratch();
+            let mut cache = SyndromeCache::with_capacity(DEFAULT_CACHE_ENTRIES);
+            (lo..hi)
+                .map(|s| {
+                    let events = ev.events_of(s);
+                    if events.is_empty() {
+                        return 0;
+                    }
+                    if events.len() > CACHE_KEY_MAX_EVENTS {
+                        return decode(events, &mut scratch);
+                    }
+                    match cache.get_or_slot(events) {
+                        Ok(p) => p,
+                        Err(slot) => {
+                            let p = decode(events, &mut scratch);
+                            if let Some(slot) = slot {
+                                cache.fill(slot, events, p);
+                            }
+                            p
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut out = Vec::with_capacity(shots);
+    for p in parts {
+        out.extend(p);
+    }
+    out
 }
 
 /// A syndrome decoder for a fixed circuit.
@@ -384,41 +498,139 @@ impl DecodeScratch {
 /// `capacity` distinct syndromes are stored, further misses decode
 /// without being inserted (deterministic, no eviction policy to tune).
 pub struct SyndromeCache {
-    map: HashMap<Box<[u32]>, u64>,
+    /// Open-addressed slots: `(event-arena offset, event count,
+    /// prediction)`; `u32::MAX` offset marks an empty slot. Power-of-two
+    /// sized, linear probing, no deletion (the cache only grows until
+    /// `capacity`), keys inlined in one arena — so neither lookups nor
+    /// inserts ever allocate per entry.
+    slots: Vec<(u32, u32, u64)>,
+    arena: Vec<u32>,
+    len: usize,
     capacity: usize,
     hits: u64,
     misses: u64,
 }
 
+/// Empty-slot marker for [`SyndromeCache`].
+const CACHE_EMPTY: u32 = u32::MAX;
+
 impl SyndromeCache {
-    /// Creates a cache bounded to `capacity` distinct syndromes.
+    /// Creates a cache bounded to `capacity` distinct syndromes. Slots
+    /// pre-size for up to one chunk's worth of entries (growing by
+    /// doubling beyond that) so the steady state never rehashes.
     pub fn with_capacity(capacity: usize) -> Self {
+        let slots = capacity.min(DECODE_CHUNK).next_power_of_two() * 2;
         SyndromeCache {
-            map: HashMap::new(),
+            slots: vec![(CACHE_EMPTY, 0, 0); slots],
+            arena: Vec::new(),
+            len: 0,
             capacity,
             hits: 0,
             misses: 0,
         }
     }
 
+    fn hash(events: &[u32]) -> u64 {
+        let mut h = FxHasher::default();
+        for &e in events {
+            h.write_u32(e);
+        }
+        h.finish()
+    }
+
+    /// The slot index holding `events`, or the empty slot where it
+    /// would be inserted.
+    fn probe(&self, events: &[u32]) -> usize {
+        let mask = self.slots.len() - 1;
+        let mut i = Self::hash(events) as usize & mask;
+        loop {
+            let (off, n, _) = self.slots[i];
+            if off == CACHE_EMPTY {
+                return i;
+            }
+            if n as usize == events.len()
+                && &self.arena[off as usize..off as usize + n as usize] == events
+            {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
     /// Looks up a syndrome, counting the hit or miss.
     pub fn get(&mut self, events: &[u32]) -> Option<u64> {
-        match self.map.get(events) {
-            Some(&p) => {
-                self.hits += 1;
-                Some(p)
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
+        let i = self.probe(events);
+        if self.slots[i].0 == CACHE_EMPTY {
+            self.misses += 1;
+            None
+        } else {
+            self.hits += 1;
+            Some(self.slots[i].2)
         }
+    }
+
+    /// Combined lookup: a hit returns the prediction, a miss returns
+    /// the empty slot where [`SyndromeCache::fill`] may store it — so
+    /// the miss-then-insert path of batch decoding probes (and hashes)
+    /// only once. Any growth needed for the upcoming insert happens
+    /// here, keeping the returned slot index stable.
+    pub(crate) fn get_or_slot(&mut self, events: &[u32]) -> Result<u64, Option<usize>> {
+        if self.len < self.capacity && (self.len + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let i = self.probe(events);
+        if self.slots[i].0 != CACHE_EMPTY {
+            self.hits += 1;
+            return Ok(self.slots[i].2);
+        }
+        self.misses += 1;
+        Err((self.len < self.capacity).then_some(i))
+    }
+
+    /// Stores a prediction into a slot returned by
+    /// [`SyndromeCache::get_or_slot`]. The cache must not be touched in
+    /// between.
+    pub(crate) fn fill(&mut self, slot: usize, events: &[u32], prediction: u64) {
+        debug_assert_eq!(self.slots[slot].0, CACHE_EMPTY, "slot must still be empty");
+        let off = self.arena.len() as u32;
+        self.arena.extend_from_slice(events);
+        self.slots[slot] = (off, events.len() as u32, prediction);
+        self.len += 1;
     }
 
     /// Stores a prediction unless the cache is at capacity.
     pub fn insert(&mut self, events: &[u32], prediction: u64) {
-        if self.map.len() < self.capacity {
-            self.map.insert(events.into(), prediction);
+        if self.len >= self.capacity {
+            return;
+        }
+        if (self.len + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let i = self.probe(events);
+        if self.slots[i].0 != CACHE_EMPTY {
+            return; // already stored
+        }
+        let off = self.arena.len() as u32;
+        self.arena.extend_from_slice(events);
+        self.slots[i] = (off, events.len() as u32, prediction);
+        self.len += 1;
+    }
+
+    /// Doubles the slot table, re-seating every entry.
+    fn grow(&mut self) {
+        let doubled = vec![(CACHE_EMPTY, 0, 0); self.slots.len() * 2];
+        let old = std::mem::replace(&mut self.slots, doubled);
+        let mask = self.slots.len() - 1;
+        for (off, n, p) in old {
+            if off == CACHE_EMPTY {
+                continue;
+            }
+            let key = &self.arena[off as usize..(off + n) as usize];
+            let mut i = Self::hash(key) as usize & mask;
+            while self.slots[i].0 != CACHE_EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = (off, n, p);
         }
     }
 
@@ -669,35 +881,9 @@ impl Decoder for MwpmDecoder {
     /// deterministic, so predictions are identical for any worker
     /// count.
     fn decode_all(&self, batch: &ShotBatch) -> Vec<u64> {
-        let ev = batch.shot_events();
-        let shots = ev.shots();
-        let ev = &ev;
-        let parts: Vec<Vec<u64>> = chunk_ranges(shots)
-            .into_par_iter()
-            .map(|(lo, hi)| {
-                let mut scratch = DecodeScratch::new();
-                let mut cache = SyndromeCache::with_capacity(DEFAULT_CACHE_ENTRIES);
-                (lo..hi)
-                    .map(|s| {
-                        let events = ev.events_of(s);
-                        if events.is_empty() {
-                            return 0;
-                        }
-                        if let Some(p) = cache.get(events) {
-                            return p;
-                        }
-                        let p = self.decode_events_with(events, &mut scratch);
-                        cache.insert(events, p);
-                        p
-                    })
-                    .collect()
-            })
-            .collect();
-        let mut out = Vec::with_capacity(shots);
-        for p in parts {
-            out.extend(p);
-        }
-        out
+        decode_all_chunked(batch, DecodeScratch::new, |events, scratch| {
+            self.decode_events_with(events, scratch)
+        })
     }
 
     /// Reweights both basis graphs from the cached parametric DEM.

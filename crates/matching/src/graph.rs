@@ -473,8 +473,9 @@ impl DecodingGraph {
     }
 }
 
-/// Edge probability -> matching weight.
-fn weight_of(p: f64) -> f64 {
+/// Edge probability -> matching weight (shared with the union-find
+/// decoder's integer quantization).
+pub(crate) fn weight_of(p: f64) -> f64 {
     let p = p.clamp(P_FLOOR, P_CEIL);
     ((1.0 - p) / p).ln()
 }

@@ -20,11 +20,18 @@
 //!   shot-parallel with worker-count-independent tallies
 //!   ([`DecodeStats::merge`]). Decoders built with
 //!   [`MwpmDecoder::from_clean`] can be *reweighted* to a new physical
-//!   error rate without rebuilding their graphs.
+//!   error rate without rebuilding their graphs;
+//! * [`unionfind`] — [`UfDecoder`], the almost-linear-time alternative
+//!   backend: weighted Delfosse–Nickerson cluster growth over the same
+//!   decoding graphs, parity merging through a path-compressed DSU,
+//!   boundary-absorbing clusters, and a peeling pass that extracts the
+//!   correction. Faster but slightly less accurate than MWPM; selected
+//!   end-to-end via `ExperimentSpec::decoder` / `--decoder uf`.
 //!
 //! # Examples
 //!
-//! See [`MwpmDecoder`] for an end-to-end sample-and-decode example.
+//! See [`MwpmDecoder`] and [`UfDecoder`] for end-to-end
+//! sample-and-decode examples.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,9 +39,11 @@
 pub mod blossom;
 pub mod decoder;
 pub mod graph;
+pub mod unionfind;
 
 pub use blossom::{min_weight_perfect_matching, BlossomArena, PerfectMatching};
 pub use decoder::{
     check_decoder_conformance, DecodeScratch, DecodeStats, Decoder, MwpmDecoder, SyndromeCache,
 };
 pub use graph::{DecodingGraph, GraphDiagnostics, GraphEdge};
+pub use unionfind::{UfDecoder, UfGraph, UfScratch};

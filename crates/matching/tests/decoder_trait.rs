@@ -3,7 +3,7 @@
 //! crate, plus trait-object ergonomics. New decoders (union-find,
 //! correlated matching, ...) should add themselves here.
 
-use dqec_matching::{check_decoder_conformance, Decoder, MwpmDecoder};
+use dqec_matching::{check_decoder_conformance, Decoder, MwpmDecoder, UfDecoder};
 use dqec_sim::circuit::{CheckBasis, Circuit, Noise1};
 use dqec_sim::noise::NoiseModel;
 
@@ -71,9 +71,32 @@ fn mwpm_from_clean_conforms_before_and_after_reweighting() {
 }
 
 #[test]
+fn uf_from_noisy_circuit_conforms() {
+    // The same 1k-random-syndrome suite the MWPM decoder passes:
+    // cold/warm memo cache agreement and worker caps of 1, 4, and 16.
+    let noisy = repetition(3, 0.02);
+    let clean = repetition(3, 0.0);
+    let decoder = UfDecoder::new(&noisy);
+    check_decoder_conformance(&decoder, &clean);
+}
+
+#[test]
+fn uf_from_clean_conforms_before_and_after_reweighting() {
+    let clean = repetition(3, 0.0);
+    let mut decoder = UfDecoder::from_clean(&clean, &NoiseModel::new(2e-2));
+    check_decoder_conformance(&decoder, &clean);
+    assert!(decoder.reweight(&NoiseModel::new(5e-3)));
+    check_decoder_conformance(&decoder, &clean);
+}
+
+#[test]
 fn decoder_works_as_a_trait_object() {
     let noisy = repetition(2, 0.01);
-    let boxed: Box<dyn Decoder> = Box::new(MwpmDecoder::new(&noisy));
-    assert_eq!(boxed.num_observables(), 1);
-    assert_eq!(boxed.decode_events(&[]), 0);
+    for boxed in [
+        Box::new(MwpmDecoder::new(&noisy)) as Box<dyn Decoder>,
+        Box::new(UfDecoder::new(&noisy)) as Box<dyn Decoder>,
+    ] {
+        assert_eq!(boxed.num_observables(), 1);
+        assert_eq!(boxed.decode_events(&[]), 0);
+    }
 }

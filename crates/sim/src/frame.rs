@@ -199,26 +199,34 @@ impl ShotBatch {
     }
 
     /// Flagged detector ids for every shot as a flat CSR-style index:
-    /// two row-major scans (count, then fill), two allocations total
-    /// regardless of shot count, events ascending within each shot.
+    /// one row-major scan collecting `(shot, detector)` pairs and
+    /// per-shot counts, then a counting-sort scatter into the flat
+    /// event array — events ascending within each shot (rows are
+    /// visited in detector order), and the bit table is only walked
+    /// once.
     pub fn shot_events(&self) -> ShotEvents {
         let shots = self.detectors.shots();
         let mut offsets = vec![0u32; shots + 1];
+        // Popcount pre-pass (no per-event work) sizes the pair buffer
+        // exactly, so the per-event scan never reallocates.
+        let total: usize = (0..self.detectors.rows())
+            .map(|d| self.detectors.count_row(d))
+            .sum();
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(total);
         for d in 0..self.detectors.rows() {
             for shot in self.detectors.ones_in_row_iter(d) {
                 offsets[shot + 1] += 1;
+                pairs.push((shot as u32, d as u32));
             }
         }
         for s in 0..shots {
             offsets[s + 1] += offsets[s];
         }
         let mut cursor: Vec<u32> = offsets[..shots].to_vec();
-        let mut events = vec![0u32; *offsets.last().expect("offsets nonempty") as usize];
-        for d in 0..self.detectors.rows() {
-            for shot in self.detectors.ones_in_row_iter(d) {
-                events[cursor[shot] as usize] = d as u32;
-                cursor[shot] += 1;
-            }
+        let mut events = vec![0u32; pairs.len()];
+        for &(shot, d) in &pairs {
+            events[cursor[shot as usize] as usize] = d;
+            cursor[shot as usize] += 1;
         }
         ShotEvents { offsets, events }
     }

@@ -67,7 +67,7 @@ pub mod prelude {
         YieldRecord,
     };
     pub use crate::chiplet::runner::{
-        default_rounds, DecoderBuilder, ExperimentSpec, Protocol, RunOutcome, Runner,
+        default_rounds, DecoderBuilder, DecoderChoice, ExperimentSpec, Protocol, RunOutcome, Runner,
     };
     pub use crate::chiplet::{
         fit_loglog, sample_indicators, yield_from_indicators, DefectModel, LerPoint, QualityTarget,
