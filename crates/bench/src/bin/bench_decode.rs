@@ -27,10 +27,13 @@ use std::io::Write;
 use std::time::Instant;
 
 const USAGE: &str = "\
-usage: bench_decode [--shots N] [--decoder NAME] [--out FILE] [--help]
+usage: bench_decode [--shots N] [--decoder NAME] [--threads N] [--out FILE] [--help]
 
   --shots N       shots per (d, p) point (default 4000)
   --decoder NAME  which decoder rows to emit: mwpm, uf, or all (default all)
+  --threads N     worker cap for the sampling fan-outs (N >= 1; the
+                  timed decode sections stay pinned at 1 worker so
+                  reported throughput is comparable across machines)
   --out FILE      where to write the JSON report (default BENCH_decode.json)
   --help          show this message";
 
@@ -38,6 +41,7 @@ struct Args {
     shots: usize,
     mwpm: bool,
     uf: bool,
+    threads: Option<usize>,
     out: std::path::PathBuf,
 }
 
@@ -45,6 +49,7 @@ fn parse_args() -> Args {
     let mut shots = 4000usize;
     let mut out = std::path::PathBuf::from("BENCH_decode.json");
     let (mut mwpm, mut uf) = (true, true);
+    let mut threads: Option<usize> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -80,6 +85,18 @@ fn parse_args() -> Args {
                     },
                 };
             }
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("error: --threads requires a value\n{USAGE}");
+                    std::process::exit(2);
+                });
+                let n: usize = v.parse().unwrap_or(0);
+                if n == 0 {
+                    eprintln!("error: bad --threads value {v:?} (need an integer >= 1)\n{USAGE}");
+                    std::process::exit(2);
+                }
+                threads = Some(n);
+            }
             "--out" => {
                 let v = it.next().unwrap_or_else(|| {
                     eprintln!("error: --out requires a value\n{USAGE}");
@@ -97,6 +114,7 @@ fn parse_args() -> Args {
         shots,
         mwpm,
         uf,
+        threads,
         out,
     }
 }
@@ -115,6 +133,13 @@ fn time3(mut f: impl FnMut()) -> f64 {
 
 fn main() {
     let args = parse_args();
+    match args.threads {
+        Some(n) => rayon::with_worker_cap(n, || bench(&args)),
+        None => bench(&args),
+    }
+}
+
+fn bench(args: &Args) {
     let mut rows: Vec<String> = Vec::new();
     for d in [5u32, 7, 9] {
         let patch = AdaptedPatch::new(PatchLayout::memory(d), &DefectSet::new());

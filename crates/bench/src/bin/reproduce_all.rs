@@ -14,7 +14,7 @@ fn main() {
     for rep in figs::ALL {
         eprintln!("=== running {} ===", rep.name);
         let started = std::time::Instant::now();
-        match run_reproduction(rep.name, &cfg) {
+        match cfg.with_threads(|| run_reproduction(rep.name, &cfg)) {
             Ok(()) => {
                 let ext = if cfg.json { "json" } else { "tsv" };
                 eprintln!(

@@ -3,14 +3,14 @@
 //! slopes. The paper's finding: the slope tracks d, and defective
 //! patches have *higher* slopes than defect-free patches of equal d.
 
-use crate::{defect_free_slope, slope_dataset, FigResult, RunConfig};
+use crate::{defect_free_slopes, slope_dataset, FigResult, RunConfig};
 use dqec_chiplet::record::{Record, Sink, Value};
 
 /// Emits the figure's records.
 pub fn run(cfg: &RunConfig, sink: &mut dyn Sink) -> FigResult {
     eprintln!("sampling defective patches and measuring slopes (slow)...");
     let (l, d_range) = cfg.slope_patch();
-    let records = slope_dataset(l, d_range.clone(), cfg);
+    let records = slope_dataset(l, d_range.clone(), cfg, "fig05_slopes")?;
 
     sink.emit(&Record::Section(format!("defective patches (l={l})")));
     sink.emit(&Record::Columns(
@@ -53,11 +53,14 @@ pub fn run(cfg: &RunConfig, sink: &mut dyn Sink) -> FigResult {
     } else {
         vec![5, 7]
     };
-    for d in refs {
-        match defect_free_slope(d, cfg) {
-            Some(s) => sink.emit(&Record::row([Value::from(d), s.into()])),
+    for (d, slope) in refs
+        .iter()
+        .zip(defect_free_slopes(&refs, cfg, "fig05_slopes")?)
+    {
+        match slope {
+            Some(s) => sink.emit(&Record::row([Value::from(*d), s.into()])),
             None => sink.emit(&Record::row([
-                Value::from(d),
+                Value::from(*d),
                 "- (no failures observed at these shots)".into(),
             ])),
         }

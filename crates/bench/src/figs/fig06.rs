@@ -5,18 +5,23 @@
 use crate::{FigResult, RunConfig};
 use dqec_chiplet::defect_model::DefectModel;
 use dqec_chiplet::record::{Record, Sink};
-use dqec_chiplet::runner::{ExperimentSpec, Runner};
+use dqec_chiplet::runner::ExperimentSpec;
 use dqec_core::adapt::AdaptedPatch;
 use dqec_core::indicators::PatchIndicators;
 use dqec_core::layout::PatchLayout;
 use dqec_core::DefectSet;
+use dqec_sweep::SweepPlan;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Emits the figure's records.
+///
+/// Both panels run as [`SweepPlan`]s through the sweep engine: the
+/// mixed-distance curves share the work-stealing pool, `--precision`
+/// allocates shots adaptively per point, and `--checkpoint`/`--resume`
+/// make the sweep durable.
 pub fn run(cfg: &RunConfig, sink: &mut dyn Sink) -> FigResult {
     let ps = cfg.slope_window();
-    let runner = Runner::new();
 
     sink.emit(&Record::Section("defect-free".into()));
     let ds: Vec<u32> = if cfg.full {
@@ -24,18 +29,22 @@ pub fn run(cfg: &RunConfig, sink: &mut dyn Sink) -> FigResult {
     } else {
         vec![3, 5, 7]
     };
-    for &d in &ds {
-        let patch = AdaptedPatch::new(PatchLayout::memory(d), &DefectSet::new());
-        let spec = cfg.spec_with_decoder(
-            ExperimentSpec::memory(patch)
-                .ps(&ps)
-                .rounds(d)
-                .shots(cfg.shots)
-                .seed(cfg.seed)
-                .label(format!("d={d}")),
-        );
-        runner.run(&spec, sink)?;
-    }
+    let plan: SweepPlan = ds
+        .iter()
+        .map(|&d| {
+            let patch = AdaptedPatch::new(PatchLayout::memory(d), &DefectSet::new());
+            cfg.spec_with_decoder(
+                ExperimentSpec::memory(patch)
+                    .ps(&ps)
+                    .rounds(d)
+                    .shots(cfg.shots)
+                    .seed(cfg.seed)
+                    .label(format!("d={d}")),
+            )
+        })
+        .collect();
+    cfg.engine("fig06_ler_curves.defect-free")
+        .run(&plan, sink)?;
 
     sink.emit(&Record::Section(
         "defective l=11 examples (one per adapted distance)".into(),
@@ -58,16 +67,19 @@ pub fn run(cfg: &RunConfig, sink: &mut dyn Sink) -> FigResult {
             examples.entry(d).or_insert(patch);
         }
     }
-    for (d, patch) in examples {
-        let spec = cfg.spec_with_decoder(
-            ExperimentSpec::memory(patch)
-                .ps(&ps)
-                .shots(cfg.shots)
-                .seed(cfg.seed ^ 0xde)
-                .label(format!("defective d={d}")),
-        );
-        runner.run(&spec, sink)?;
-    }
+    let plan: SweepPlan = examples
+        .into_iter()
+        .map(|(d, patch)| {
+            cfg.spec_with_decoder(
+                ExperimentSpec::memory(patch)
+                    .ps(&ps)
+                    .shots(cfg.shots)
+                    .seed(cfg.seed ^ 0xde)
+                    .label(format!("defective d={d}")),
+            )
+        })
+        .collect();
+    cfg.engine("fig06_ler_curves.defective").run(&plan, sink)?;
     sink.emit(&Record::Note(
         "paper: straight lines on log-log axes, ordered by d; defective".into(),
     ));

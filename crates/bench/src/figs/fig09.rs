@@ -9,7 +9,7 @@ use dqec_chiplet::record::{Record, Sink, Value};
 pub fn run(cfg: &RunConfig, sink: &mut dyn Sink) -> FigResult {
     eprintln!("sampling defective patches and measuring slopes (slow)...");
     let (l, d_range) = cfg.slope_patch();
-    let records = slope_dataset(l, d_range, cfg);
+    let records = slope_dataset(l, d_range, cfg, "fig09_cluster_diameter")?;
     sink.emit(&Record::Columns(
         ["d", "largest_cluster_diameter", "slope"]
             .map(String::from)

@@ -21,7 +21,7 @@ fn stats(kept: &[&SlopeRecord]) -> (f64, f64) {
 pub fn run(cfg: &RunConfig, sink: &mut dyn Sink) -> FigResult {
     eprintln!("sampling defective patches and measuring slopes (slow)...");
     let (l, d_range) = cfg.slope_patch();
-    let records = slope_dataset(l, d_range, cfg);
+    let records = slope_dataset(l, d_range, cfg, "fig11_selection")?;
     let indicators: Vec<_> = records.iter().map(|r| r.indicators.clone()).collect();
 
     sink.emit(&Record::Columns(

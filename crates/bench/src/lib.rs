@@ -12,8 +12,14 @@
 //! * `--full` — paper-scale parameters (slow; hours for the
 //!   Monte-Carlo figures);
 //! * `--samples N` — chiplet samples per sweep point;
-//! * `--shots N` — Monte-Carlo shots per LER point;
+//! * `--shots N` — Monte-Carlo shots per LER point (the per-point
+//!   budget cap under `--precision`);
 //! * `--seed N` — RNG seed;
+//! * `--decoder NAME` — decoder backend (`mwpm` or `uf`);
+//! * `--threads N` — worker cap for every parallel fan-out;
+//! * `--precision W` — adaptive sweeps to a target relative CI width;
+//! * `--checkpoint DIR` / `--resume` — durable, bit-exact-resumable
+//!   sweep state (one file per sweep plan);
 //! * `--json` — emit a JSON array of records instead of TSV;
 //! * `--out DIR` — write to `DIR/<name>.tsv` (or `.json`) instead of
 //!   stdout;
@@ -29,13 +35,15 @@ pub mod figs;
 
 use dqec_chiplet::defect_model::DefectModel;
 use dqec_chiplet::record::{JsonSink, Record, Sink, TsvSink};
-use dqec_chiplet::runner::{DecoderChoice, ExperimentSpec, Runner};
+use dqec_chiplet::runner::{DecoderChoice, ExperimentSpec};
 use dqec_core::adapt::AdaptedPatch;
 use dqec_core::indicators::PatchIndicators;
 use dqec_core::layout::PatchLayout;
 use dqec_core::{CoreError, DefectSet};
+use dqec_sweep::{EngineConfig, Precision, SweepEngine, SweepPlan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use std::path::PathBuf;
 
 /// Command-line configuration shared by every reproduction binary.
@@ -55,6 +63,28 @@ pub struct RunConfig {
     pub out: Option<PathBuf>,
     /// Which decoder backend LER experiments run through.
     pub decoder: DecoderChoice,
+    /// Worker-thread cap for every parallel fan-out
+    /// (`rayon::with_worker_cap`); `None` uses the machine budget.
+    pub threads: Option<usize>,
+    /// Adaptive sweeps: target relative width of each LER point's 95%
+    /// Wilson interval. `None` allocates the full `--shots` uniformly.
+    pub precision: Option<f64>,
+    /// Directory for sweep engine state files (one per sweep plan).
+    pub checkpoint: Option<PathBuf>,
+    /// Resume engine sweeps from their state files.
+    pub resume: bool,
+    /// Testing hook (no CLI flag): make every engine sweep stop with an
+    /// error after this many allocation rounds, checkpoint saved —
+    /// deterministic mid-sweep "kill" for resume tests.
+    pub halt_after_rounds: Option<u64>,
+    /// Engine tuning override (no CLI flag): shots per batch — the
+    /// RNG-stream/allocation unit. `None` uses the engine default
+    /// (4096, the `Runner` batch size, which keeps engine tallies
+    /// byte-identical to the pre-engine figures).
+    pub sweep_batch: Option<usize>,
+    /// Engine tuning override (no CLI flag): max batches per point per
+    /// allocation round (checkpoint granularity).
+    pub sweep_round_batches: Option<u64>,
 }
 
 impl Default for RunConfig {
@@ -67,6 +97,13 @@ impl Default for RunConfig {
             json: false,
             out: None,
             decoder: DecoderChoice::default(),
+            threads: None,
+            precision: None,
+            checkpoint: None,
+            resume: false,
+            halt_after_rounds: None,
+            sweep_batch: None,
+            sweep_round_batches: None,
         }
     }
 }
@@ -74,15 +111,25 @@ impl Default for RunConfig {
 /// The usage text printed by `--help` and on argument errors.
 pub const USAGE: &str = "\
 usage: <bin> [--full] [--samples N] [--shots N] [--seed N] [--decoder NAME]
+             [--threads N] [--precision W] [--checkpoint DIR] [--resume]
              [--json] [--out DIR] [--help]
 
   --full          paper-scale parameters (slow; hours for Monte-Carlo figures)
   --samples N     chiplet samples per sweep point
-  --shots N       Monte-Carlo shots per LER point
+  --shots N       Monte-Carlo shots per LER point (the per-point budget
+                  cap when --precision is set)
   --seed N        base RNG seed
   --decoder NAME  decoder backend for LER experiments: mwpm (exact
                   minimum-weight matching, default) or uf (union-find:
                   several times faster, slightly less accurate)
+  --threads N     cap every parallel fan-out at N worker threads
+                  (N >= 1; results are identical for any N)
+  --precision W   adaptive sweeps: allocate shots per point until its
+                  95% Wilson CI is narrower than W x its LER (e.g. 0.2),
+                  instead of spending --shots uniformly
+  --checkpoint DIR  persist sweep state to DIR/<plan>.sweep.json after
+                  every allocation round
+  --resume        resume engine sweeps from their state files
   --json          emit a JSON array of records instead of TSV
   --out DIR       write to DIR/<bin>.tsv (or .json) instead of stdout
   --help          show this message";
@@ -103,6 +150,10 @@ impl RunConfig {
         let mut json = false;
         let mut out: Option<PathBuf> = None;
         let mut decoder = DecoderChoice::default();
+        let mut threads: Option<usize> = None;
+        let mut precision: Option<f64> = None;
+        let mut checkpoint: Option<PathBuf> = None;
+        let mut resume = false;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let mut value = |flag: &str| -> Result<&String, String> {
@@ -128,8 +179,33 @@ impl RunConfig {
                 }
                 "--out" => out = Some(PathBuf::from(value("--out")?)),
                 "--decoder" => decoder = DecoderChoice::parse(value("--decoder")?)?,
+                "--threads" => {
+                    let v = value("--threads")?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("bad --threads value {v:?}"))?;
+                    if n == 0 {
+                        return Err("--threads must be >= 1".into());
+                    }
+                    threads = Some(n);
+                }
+                "--precision" => {
+                    let v = value("--precision")?;
+                    let w: f64 = v
+                        .parse()
+                        .map_err(|_| format!("bad --precision value {v:?}"))?;
+                    if !(w.is_finite() && w > 0.0) {
+                        return Err(format!("--precision must be a positive width, got {v:?}"));
+                    }
+                    precision = Some(w);
+                }
+                "--checkpoint" => checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+                "--resume" => resume = true,
                 other => return Err(format!("unknown flag {other:?}")),
             }
+        }
+        if resume && checkpoint.is_none() {
+            return Err("--resume requires --checkpoint DIR".into());
         }
         let defaults = RunConfig::default();
         Ok(RunConfig {
@@ -140,6 +216,13 @@ impl RunConfig {
             json,
             out,
             decoder,
+            threads,
+            precision,
+            checkpoint,
+            resume,
+            halt_after_rounds: None,
+            sweep_batch: None,
+            sweep_round_batches: None,
         })
     }
 
@@ -200,6 +283,42 @@ impl RunConfig {
         spec.decoder(self.decoder.builder())
     }
 
+    /// The sweep engine for one named plan under this config:
+    /// `--precision` selects adaptive allocation, `--checkpoint DIR`
+    /// persists state to `DIR/<tag>.sweep.json`, `--resume` restarts
+    /// from it. The fingerprint salt covers `tag` and the decoder
+    /// backend, so state files are never resumed across figures or
+    /// backends. Every Monte-Carlo figure sweep (fig05/06/11, the slope
+    /// datasets) runs through engines built here.
+    pub fn engine(&self, tag: &str) -> SweepEngine {
+        let mut salt = dqec_chiplet::runner::Fnv::new();
+        salt.bytes(tag.as_bytes());
+        salt.bytes(self.decoder.name().as_bytes());
+        let salt = salt.finish();
+        let defaults = EngineConfig::default();
+        SweepEngine::new(EngineConfig {
+            batch: self.sweep_batch.unwrap_or(defaults.batch),
+            round_batches: self.sweep_round_batches.unwrap_or(defaults.round_batches),
+            precision: self.precision.map(Precision::new),
+            checkpoint: self
+                .checkpoint
+                .as_ref()
+                .map(|dir| dir.join(format!("{tag}.sweep.json"))),
+            resume: self.resume,
+            halt_after_rounds: self.halt_after_rounds,
+            salt,
+        })
+    }
+
+    /// Runs `f` under this config's `--threads` worker cap (or
+    /// uncapped on the machine budget when the flag is absent).
+    pub fn with_threads<R>(&self, f: impl FnOnce() -> R) -> R {
+        match self.threads {
+            Some(n) => rayon::with_worker_cap(n, f),
+            None => f(),
+        }
+    }
+
     /// The [`Record::Meta`] header for a binary under this config.
     pub fn meta(&self, name: &str, what: &str) -> Record {
         Record::Meta {
@@ -251,10 +370,11 @@ pub fn run_reproduction(name: &str, cfg: &RunConfig) -> Result<(), String> {
 }
 
 /// The shared `main` of every reproduction binary: parse arguments, run
-/// the named figure, exit non-zero on failure.
+/// the named figure under the `--threads` cap, exit non-zero on
+/// failure.
 pub fn bin_main(name: &str) {
     let cfg = RunConfig::from_args();
-    if let Err(e) = run_reproduction(name, &cfg) {
+    if let Err(e) = cfg.with_threads(|| run_reproduction(name, &cfg)) {
         eprintln!("{name} failed: {e}");
         std::process::exit(1);
     }
@@ -271,15 +391,29 @@ pub struct SlopeRecord {
 
 /// Samples defective `l x l` chiplets (links and qubits faulty at the
 /// same rate, as in Fig. 5) until `per_group` patches of every adapted
-/// distance in `d_range` have been collected, then measures each
-/// patch's slope through the experiment [`Runner`] (one compiled
-/// circuit and decoding graph per patch, reweighted across the
-/// p-window). Shared by the Fig. 5/7/8/9/10/11 binaries.
+/// distance in `d_range` have been collected, then measures every
+/// patch's slope as one [`SweepPlan`] through the sweep engine: the
+/// mixed-distance specs (a d = 5 patch decodes ~10x faster than a
+/// d = 8 one) share the work-stealing pool instead of running
+/// one-after-another, `--precision` makes the shot allocation adaptive,
+/// and `--checkpoint`/`--resume` persist the sweep under
+/// `<tag>.sweep.json`. Shared by the Fig. 5/7/8/9/10/11 binaries,
+/// which pass their figure name as `tag`.
+///
+/// Patches whose sweep cannot run (degenerate circuit) or fit (no
+/// failures observed) report `slope: None`, as before.
+///
+/// # Errors
+///
+/// Propagates sweep orchestration failures (checkpoint I/O, resume
+/// mismatches); per-patch circuit-generation failures only mark that
+/// patch's slope as unmeasured.
 pub fn slope_dataset(
     l: u32,
     d_range: std::ops::RangeInclusive<u32>,
     cfg: &RunConfig,
-) -> Vec<SlopeRecord> {
+    tag: &str,
+) -> Result<Vec<SlopeRecord>, CoreError> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let layout = PatchLayout::memory(l);
     let per_group = cfg.patches_per_group();
@@ -304,47 +438,104 @@ pub fn slope_dataset(
         }
     }
     let ps = cfg.slope_window();
-    let runner = Runner::new();
-    let mut out = Vec::new();
-    for (d, patches) in groups {
-        for (i, patch) in patches.into_iter().enumerate() {
-            let indicators = PatchIndicators::of(&patch);
-            let spec = cfg.spec_with_decoder(
+    let dataset: Vec<(u32, usize, AdaptedPatch)> = groups
+        .into_iter()
+        .flat_map(|(d, patches)| {
+            patches
+                .into_iter()
+                .enumerate()
+                .map(move |(i, patch)| (d, i, patch))
+        })
+        .collect();
+    // Degenerate patches (the defects cut the patch, no observable
+    // path, ...) cannot host an experiment; keep them in the dataset
+    // with an unmeasured slope, as the old per-patch loop did, instead
+    // of failing the whole plan. The precheck generates each circuit a
+    // second time (the engine regenerates it when compiling), but
+    // circuit generation is cheap next to the decoder build and this
+    // fan-out runs in parallel.
+    let compilable: Vec<bool> = dataset
+        .par_iter()
+        .map(|(_, _, patch)| dqec_core::circuit_gen::memory_z(patch, rounds_for(patch)).is_ok())
+        .collect();
+    let mut plan = SweepPlan::new();
+    let mut measured = Vec::new(); // index into `records` per plan spec
+    let mut records = Vec::new();
+    for ((d, i, patch), compiles) in dataset.into_iter().zip(compilable) {
+        records.push(SlopeRecord {
+            indicators: PatchIndicators::of(&patch),
+            slope: None,
+        });
+        if !compiles {
+            continue;
+        }
+        measured.push(records.len() - 1);
+        plan.push(
+            cfg.spec_with_decoder(
                 ExperimentSpec::memory(patch)
                     .ps(&ps)
                     .shots(cfg.shots)
                     .seed(cfg.seed + i as u64)
+                    .label(format!("l={l} d={d} #{i}"))
                     .fit(true),
-            );
-            let slope = runner
-                .collect(&spec)
-                .ok()
-                .and_then(|outcome| outcome.fit)
-                .map(|f| f.slope);
-            out.push(SlopeRecord { indicators, slope });
-        }
-        eprintln!("  [slope dataset] d={d} done");
+            ),
+        );
     }
-    out
+    eprintln!(
+        "  [slope dataset] measuring {} patches through the sweep engine",
+        plan.len()
+    );
+    let outcomes = cfg
+        .engine(&format!("{tag}.slopes"))
+        .run(&plan, &mut dqec_chiplet::record::NullSink)?;
+    for (slot, outcome) in measured.into_iter().zip(outcomes) {
+        records[slot].slope = outcome.fit.map(|f| f.slope);
+    }
+    Ok(records)
+}
+
+/// The slopes of defect-free distance-`d` patches under the same
+/// protocol, measured as one engine plan (tagged `<tag>.refs`).
+///
+/// # Errors
+///
+/// Propagates sweep orchestration and circuit-generation failures.
+pub fn defect_free_slopes(
+    ds: &[u32],
+    cfg: &RunConfig,
+    tag: &str,
+) -> Result<Vec<Option<f64>>, CoreError> {
+    let plan: SweepPlan = ds
+        .iter()
+        .map(|&d| {
+            let patch = AdaptedPatch::new(PatchLayout::memory(d), &DefectSet::new());
+            cfg.spec_with_decoder(
+                ExperimentSpec::memory(patch)
+                    .ps(&cfg.slope_window())
+                    .rounds(d)
+                    .shots(cfg.shots)
+                    .seed(cfg.seed ^ 0xdefec7)
+                    .label(format!("defect-free d={d}"))
+                    .fit(true),
+            )
+        })
+        .collect();
+    let outcomes = cfg
+        .engine(&format!("{tag}.refs"))
+        .run(&plan, &mut dqec_chiplet::record::NullSink)?;
+    Ok(outcomes
+        .into_iter()
+        .map(|o| o.fit.map(|f| f.slope))
+        .collect())
 }
 
 /// The slope of the defect-free distance-`d` patch under the same
-/// protocol.
+/// protocol (a one-spec [`defect_free_slopes`] plan).
 pub fn defect_free_slope(d: u32, cfg: &RunConfig) -> Option<f64> {
-    let patch = AdaptedPatch::new(PatchLayout::memory(d), &DefectSet::new());
-    let spec = cfg.spec_with_decoder(
-        ExperimentSpec::memory(patch)
-            .ps(&cfg.slope_window())
-            .rounds(d)
-            .shots(cfg.shots)
-            .seed(cfg.seed ^ 0xdefec7)
-            .fit(true),
-    );
-    Runner::new()
-        .collect(&spec)
+    defect_free_slopes(&[d], cfg, "defect_free_slope")
         .ok()
-        .and_then(|outcome| outcome.fit)
-        .map(|f| f.slope)
+        .and_then(|mut v| v.pop())
+        .flatten()
 }
 
 /// Syndrome rounds used for a patch's memory experiment (re-exported
@@ -412,6 +603,65 @@ mod tests {
         assert!(RunConfig::parse(&args(&["--decoder"])).is_err());
         // The help text lists the flag and both choices.
         assert!(USAGE.contains("--decoder") && USAGE.contains("mwpm") && USAGE.contains("uf"));
+    }
+
+    #[test]
+    fn parse_accepts_and_validates_sweep_flags() {
+        let cfg = RunConfig::parse(&args(&[
+            "--threads",
+            "4",
+            "--precision",
+            "0.2",
+            "--checkpoint",
+            "state",
+            "--resume",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.threads, Some(4));
+        assert_eq!(cfg.precision, Some(0.2));
+        assert_eq!(cfg.checkpoint, Some(PathBuf::from("state")));
+        assert!(cfg.resume);
+        // Garbage must fail loudly (the binary front-end exits 2).
+        assert!(RunConfig::parse(&args(&["--threads", "zero"])).is_err());
+        assert!(RunConfig::parse(&args(&["--threads", "0"])).is_err());
+        assert!(RunConfig::parse(&args(&["--threads", "-2"])).is_err());
+        assert!(RunConfig::parse(&args(&["--threads"])).is_err());
+        assert!(RunConfig::parse(&args(&["--precision", "lots"])).is_err());
+        assert!(RunConfig::parse(&args(&["--precision", "0"])).is_err());
+        assert!(RunConfig::parse(&args(&["--precision", "-0.5"])).is_err());
+        assert!(RunConfig::parse(&args(&["--precision", "inf"])).is_err());
+        // --resume without --checkpoint has no state to read.
+        assert!(RunConfig::parse(&args(&["--resume"])).is_err());
+        for flag in ["--threads", "--precision", "--checkpoint", "--resume"] {
+            assert!(USAGE.contains(flag), "{flag} missing from usage");
+        }
+    }
+
+    #[test]
+    fn engine_tags_and_decoders_get_distinct_fingerprint_salts() {
+        let cfg = RunConfig::default();
+        let a = cfg.engine("fig05_slopes");
+        let b = cfg.engine("fig11_selection");
+        assert_ne!(a.config().salt, b.config().salt);
+        let uf = RunConfig {
+            decoder: dqec_chiplet::runner::DecoderChoice::Uf,
+            ..RunConfig::default()
+        };
+        assert_ne!(
+            cfg.engine("fig05_slopes").config().salt,
+            uf.engine("fig05_slopes").config().salt,
+            "decoder backend must be part of the checkpoint identity"
+        );
+        // Checkpoint files land under the configured directory, one
+        // per tag.
+        let ck = RunConfig {
+            checkpoint: Some(PathBuf::from("ckpts")),
+            ..RunConfig::default()
+        };
+        assert_eq!(
+            ck.engine("fig05_slopes.slopes").config().checkpoint,
+            Some(PathBuf::from("ckpts/fig05_slopes.slopes.sweep.json"))
+        );
     }
 
     #[test]

@@ -31,16 +31,18 @@
 //! # Ok::<(), dqec_core::CoreError>(())
 //! ```
 
-use crate::experiment::{fit_loglog, sample_and_decode_with, LerPoint, SlopeFit};
+use crate::experiment::{fit_loglog, LerPoint, SlopeFit};
 use crate::record::{LerRecord, Record, Sink, SlopeFitRecord};
 use dqec_core::adapt::AdaptedPatch;
 use dqec_core::circuit_gen::{memory_z, stability};
 use dqec_core::{Coord, CoreError};
-use dqec_matching::{Decoder, MwpmDecoder, UfDecoder};
+use dqec_matching::{DecodeStats, Decoder, MwpmDecoder, UfDecoder};
 use dqec_sim::circuit::Circuit;
+use dqec_sim::frame::FrameSampler;
 use dqec_sim::noise::NoiseModel;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use std::sync::Arc;
 
 /// Which syndrome-extraction protocol a spec runs.
@@ -251,6 +253,120 @@ impl ExperimentSpec {
     pub fn effective_rounds(&self) -> u32 {
         self.rounds.unwrap_or_else(|| default_rounds(&self.patch))
     }
+
+    /// The physical error rates this spec sweeps, in sweep order.
+    pub fn sweep_ps(&self) -> &[f64] {
+        &self.ps
+    }
+
+    /// The Monte-Carlo shot target per sweep point.
+    pub fn target_shots(&self) -> usize {
+        self.shots
+    }
+
+    /// The base RNG seed.
+    pub fn base_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether a log-log slope fit over the sweep was requested.
+    pub fn wants_fit(&self) -> bool {
+        self.fit
+    }
+
+    /// The adapted patch the experiment runs on.
+    pub fn patch(&self) -> &AdaptedPatch {
+        &self.patch
+    }
+
+    /// A stable 64-bit digest of everything that determines this spec's
+    /// Monte-Carlo tallies: protocol, patch geometry and defects, sweep
+    /// points, rounds, shots, seed, label, and the bad-qubit override.
+    /// Sweep checkpoints persist it so a state file is never resumed
+    /// against a different plan. (The decoder backend is *not* covered
+    /// — builders are opaque closures — so callers mix a backend tag
+    /// into their own fingerprints.)
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.word(match self.protocol {
+            Protocol::Memory => 1,
+            Protocol::Stability => 2,
+        });
+        h.bytes(self.label.as_bytes());
+        let layout = self.patch.layout();
+        h.word(u64::from(layout.width()) << 32 | u64::from(layout.height()));
+        let defects = self.patch.defects();
+        for c in &defects.data {
+            h.word(coord_word(*c));
+        }
+        h.word(0x5e9a_4a7e);
+        for c in &defects.synd {
+            h.word(coord_word(*c));
+        }
+        h.word(0x5e9a_4a7f);
+        for (a, b) in &defects.links {
+            h.word(coord_word(*a));
+            h.word(coord_word(*b));
+        }
+        h.word(self.ps.len() as u64);
+        for p in &self.ps {
+            h.word(p.to_bits());
+        }
+        h.word(u64::from(self.effective_rounds()));
+        h.word(self.shots as u64);
+        h.word(self.seed);
+        h.word(u64::from(self.fit));
+        if let Some((c, p_bad)) = self.bad_qubit {
+            h.word(coord_word(c));
+            h.word(p_bad.to_bits());
+        }
+        h.finish()
+    }
+}
+
+/// Packs a coordinate into one hash word.
+fn coord_word(c: Coord) -> u64 {
+    ((c.x as u32 as u64) << 32) | c.y as u32 as u64
+}
+
+/// Incremental FNV-1a over words and byte strings — the hash behind
+/// [`ExperimentSpec::fingerprint`], shared with the sweep/bench layers
+/// for checkpoint salts so every fingerprint ingredient mixes through
+/// one implementation.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Mixes one 64-bit word (little-endian byte order).
+    pub fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Mixes a length-prefixed byte string.
+    pub fn bytes(&mut self, bs: &[u8]) {
+        self.word(bs.len() as u64);
+        for &b in bs {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// Syndrome rounds used for a patch's experiment by default: its
@@ -275,6 +391,195 @@ pub struct RunOutcome {
     pub points: Vec<LerPoint>,
     /// The log-log slope fit, when requested and measurable.
     pub fit: Option<SlopeFit>,
+}
+
+/// The per-batch ChaCha8 stream seed for a sweep point: `point_seed` is
+/// the point's base seed (spec seed + point index) and `batch` its
+/// fixed-size batch index. One batch = one independent seeded stream,
+/// which is what makes tallies a pure function of the spec — and lets
+/// the sweep engine extend a point's tally batch-by-batch (its
+/// checkpoint cursor is the next batch index) bit-exactly.
+pub fn batch_seed(point_seed: u64, batch: u64) -> u64 {
+    point_seed ^ (batch + 1).wrapping_mul(0xd134_2543_de82_ef95)
+}
+
+/// An [`ExperimentSpec`] compiled for repeated sampling: the clean
+/// circuit generated once, the decoder built once (at the sweep's
+/// largest `p`) and reweighted per point, and batch-granular sampling
+/// with the standard per-batch seeding.
+///
+/// [`Runner::run`] is a thin loop over this seam; the `dqec_sweep`
+/// engine drives it directly so adaptive shot allocation can revisit a
+/// point across allocation rounds without recompiling anything.
+pub struct CompiledExperiment {
+    spec: ExperimentSpec,
+    circuit: Circuit,
+    bad: Option<(u32, f64)>,
+    build: DecoderBuilder,
+    decoder: Box<dyn Decoder>,
+    noisy: Option<Circuit>,
+    current_point: Option<usize>,
+    warned_rebuild: bool,
+}
+
+impl std::fmt::Debug for CompiledExperiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledExperiment")
+            .field("spec", &self.spec)
+            .field("current_point", &self.current_point)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompiledExperiment {
+    /// Compiles `spec`: generates the clean circuit, resolves the
+    /// bad-qubit override, and builds the decoder at the sweep's
+    /// largest `p` (a template built at `p = 0` would have no
+    /// mechanisms to reweight).
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-generation failures (degenerate patch, no
+    /// observable path, too few rounds) and rejects a `bad_qubit`
+    /// coordinate that is not an active circuit qubit.
+    pub fn new(spec: &ExperimentSpec) -> Result<Self, CoreError> {
+        let rounds = spec.effective_rounds();
+        let exp = match spec.protocol {
+            Protocol::Memory => memory_z(&spec.patch, rounds)?,
+            Protocol::Stability => stability(&spec.patch, rounds)?,
+        };
+        let bad = match spec.bad_qubit {
+            None => None,
+            Some((coord, p_bad)) => {
+                let q = *exp
+                    .qubit_of
+                    .get(&coord)
+                    .ok_or(CoreError::MalformedSyndromeGraph {
+                        detail: format!("bad qubit {coord} is not an active circuit qubit"),
+                    })?;
+                Some((q, p_bad))
+            }
+        };
+        let template_p = spec.ps.iter().fold(0.0f64, |a, &b| a.max(b));
+        let build: DecoderBuilder = spec
+            .decoder
+            .clone()
+            .unwrap_or_else(|| Arc::new(|c, n| Box::new(MwpmDecoder::from_clean(c, n))));
+        let template_noise = match bad {
+            Some((q, p_bad)) => NoiseModel::new(template_p).with_bad_qubit(q, p_bad),
+            None => NoiseModel::new(template_p),
+        };
+        let decoder = build(&exp.circuit, &template_noise);
+        Ok(CompiledExperiment {
+            spec: spec.clone(),
+            circuit: exp.circuit,
+            bad,
+            build,
+            decoder,
+            noisy: None,
+            current_point: None,
+            warned_rebuild: false,
+        })
+    }
+
+    /// The spec this experiment was compiled from.
+    pub fn spec(&self) -> &ExperimentSpec {
+        &self.spec
+    }
+
+    /// The number of sweep points.
+    pub fn num_points(&self) -> usize {
+        self.spec.ps.len()
+    }
+
+    /// The base RNG seed of sweep point `point` (each point perturbs
+    /// the spec seed by its index).
+    pub fn point_seed(&self, point: usize) -> u64 {
+        self.spec.seed.wrapping_add(point as u64)
+    }
+
+    fn noise_at(&self, p: f64) -> NoiseModel {
+        let model = NoiseModel::new(p);
+        match self.bad {
+            Some((q, p_bad)) => model.with_bad_qubit(q, p_bad),
+            None => model,
+        }
+    }
+
+    /// Retargets the decoder and noisy circuit at sweep point `point`:
+    /// reweights the decoder in place, rebuilding it from the clean
+    /// circuit when it declines (surfaced on stderr once per compiled
+    /// experiment, since the fallback silently multiplies sweep time by
+    /// the decoder-construction cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` is out of range.
+    pub fn select_point(&mut self, point: usize) {
+        assert!(point < self.spec.ps.len(), "sweep point out of range");
+        if self.current_point == Some(point) {
+            return;
+        }
+        let p = self.spec.ps[point];
+        let noise = self.noise_at(p);
+        if !self.decoder.reweight(&noise) {
+            if !self.warned_rebuild {
+                self.warned_rebuild = true;
+                eprintln!(
+                    "[runner] series {:?}: decoder declined reweighting at p={p}; \
+                     rebuilding the decoder at every sweep point",
+                    self.spec.label
+                );
+            }
+            self.decoder = (self.build)(&self.circuit, &noise);
+        }
+        self.noisy = Some(noise.apply(&self.circuit));
+        self.current_point = Some(point);
+    }
+
+    /// Samples and decodes batches `batches` of the currently selected
+    /// point's shot stream, in parallel, and returns the merged tally.
+    ///
+    /// Batch `b` covers shots `[b·batch, (b+1)·batch)` of the point's
+    /// conceptual shot stream, truncated by `shots_bound` (the total
+    /// shot target; pass `usize::MAX` for untruncated full batches).
+    /// Each batch is an independent ChaCha8 stream via [`batch_seed`],
+    /// so any union of disjoint batch ranges tallies exactly like one
+    /// uninterrupted run — the foundation of checkpoint/resume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no point is selected ([`Self::select_point`]).
+    pub fn sample_batches(
+        &self,
+        batches: std::ops::Range<u64>,
+        batch: usize,
+        shots_bound: usize,
+    ) -> DecodeStats {
+        let point = self.current_point.expect("select_point before sampling");
+        let noisy = self.noisy.as_ref().expect("noisy circuit built");
+        let batch = batch.max(1);
+        let seed = self.point_seed(point);
+        let decoder = self.decoder.as_ref();
+        let results: Vec<DecodeStats> = batches
+            .into_par_iter()
+            .map(|b| {
+                let lo = (b as usize).saturating_mul(batch);
+                let n = batch.min(shots_bound.saturating_sub(lo));
+                if n == 0 {
+                    return DecodeStats::new(decoder.num_observables());
+                }
+                let sampler = FrameSampler::new(noisy);
+                let mut rng = ChaCha8Rng::seed_from_u64(batch_seed(seed, b));
+                decoder.decode_batch(&sampler.sample(n, &mut rng))
+            })
+            .collect();
+        let mut stats = DecodeStats::new(self.decoder.num_observables());
+        for s in &results {
+            stats.merge(s);
+        }
+        stats
+    }
 }
 
 /// Executes [`ExperimentSpec`]s with circuit and decoding-graph reuse.
@@ -317,66 +622,12 @@ impl Runner {
     /// observable path, too few rounds) and rejects a `bad_qubit`
     /// coordinate that is not an active circuit qubit.
     pub fn run(&self, spec: &ExperimentSpec, sink: &mut dyn Sink) -> Result<RunOutcome, CoreError> {
-        let rounds = spec.effective_rounds();
-        // Compile the clean circuit once per patch.
-        let exp = match spec.protocol {
-            Protocol::Memory => memory_z(&spec.patch, rounds)?,
-            Protocol::Stability => stability(&spec.patch, rounds)?,
-        };
-        let bad = match spec.bad_qubit {
-            None => None,
-            Some((coord, p_bad)) => {
-                let q = *exp
-                    .qubit_of
-                    .get(&coord)
-                    .ok_or(CoreError::MalformedSyndromeGraph {
-                        detail: format!("bad qubit {coord} is not an active circuit qubit"),
-                    })?;
-                Some((q, p_bad))
-            }
-        };
-        let noise_at = |p: f64| -> NoiseModel {
-            let model = NoiseModel::new(p);
-            match bad {
-                Some((q, p_bad)) => model.with_bad_qubit(q, p_bad),
-                None => model,
-            }
-        };
-
-        // Build the decoder once at the sweep's largest p (a template
-        // built at p = 0 would have no mechanisms to reweight).
-        let template_p = spec.ps.iter().fold(0.0f64, |a, &b| a.max(b));
-        let build: DecoderBuilder = spec
-            .decoder
-            .clone()
-            .unwrap_or_else(|| Arc::new(|c, n| Box::new(MwpmDecoder::from_clean(c, n))));
-        let mut decoder = build(&exp.circuit, &noise_at(template_p));
-
+        let mut compiled = CompiledExperiment::new(spec)?;
         let mut points = Vec::with_capacity(spec.ps.len());
-        let mut warned_rebuild = false;
         for (i, &p) in spec.ps.iter().enumerate() {
-            let noise = noise_at(p);
-            // Reweight in place; decoders without that ability (or with
-            // changed overrides) are rebuilt from the clean circuit.
-            // That fallback silently multiplies sweep time by the
-            // decoder-construction cost, so surface it once per sweep.
-            if !decoder.reweight(&noise) {
-                if !warned_rebuild {
-                    warned_rebuild = true;
-                    eprintln!(
-                        "[runner] series {:?}: decoder declined reweighting at p={p}; \
-                         rebuilding the decoder at every sweep point",
-                        spec.label
-                    );
-                }
-                decoder = build(&exp.circuit, &noise);
-            }
-            let noisy = noise.apply(&exp.circuit);
-            let seed = spec.seed.wrapping_add(i as u64);
-            let stats =
-                sample_and_decode_with(&noisy, decoder.as_ref(), spec.shots, self.batch, |b| {
-                    ChaCha8Rng::seed_from_u64(seed ^ (b + 1).wrapping_mul(0xd134_2543_de82_ef95))
-                });
+            compiled.select_point(i);
+            let num_batches = spec.shots.div_ceil(self.batch.max(1)) as u64;
+            let stats = compiled.sample_batches(0..num_batches, self.batch, spec.shots);
             let point = LerPoint {
                 p,
                 shots: stats.shots,

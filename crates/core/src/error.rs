@@ -30,6 +30,15 @@ pub enum CoreError {
         /// Description of the anomaly.
         detail: String,
     },
+    /// A Monte-Carlo sweep could not be orchestrated: checkpoint I/O
+    /// failed, a state file did not parse, or a resumed state does not
+    /// match the plan being run. Raised by the `dqec_sweep` engine,
+    /// which shares this error type with the experiment pipeline it
+    /// drives.
+    Sweep {
+        /// Description of the failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -49,6 +58,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::MalformedSyndromeGraph { detail } => {
                 write!(f, "malformed syndrome graph: {detail}")
+            }
+            CoreError::Sweep { detail } => {
+                write!(f, "sweep orchestration failed: {detail}")
             }
         }
     }

@@ -1,0 +1,282 @@
+//! Durable sweep state: a versioned JSON file recording, per sweep
+//! point, the accumulated shot/failure tallies and the RNG cursor (the
+//! index of the next per-batch ChaCha8 stream), so an interrupted sweep
+//! resumes bit-exactly.
+//!
+//! The file is written atomically (temp file + rename) after every
+//! allocation round; a run killed mid-round loses at most that round's
+//! work, and the re-executed round reproduces the identical batches, so
+//! resumed results equal uninterrupted ones bit for bit. A fingerprint
+//! of the plan (patches, sweep points, seeds, shot targets, engine
+//! parameters, decoder tag) guards against resuming state against a
+//! different plan.
+
+use crate::json::{parse, Json};
+use dqec_core::CoreError;
+use std::path::Path;
+
+/// The state-file format version this build reads and writes.
+pub const STATE_VERSION: u64 = 1;
+
+/// Accumulated Monte-Carlo state of one sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PointTally {
+    /// Shots sampled and decoded so far.
+    pub shots: usize,
+    /// Logical failures observed so far.
+    pub failures: usize,
+    /// The RNG cursor: index of the next unsampled fixed-size batch
+    /// stream of this point ([`dqec_chiplet::runner::batch_seed`]).
+    pub next_batch: u64,
+}
+
+/// One sweep point's identity and tally in the state file.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PointEntry {
+    /// Index of the owning spec in the plan.
+    pub spec: usize,
+    /// Index of the point within the spec's sweep.
+    pub point: usize,
+    /// The spec's series label (for human readers of the file).
+    pub series: String,
+    /// The physical error rate (consistency-checked on resume).
+    pub p: f64,
+    /// The accumulated tally.
+    pub tally: PointTally,
+}
+
+/// The whole persistent state of one sweep.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SweepState {
+    /// Digest of the plan and engine parameters this state belongs to.
+    pub fingerprint: u64,
+    /// The fixed batch size (shots per RNG stream) of the run.
+    pub batch: usize,
+    /// The adaptive precision target, if the run is adaptive.
+    pub precision: Option<f64>,
+    /// Completed allocation rounds.
+    pub rounds_done: u64,
+    /// Per-point tallies, in (spec, point) order.
+    pub points: Vec<PointEntry>,
+}
+
+impl SweepState {
+    /// Renders the state as its versioned JSON document.
+    pub fn render(&self) -> String {
+        let points = self
+            .points
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("spec".into(), Json::Num(e.spec as f64)),
+                    ("point".into(), Json::Num(e.point as f64)),
+                    ("series".into(), Json::Str(e.series.clone())),
+                    ("p".into(), Json::Num(e.p)),
+                    ("shots".into(), Json::Num(e.tally.shots as f64)),
+                    ("failures".into(), Json::Num(e.tally.failures as f64)),
+                    ("next_batch".into(), Json::Num(e.tally.next_batch as f64)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("version".into(), Json::Num(STATE_VERSION as f64)),
+            (
+                "fingerprint".into(),
+                Json::Str(format!("{:#018x}", self.fingerprint)),
+            ),
+            ("batch".into(), Json::Num(self.batch as f64)),
+            (
+                "precision".into(),
+                self.precision.map_or(Json::Null, Json::Num),
+            ),
+            ("rounds_done".into(), Json::Num(self.rounds_done as f64)),
+            ("points".into(), Json::Arr(points)),
+        ])
+        .render()
+    }
+
+    /// Parses a state document produced by [`SweepState::render`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed JSON, unknown versions, and missing fields.
+    pub fn from_text(text: &str) -> Result<SweepState, CoreError> {
+        let bad = |detail: String| CoreError::Sweep { detail };
+        let doc = parse(text).map_err(|e| bad(format!("checkpoint does not parse: {e}")))?;
+        let version = doc
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("checkpoint has no version".into()))?;
+        if version != STATE_VERSION {
+            return Err(bad(format!(
+                "checkpoint version {version} unsupported (this build reads {STATE_VERSION})"
+            )));
+        }
+        let fingerprint = doc
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+            .ok_or_else(|| bad("checkpoint has no fingerprint".into()))?;
+        let batch =
+            doc.get("batch")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("checkpoint has no batch size".into()))? as usize;
+        let precision = match doc.get("precision") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_f64()
+                    .ok_or_else(|| bad("checkpoint precision is not a number".into()))?,
+            ),
+        };
+        let rounds_done = doc.get("rounds_done").and_then(Json::as_u64).unwrap_or(0);
+        let mut points = Vec::new();
+        for (i, entry) in doc
+            .get("points")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("checkpoint has no points array".into()))?
+            .iter()
+            .enumerate()
+        {
+            let field = |name: &str| {
+                entry
+                    .get(name)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad(format!("point {i}: missing field {name:?}")))
+            };
+            points.push(PointEntry {
+                spec: field("spec")? as usize,
+                point: field("point")? as usize,
+                series: entry
+                    .get("series")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                p: entry
+                    .get("p")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad(format!("point {i}: missing field \"p\"")))?,
+                tally: PointTally {
+                    shots: field("shots")? as usize,
+                    failures: field("failures")? as usize,
+                    next_batch: field("next_batch")?,
+                },
+            });
+        }
+        Ok(SweepState {
+            fingerprint,
+            batch,
+            precision,
+            rounds_done,
+            points,
+        })
+    }
+
+    /// Writes the state to `path` atomically: the document lands in a
+    /// sibling temp file first and is renamed over the target, so a
+    /// kill at any instant leaves either the old state or the new one,
+    /// never a torn file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures as [`CoreError::Sweep`].
+    pub fn save(&self, path: &Path) -> Result<(), CoreError> {
+        let bad = |detail: String| CoreError::Sweep { detail };
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| bad(format!("create {}: {e}", dir.display())))?;
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.render() + "\n")
+            .map_err(|e| bad(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            bad(format!(
+                "rename {} -> {}: {e}",
+                tmp.display(),
+                path.display()
+            ))
+        })
+    }
+
+    /// Loads a state file saved by [`SweepState::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and format errors as [`CoreError::Sweep`].
+    pub fn load(path: &Path) -> Result<SweepState, CoreError> {
+        let text = std::fs::read_to_string(path).map_err(|e| CoreError::Sweep {
+            detail: format!("read checkpoint {}: {e}", path.display()),
+        })?;
+        Self::from_text(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> SweepState {
+        SweepState {
+            fingerprint: 0xdead_beef_1234_5678,
+            batch: 4096,
+            precision: Some(0.1),
+            rounds_done: 3,
+            points: vec![
+                PointEntry {
+                    spec: 0,
+                    point: 0,
+                    series: "d=3".into(),
+                    p: 3e-3,
+                    tally: PointTally {
+                        shots: 8192,
+                        failures: 37,
+                        next_batch: 2,
+                    },
+                },
+                PointEntry {
+                    spec: 1,
+                    point: 2,
+                    series: "defective d=9".into(),
+                    p: 6.75e-3,
+                    tally: PointTally::default(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn state_round_trips_through_json() {
+        let s = state();
+        assert_eq!(SweepState::from_text(&s.render()).unwrap(), s);
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("dqec_sweep_test_{}", std::process::id()));
+        let path = dir.join("nested").join("state.json");
+        let s = state();
+        s.save(&path).unwrap();
+        assert_eq!(SweepState::load(&path).unwrap(), s);
+        // Overwrite is atomic and leaves no temp file behind.
+        s.save(&path).unwrap();
+        assert!(!path.with_extension("json.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let text = state().render().replace("\"version\":1", "\"version\":999");
+        let err = SweepState::from_text(&text).unwrap_err();
+        assert!(err.to_string().contains("version 999"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_a_clear_error() {
+        let err = SweepState::load(Path::new("/nonexistent/dir/state.json")).unwrap_err();
+        assert!(err.to_string().contains("read checkpoint"), "{err}");
+    }
+}

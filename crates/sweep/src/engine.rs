@@ -1,0 +1,489 @@
+//! The sweep engine: executes a [`SweepPlan`] of experiment specs in
+//! allocation rounds over the work-stealing pool, with optional
+//! CI-targeted adaptive shot allocation and durable checkpoint/resume.
+//!
+//! # Execution model
+//!
+//! Each spec is compiled once ([`CompiledExperiment`]: circuit
+//! generated, decoder built, reweighted per point). A sweep then
+//! proceeds in *rounds*: every round allocates a range of fixed-size
+//! shot batches to each unfinished point (uniformly up to the spec's
+//! shot target, or adaptively per the Wilson-CI controller), samples
+//! and decodes them in parallel — specs fan out across the
+//! work-stealing pool, batches fan out within each spec, sharing one
+//! thread budget — and merges the tallies. After every round the
+//! engine persists a versioned JSON state file (when configured), so a
+//! killed run resumes bit-exactly: batches are independent seeded RNG
+//! streams, tallies are sums over the set of completed batches, and
+//! allocation decisions are pure functions of the tallies.
+//!
+//! Records are emitted only on completion, in plan order, which makes
+//! an engine run with uniform allocation emit *byte-identical* records
+//! to the equivalent sequence of [`dqec_chiplet::runner::Runner::run`]
+//! calls.
+
+use crate::adaptive::Precision;
+use crate::checkpoint::{PointEntry, PointTally, SweepState};
+use dqec_chiplet::experiment::{fit_loglog, LerPoint};
+use dqec_chiplet::record::{LerRecord, Record, Sink, SlopeFitRecord};
+use dqec_chiplet::runner::{CompiledExperiment, ExperimentSpec, RunOutcome};
+use dqec_core::CoreError;
+use rayon::prelude::*;
+use std::ops::Range;
+use std::path::PathBuf;
+
+/// An ordered collection of experiment specs executed as one sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepPlan {
+    specs: Vec<ExperimentSpec>,
+}
+
+impl SweepPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A plan over the given specs.
+    pub fn with_specs(specs: Vec<ExperimentSpec>) -> Self {
+        SweepPlan { specs }
+    }
+
+    /// A plan holding one spec.
+    pub fn single(spec: ExperimentSpec) -> Self {
+        SweepPlan { specs: vec![spec] }
+    }
+
+    /// Appends a spec.
+    pub fn push(&mut self, spec: ExperimentSpec) {
+        self.specs.push(spec);
+    }
+
+    /// The specs, in execution/emission order.
+    pub fn specs(&self) -> &[ExperimentSpec] {
+        &self.specs
+    }
+
+    /// Number of specs.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Digest of every spec (and `salt`, typically a decoder-backend
+    /// tag, which spec fingerprints cannot see) for checkpoint
+    /// compatibility checks.
+    pub fn fingerprint(&self, salt: u64) -> u64 {
+        let mut h = salt ^ 0x5157_3ee9_0b7a_9e1d;
+        h = h.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ self.specs.len() as u64;
+        for spec in &self.specs {
+            h = h.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ spec.fingerprint();
+        }
+        h
+    }
+}
+
+impl FromIterator<ExperimentSpec> for SweepPlan {
+    fn from_iter<I: IntoIterator<Item = ExperimentSpec>>(iter: I) -> Self {
+        SweepPlan {
+            specs: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Tunables of a [`SweepEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Shots per batch — the RNG-stream and allocation unit. Must stay
+    /// fixed across a checkpointed run (it is part of the state file).
+    pub batch: usize,
+    /// Adaptive CI-targeted allocation when set; uniform allocation to
+    /// every spec's shot target when `None`.
+    pub precision: Option<Precision>,
+    /// Per-point allocation ceiling per round, in batches: bounds both
+    /// checkpoint staleness and adaptive over-commitment.
+    pub round_batches: u64,
+    /// Persist state here after every round.
+    pub checkpoint: Option<PathBuf>,
+    /// Start from the checkpoint file instead of from scratch.
+    pub resume: bool,
+    /// Testing hook: stop with [`CoreError::Sweep`] once this many
+    /// rounds have completed (state saved), simulating a mid-sweep
+    /// interruption deterministically.
+    pub halt_after_rounds: Option<u64>,
+    /// Extra fingerprint salt covering anything spec fingerprints
+    /// cannot see (the decoder backend, the driving figure's name).
+    pub salt: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            batch: 4096,
+            precision: None,
+            round_batches: 16,
+            checkpoint: None,
+            resume: false,
+            halt_after_rounds: None,
+            salt: 0,
+        }
+    }
+}
+
+/// Executes [`SweepPlan`]s; see the [module docs](self) for the model.
+#[derive(Debug, Clone, Default)]
+pub struct SweepEngine {
+    cfg: EngineConfig,
+}
+
+/// Per-point working state: identity plus accumulated tally.
+struct PointState {
+    spec: usize,
+    point: usize,
+    p: f64,
+    cap: usize,
+    total_batches: u64,
+    tally: PointTally,
+}
+
+impl SweepEngine {
+    /// An engine with the given configuration.
+    pub fn new(cfg: EngineConfig) -> Self {
+        SweepEngine { cfg }
+    }
+
+    /// An engine with default configuration (uniform allocation, batch
+    /// 4096, no checkpointing) — a drop-in, work-stealing replacement
+    /// for running each spec through `Runner::run` in sequence.
+    pub fn uniform() -> Self {
+        Self::default()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Runs `plan`, emitting (on completion, in plan order) one
+    /// [`Record::Ler`] per sweep point and a [`Record::Slope`] per
+    /// fit-requesting spec, and returning one [`RunOutcome`] per spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-generation failures, checkpoint I/O and
+    /// format errors, resume/plan mismatches, and the deliberate
+    /// [`EngineConfig::halt_after_rounds`] interruption.
+    pub fn run(&self, plan: &SweepPlan, sink: &mut dyn Sink) -> Result<Vec<RunOutcome>, CoreError> {
+        let cfg = &self.cfg;
+        let batch = cfg.batch.max(1);
+        let fingerprint = self.fingerprint(plan);
+
+        // Compile every spec in parallel (circuit + decoder are the
+        // expensive parts; mixed distances make this fan-out skewed,
+        // which the stealing pool absorbs).
+        let compiled: Vec<Result<CompiledExperiment, CoreError>> = plan
+            .specs()
+            .par_iter()
+            .map(CompiledExperiment::new)
+            .collect();
+        let mut exps = Vec::with_capacity(compiled.len());
+        for c in compiled {
+            exps.push(c?);
+        }
+
+        // Fresh or resumed per-point state.
+        let mut points: Vec<PointState> = Vec::new();
+        for (s, exp) in exps.iter().enumerate() {
+            let spec = exp.spec();
+            let cap = spec.target_shots();
+            for (j, &p) in spec.sweep_ps().iter().enumerate() {
+                points.push(PointState {
+                    spec: s,
+                    point: j,
+                    p,
+                    cap,
+                    total_batches: cap.div_ceil(batch) as u64,
+                    tally: PointTally::default(),
+                });
+            }
+        }
+        let mut rounds_done = 0u64;
+        if cfg.resume {
+            let path = cfg.checkpoint.as_ref().ok_or_else(|| CoreError::Sweep {
+                detail: "--resume requires a checkpoint file".into(),
+            })?;
+            if path.exists() {
+                let state = SweepState::load(path)?;
+                self.restore(&mut points, &state, fingerprint, batch)?;
+                rounds_done = state.rounds_done;
+                let done = points
+                    .iter()
+                    .filter(|pt| self.point_done(&pt.tally, pt.cap, pt.total_batches))
+                    .count();
+                eprintln!(
+                    "[sweep] resumed {} after {rounds_done} rounds ({done}/{} points finished)",
+                    path.display(),
+                    points.len()
+                );
+            } else {
+                // A multi-plan figure interrupted in its first plan has
+                // no state yet for the later plans; resuming those
+                // means starting them fresh.
+                eprintln!(
+                    "[sweep] no checkpoint at {}; starting fresh",
+                    path.display()
+                );
+            }
+        }
+
+        loop {
+            // Allocate this round: per point, a range of new batches.
+            let mut allocs: Vec<Vec<(usize, Range<u64>)>> = vec![Vec::new(); exps.len()];
+            let mut allocated = 0u64;
+            for pt in &points {
+                let n = self.allocate_batches(&pt.tally, pt.cap, pt.total_batches, batch);
+                if n == 0 {
+                    continue;
+                }
+                let range = pt.tally.next_batch..pt.tally.next_batch + n;
+                allocated += n;
+                allocs[pt.spec].push((pt.point, range));
+            }
+            if allocated == 0 {
+                break;
+            }
+            if cfg.checkpoint.is_some() || cfg.precision.is_some() {
+                eprintln!(
+                    "[sweep] round {}: {allocated} batches x {batch} shots across {} points",
+                    rounds_done + 1,
+                    allocs.iter().map(Vec::len).sum::<usize>()
+                );
+            }
+
+            // Execute: specs fan out over the stealing pool; each
+            // point's batches fan out again inside `sample_batches`,
+            // drawing from the same worker budget.
+            type Work = (CompiledExperiment, Vec<(usize, Range<u64>)>);
+            type RanPoint = (usize, u64, usize, usize);
+            let work: Vec<Work> = exps.into_iter().zip(allocs).collect();
+            let ran: Vec<(CompiledExperiment, Vec<RanPoint>)> = work
+                .into_par_iter()
+                .map(|(mut exp, todo)| {
+                    let cap = exp.spec().target_shots();
+                    let mut out = Vec::with_capacity(todo.len());
+                    for (point, range) in todo {
+                        let new_batches = range.end - range.start;
+                        exp.select_point(point);
+                        let stats = exp.sample_batches(range, batch, cap);
+                        let failures = stats.failures.first().copied().unwrap_or(0);
+                        out.push((point, new_batches, stats.shots, failures));
+                    }
+                    (exp, out)
+                })
+                .collect();
+
+            // Merge tallies and advance cursors.
+            exps = Vec::with_capacity(ran.len());
+            for (s, (exp, results)) in ran.into_iter().enumerate() {
+                for (point, new_batches, shots, failures) in results {
+                    let pt = points
+                        .iter_mut()
+                        .find(|pt| pt.spec == s && pt.point == point)
+                        .expect("allocated point exists");
+                    pt.tally.next_batch += new_batches;
+                    pt.tally.shots += shots;
+                    pt.tally.failures += failures;
+                }
+                exps.push(exp);
+            }
+            rounds_done += 1;
+
+            if let Some(path) = &cfg.checkpoint {
+                self.snapshot(&exps, &points, fingerprint, batch, rounds_done)
+                    .save(path)?;
+            }
+            if let Some(halt) = cfg.halt_after_rounds {
+                if rounds_done >= halt {
+                    return Err(CoreError::Sweep {
+                        detail: format!(
+                            "sweep deliberately halted after {rounds_done} rounds \
+                             (state saved; rerun with resume)"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Emit and collect, in plan order.
+        let mut outcomes = Vec::with_capacity(exps.len());
+        for (s, exp) in exps.iter().enumerate() {
+            let spec = exp.spec();
+            let mut ler_points = Vec::with_capacity(spec.sweep_ps().len());
+            for pt in points.iter().filter(|pt| pt.spec == s) {
+                let point = LerPoint {
+                    p: pt.p,
+                    shots: pt.tally.shots,
+                    failures: pt.tally.failures,
+                };
+                sink.emit(&Record::Ler(LerRecord {
+                    series: spec.series().to_string(),
+                    point,
+                }));
+                ler_points.push(point);
+            }
+            let fit = if spec.wants_fit() {
+                let fit = fit_loglog(&ler_points);
+                if let Some(fit) = fit {
+                    sink.emit(&Record::Slope(SlopeFitRecord {
+                        series: spec.series().to_string(),
+                        fit,
+                    }));
+                }
+                fit
+            } else {
+                None
+            };
+            outcomes.push(RunOutcome {
+                points: ler_points,
+                fit,
+            });
+        }
+        Ok(outcomes)
+    }
+
+    /// The digest guarding checkpoints: plan, salt, batch size, the
+    /// allocation mode, and the round schedule. `round_batches` is part
+    /// of the identity because adaptive allocation decisions happen at
+    /// round boundaries — resuming with a different round size would
+    /// silently produce different (still plausible-looking) tallies.
+    fn fingerprint(&self, plan: &SweepPlan) -> u64 {
+        let mut h = plan.fingerprint(self.cfg.salt);
+        h = h.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ self.cfg.batch as u64;
+        h = h.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ self.cfg.round_batches;
+        h = h.wrapping_mul(0x2545_f491_4f6c_dd1d)
+            ^ self
+                .cfg
+                .precision
+                .map_or(0, |p| p.rel_width.to_bits() ^ p.growth.to_bits());
+        h
+    }
+
+    /// Whether a point needs no further batches.
+    fn point_done(&self, tally: &PointTally, cap: usize, total_batches: u64) -> bool {
+        match &self.cfg.precision {
+            None => tally.next_batch >= total_batches,
+            Some(precision) => tally.next_batch >= total_batches || precision.converged(tally, cap),
+        }
+    }
+
+    /// Batches to allocate to a point this round (0 when done). A pure
+    /// function of the tally, so resumed runs re-derive the identical
+    /// schedule.
+    fn allocate_batches(
+        &self,
+        tally: &PointTally,
+        cap: usize,
+        total_batches: u64,
+        batch: usize,
+    ) -> u64 {
+        if self.point_done(tally, cap, total_batches) {
+            return 0;
+        }
+        let remaining = total_batches - tally.next_batch;
+        let want = match &self.cfg.precision {
+            None => {
+                // Uniform tallies are round-boundary independent, so
+                // without a checkpoint there is nothing to gain from
+                // extra rounds — take everything at once and pay the
+                // per-point select cost (decoder reweight + noisy
+                // circuit build) exactly once, like `Runner::run`.
+                if self.cfg.checkpoint.is_none() {
+                    return remaining;
+                }
+                remaining
+            }
+            Some(precision) => {
+                let shots = precision.allocate(tally, cap, batch);
+                (shots.div_ceil(batch) as u64).min(remaining)
+            }
+        };
+        want.min(self.cfg.round_batches.max(1))
+    }
+
+    /// The persistent state snapshot after a completed round.
+    fn snapshot(
+        &self,
+        exps: &[CompiledExperiment],
+        points: &[PointState],
+        fingerprint: u64,
+        batch: usize,
+        rounds_done: u64,
+    ) -> SweepState {
+        SweepState {
+            fingerprint,
+            batch,
+            precision: self.cfg.precision.map(|p| p.rel_width),
+            rounds_done,
+            points: points
+                .iter()
+                .map(|pt| PointEntry {
+                    spec: pt.spec,
+                    point: pt.point,
+                    series: exps[pt.spec].spec().series().to_string(),
+                    p: pt.p,
+                    tally: pt.tally,
+                })
+                .collect(),
+        }
+    }
+
+    /// Installs a loaded state into the working points, verifying that
+    /// it belongs to this exact plan and engine configuration.
+    fn restore(
+        &self,
+        points: &mut [PointState],
+        state: &SweepState,
+        fingerprint: u64,
+        batch: usize,
+    ) -> Result<(), CoreError> {
+        let bad = |detail: String| CoreError::Sweep { detail };
+        if state.fingerprint != fingerprint {
+            return Err(bad(format!(
+                "checkpoint fingerprint {:#018x} does not match this plan ({fingerprint:#018x}); \
+                 refusing to resume a different sweep",
+                state.fingerprint
+            )));
+        }
+        if state.batch != batch {
+            return Err(bad(format!(
+                "checkpoint batch size {} != engine batch size {batch}",
+                state.batch
+            )));
+        }
+        if state.points.len() != points.len() {
+            return Err(bad(format!(
+                "checkpoint has {} points, plan has {}",
+                state.points.len(),
+                points.len()
+            )));
+        }
+        for (pt, entry) in points.iter_mut().zip(&state.points) {
+            if entry.spec != pt.spec
+                || entry.point != pt.point
+                || entry.p.to_bits() != pt.p.to_bits()
+            {
+                return Err(bad(format!(
+                    "checkpoint point (spec {}, point {}, p {}) does not line up with \
+                     plan point (spec {}, point {}, p {})",
+                    entry.spec, entry.point, entry.p, pt.spec, pt.point, pt.p
+                )));
+            }
+            pt.tally = entry.tally;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,60 @@
+//! # dqec-sweep
+//!
+//! The workspace's Monte-Carlo orchestration subsystem: plans, executes,
+//! and persists the sweeps behind the paper's Figs. 5, 6 and 11 and the
+//! slope datasets.
+//!
+//! Three pieces compose:
+//!
+//! * **Planning** — a [`SweepPlan`] is an ordered list of
+//!   [`ExperimentSpec`](dqec_chiplet::runner::ExperimentSpec)s executed
+//!   as one unit, so mixed-cost specs (d = 5 next to d = 9) share the
+//!   work-stealing pool instead of running one-after-another behind a
+//!   static chunk split.
+//! * **Adaptive allocation** — [`Precision`] targets a relative Wilson
+//!   95% CI width per point; the engine allocates shots in rounds to
+//!   the points still short of target (see [`adaptive`]).
+//! * **Checkpoint/resume** — a versioned JSON state file
+//!   ([`SweepState`]) written atomically after every round records each
+//!   point's shot/failure tally and RNG cursor; interrupted sweeps
+//!   resume bit-exactly (see [`checkpoint`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use dqec_chiplet::record::NullSink;
+//! use dqec_chiplet::runner::ExperimentSpec;
+//! use dqec_core::adapt::AdaptedPatch;
+//! use dqec_core::layout::PatchLayout;
+//! use dqec_core::DefectSet;
+//! use dqec_sweep::{SweepEngine, SweepPlan};
+//!
+//! let patch = |d| AdaptedPatch::new(PatchLayout::memory(d), &DefectSet::new());
+//! let plan: SweepPlan = [3u32, 5]
+//!     .iter()
+//!     .map(|&d| {
+//!         ExperimentSpec::memory(patch(d))
+//!             .ps(&[8e-3, 1.2e-2])
+//!             .rounds(3)
+//!             .shots(2_000)
+//!             .seed(7)
+//!             .label(format!("d={d}"))
+//!     })
+//!     .collect();
+//! let outcomes = SweepEngine::uniform().run(&plan, &mut NullSink)?;
+//! assert_eq!(outcomes.len(), 2);
+//! assert_eq!(outcomes[0].points.len(), 2);
+//! # Ok::<(), dqec_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod checkpoint;
+pub mod engine;
+pub mod json;
+
+pub use adaptive::Precision;
+pub use checkpoint::{PointTally, SweepState};
+pub use engine::{EngineConfig, SweepEngine, SweepPlan};

@@ -1,0 +1,283 @@
+//! Engine-level guarantees: uniform engine runs are byte-identical to
+//! the sequential `Runner`, interrupted-then-resumed sweeps reproduce
+//! uninterrupted results bit for bit, resume refuses foreign state, and
+//! adaptive allocation meets the CI target with fewer shots than
+//! uniform allocation.
+
+use dqec_chiplet::record::{MemorySink, Record};
+use dqec_chiplet::runner::{ExperimentSpec, Runner};
+use dqec_core::adapt::AdaptedPatch;
+use dqec_core::layout::PatchLayout;
+use dqec_core::{Coord, DefectSet};
+use dqec_sweep::{EngineConfig, Precision, SweepEngine, SweepPlan};
+
+fn patch(l: u32) -> AdaptedPatch {
+    AdaptedPatch::new(PatchLayout::memory(l), &DefectSet::new())
+}
+
+fn defective_patch(l: u32) -> AdaptedPatch {
+    let mut defects = DefectSet::new();
+    defects.add_data(Coord::new(5, 5));
+    AdaptedPatch::new(PatchLayout::memory(l), &defects)
+}
+
+/// A small mixed-cost plan: the shapes fig05/06/11 run at scale.
+fn plan() -> SweepPlan {
+    let mut plan = SweepPlan::new();
+    plan.push(
+        ExperimentSpec::memory(patch(3))
+            .ps(&[6e-3, 9e-3])
+            .rounds(3)
+            .shots(6_000)
+            .seed(11)
+            .label("d=3")
+            .fit(true),
+    );
+    plan.push(
+        ExperimentSpec::memory(defective_patch(5))
+            .ps(&[6e-3, 9e-3])
+            .shots(6_000)
+            .seed(12)
+            .label("defective d=5"),
+    );
+    plan
+}
+
+fn tmp_state(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("dqec_sweep_{}_{name}.json", std::process::id()))
+}
+
+#[test]
+fn uniform_engine_matches_sequential_runner_byte_for_byte() {
+    let plan = plan();
+    let mut engine_sink = MemorySink::default();
+    let engine_outcomes = SweepEngine::uniform()
+        .run(&plan, &mut engine_sink)
+        .expect("plan runs");
+
+    let mut runner_sink = MemorySink::default();
+    let runner = Runner::new();
+    let mut runner_outcomes = Vec::new();
+    for spec in plan.specs() {
+        runner_outcomes.push(runner.run(spec, &mut runner_sink).expect("spec runs"));
+    }
+    assert_eq!(engine_sink.records, runner_sink.records);
+    assert_eq!(engine_outcomes, runner_outcomes);
+}
+
+#[test]
+fn interrupted_then_resumed_equals_uninterrupted() {
+    let plan = plan();
+    // Small batches so the uniform run spans several rounds.
+    let base = EngineConfig {
+        batch: 512,
+        round_batches: 4,
+        ..EngineConfig::default()
+    };
+
+    let mut uninterrupted = MemorySink::default();
+    let want = SweepEngine::new(base.clone())
+        .run(&plan, &mut uninterrupted)
+        .expect("uninterrupted run");
+
+    let state = tmp_state("resume");
+    let _ = std::fs::remove_file(&state);
+    // Interrupt after every round in turn: any kill point must resume
+    // to the identical result.
+    for halt in [1u64, 2] {
+        let halted = SweepEngine::new(EngineConfig {
+            checkpoint: Some(state.clone()),
+            halt_after_rounds: Some(halt),
+            ..base.clone()
+        })
+        .run(&plan, &mut MemorySink::default());
+        let err = halted.expect_err("deliberate halt").to_string();
+        assert!(err.contains("halted"), "{err}");
+
+        let mut resumed_sink = MemorySink::default();
+        let resumed = SweepEngine::new(EngineConfig {
+            checkpoint: Some(state.clone()),
+            resume: true,
+            ..base.clone()
+        })
+        .run(&plan, &mut resumed_sink)
+        .expect("resumed run");
+        assert_eq!(resumed, want, "halt after round {halt}");
+        assert_eq!(resumed_sink.records, uninterrupted.records);
+        let _ = std::fs::remove_file(&state);
+    }
+}
+
+#[test]
+fn resume_refuses_a_different_plan_or_batch_size() {
+    let state = tmp_state("mismatch");
+    let _ = std::fs::remove_file(&state);
+    let cfg = EngineConfig {
+        batch: 512,
+        checkpoint: Some(state.clone()),
+        halt_after_rounds: Some(1),
+        round_batches: 2,
+        ..EngineConfig::default()
+    };
+    SweepEngine::new(cfg.clone())
+        .run(&plan(), &mut MemorySink::default())
+        .expect_err("halts");
+
+    // Different plan (other seed) → fingerprint mismatch.
+    let mut other = SweepPlan::new();
+    other.push(
+        ExperimentSpec::memory(patch(3))
+            .ps(&[6e-3, 9e-3])
+            .rounds(3)
+            .shots(6_000)
+            .seed(999)
+            .label("d=3"),
+    );
+    let err = SweepEngine::new(EngineConfig {
+        resume: true,
+        halt_after_rounds: None,
+        ..cfg.clone()
+    })
+    .run(&other, &mut MemorySink::default())
+    .expect_err("must refuse foreign state")
+    .to_string();
+    assert!(err.contains("fingerprint"), "{err}");
+
+    // Resume without a checkpoint file configured → clear error.
+    let err = SweepEngine::new(EngineConfig {
+        resume: true,
+        checkpoint: None,
+        ..EngineConfig::default()
+    })
+    .run(&plan(), &mut MemorySink::default())
+    .expect_err("resume needs a file")
+    .to_string();
+    assert!(err.contains("requires a checkpoint"), "{err}");
+    let _ = std::fs::remove_file(&state);
+}
+
+#[test]
+fn engine_is_worker_count_independent() {
+    let plan = plan();
+    let base = SweepEngine::uniform()
+        .run(&plan, &mut MemorySink::default())
+        .unwrap();
+    for workers in [1usize, 4, 16] {
+        let got = rayon::with_worker_cap(workers, || {
+            SweepEngine::uniform()
+                .run(&plan, &mut MemorySink::default())
+                .unwrap()
+        });
+        assert_eq!(got, base, "{workers} workers changed the outcome");
+    }
+}
+
+#[test]
+fn adaptive_allocation_converges_with_fewer_shots_than_uniform() {
+    // One spec, points of very different difficulty: the high-p points
+    // reach the target width quickly, the low-p point is the binding
+    // constraint in both modes.
+    let spec = ExperimentSpec::memory(patch(3))
+        .ps(&[4e-3, 8e-3, 1.6e-2, 2.4e-2])
+        .rounds(3)
+        .shots(60_000)
+        .seed(5)
+        .label("adaptive");
+    let plan = SweepPlan::single(spec);
+
+    let uniform = SweepEngine::uniform()
+        .run(&plan, &mut MemorySink::default())
+        .expect("uniform run");
+    let target = 0.35;
+    let adaptive = SweepEngine::new(EngineConfig {
+        batch: 1024,
+        precision: Some(Precision::new(target)),
+        ..EngineConfig::default()
+    })
+    .run(&plan, &mut MemorySink::default())
+    .expect("adaptive run");
+
+    let width = |pt: &dqec_chiplet::experiment::LerPoint| {
+        let (lo, hi) = pt.ci95();
+        (hi - lo) / pt.ler()
+    };
+    let max_width_uniform = uniform[0].points.iter().map(&width).fold(0.0, f64::max);
+    let max_width_adaptive = adaptive[0].points.iter().map(&width).fold(0.0, f64::max);
+    let shots_uniform: usize = uniform[0].points.iter().map(|p| p.shots).sum();
+    let shots_adaptive: usize = adaptive[0].points.iter().map(|p| p.shots).sum();
+
+    // Every adaptive point met the target (none was budget-capped at
+    // these rates), so the achieved max width is no worse than the
+    // uniform run's...
+    assert!(
+        max_width_adaptive <= target.max(max_width_uniform) * 1.001,
+        "adaptive max width {max_width_adaptive} vs uniform {max_width_uniform} (target {target})"
+    );
+    // ...for a fraction of the shots.
+    assert!(
+        shots_adaptive * 2 <= shots_uniform,
+        "adaptive {shots_adaptive} shots vs uniform {shots_uniform}"
+    );
+}
+
+#[test]
+fn adaptive_runs_are_deterministic_and_resumable() {
+    let spec = ExperimentSpec::memory(patch(3))
+        .ps(&[6e-3, 1.2e-2])
+        .rounds(3)
+        .shots(30_000)
+        .seed(21)
+        .label("adaptive-resume");
+    let plan = SweepPlan::single(spec);
+    let cfg = EngineConfig {
+        batch: 1024,
+        precision: Some(Precision::new(0.4)),
+        ..EngineConfig::default()
+    };
+    let want = SweepEngine::new(cfg.clone())
+        .run(&plan, &mut MemorySink::default())
+        .expect("adaptive run");
+    let again = SweepEngine::new(cfg.clone())
+        .run(&plan, &mut MemorySink::default())
+        .expect("adaptive rerun");
+    assert_eq!(want, again);
+
+    let state = tmp_state("adaptive");
+    let _ = std::fs::remove_file(&state);
+    SweepEngine::new(EngineConfig {
+        checkpoint: Some(state.clone()),
+        halt_after_rounds: Some(1),
+        ..cfg.clone()
+    })
+    .run(&plan, &mut MemorySink::default())
+    .expect_err("halts");
+    let resumed = SweepEngine::new(EngineConfig {
+        checkpoint: Some(state.clone()),
+        resume: true,
+        ..cfg
+    })
+    .run(&plan, &mut MemorySink::default())
+    .expect("resumed adaptive run");
+    assert_eq!(resumed, want, "adaptive resume must be bit-exact");
+    let _ = std::fs::remove_file(&state);
+}
+
+#[test]
+fn engine_emission_groups_series_in_plan_order() {
+    let plan = plan();
+    let mut sink = MemorySink::default();
+    SweepEngine::uniform().run(&plan, &mut sink).unwrap();
+    let series: Vec<String> = sink
+        .records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Ler(l) => Some(l.series.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(series, ["d=3", "d=3", "defective d=5", "defective d=5"]);
+    assert!(sink
+        .records
+        .iter()
+        .any(|r| matches!(r, Record::Slope(s) if s.series == "d=3")));
+}

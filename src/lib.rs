@@ -15,6 +15,8 @@
 //!   graphs);
 //! * [`core`] — the paper's contribution: defect-adapted surface codes;
 //! * [`chiplet`] — defect models, post-selection, yield/overhead;
+//! * [`sweep`] — the Monte-Carlo orchestration subsystem: sweep plans,
+//!   adaptive CI-targeted shot allocation, checkpoint/resume;
 //! * [`estimator`] — application-level resource and fidelity estimates.
 //!
 //! # Quick start
@@ -57,6 +59,7 @@ pub use dqec_core as core;
 pub use dqec_estimator as estimator;
 pub use dqec_matching as matching;
 pub use dqec_sim as sim;
+pub use dqec_sweep as sweep;
 
 /// One-stop imports for the common workflow: adapt a patch, declare an
 /// [`ExperimentSpec`](chiplet::runner::ExperimentSpec), run it, and
@@ -76,4 +79,5 @@ pub mod prelude {
     pub use crate::core::{AdaptedPatch, Coord, DefectSet, PatchIndicators, PatchLayout, Side};
     pub use crate::matching::{Decoder, MwpmDecoder};
     pub use crate::sim::{Circuit, NoiseModel};
+    pub use crate::sweep::{EngineConfig, Precision, SweepEngine, SweepPlan};
 }

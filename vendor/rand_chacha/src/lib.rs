@@ -74,6 +74,29 @@ macro_rules! chacha_rng {
             }
         }
 
+        impl $name {
+            /// The number of 32-bit words this stream has produced so
+            /// far — a durable cursor into the keystream. Persist it
+            /// (e.g. in a sweep checkpoint) and hand it to
+            /// [`Self::set_word_pos`] on a reseeded stream to resume
+            /// bit-exactly after a process restart.
+            pub fn word_pos(&self) -> u64 {
+                // `counter` blocks of 16 words generated, minus the
+                // unconsumed remainder of the current buffer.
+                (self.counter * 16).wrapping_add(self.index as u64).wrapping_sub(16)
+            }
+
+            /// Repositions the stream so the next output is keystream
+            /// word `pos`, regenerating the containing block. The
+            /// counterpart of [`Self::word_pos`].
+            pub fn set_word_pos(&mut self, pos: u64) {
+                let block = pos / 16;
+                self.buffer = chacha_block(&self.key, block, $rounds);
+                self.counter = block.wrapping_add(1);
+                self.index = (pos % 16) as usize;
+            }
+        }
+
         impl RngCore for $name {
             fn next_u32(&mut self) -> u32 {
                 if self.index >= 16 {
@@ -127,6 +150,28 @@ mod tests {
         let (xs, ys): (Vec<u64>, Vec<u64>) = (0..64).map(|_| (a.next_u64(), b.next_u64())).unzip();
         assert_eq!(xs, ys);
         assert_ne!(xs, (0..64).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn word_pos_tracks_consumption_and_seeks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        assert_eq!(rng.word_pos(), 0);
+        let head: Vec<u32> = (0..37).map(|_| rng.next_u32()).collect();
+        assert_eq!(rng.word_pos(), 37);
+        let tail: Vec<u32> = (0..50).map(|_| rng.next_u32()).collect();
+
+        // A reseeded stream repositioned mid-block continues identically.
+        let mut resumed = ChaCha8Rng::seed_from_u64(7);
+        resumed.set_word_pos(37);
+        assert_eq!(resumed.word_pos(), 37);
+        let resumed_tail: Vec<u32> = (0..50).map(|_| resumed.next_u32()).collect();
+        assert_eq!(resumed_tail, tail);
+
+        // Seeking back to zero replays the stream from the start,
+        // including across block boundaries (16-word blocks).
+        resumed.set_word_pos(0);
+        let replay: Vec<u32> = (0..37).map(|_| resumed.next_u32()).collect();
+        assert_eq!(replay, head);
     }
 
     #[test]

@@ -1,27 +1,47 @@
 //! Offline vendored shim of the `rayon` crate.
 //!
 //! Provides the `par_iter()` / `into_par_iter()` entry points and a
-//! `map → collect/sum/for_each` pipeline backed by chunked
-//! `std::thread::scope` fan-out instead of rayon's work-stealing pool.
-//! Order is preserved: `collect()` returns results in input order.
+//! `map → collect/sum/for_each` pipeline backed by a work-stealing
+//! scheduler: items are split into contiguous blocks, dealt round-robin
+//! onto per-worker deques (Chase–Lev style: owners pop LIFO from the
+//! bottom, thieves steal half from the top), and idle workers rebalance
+//! skewed loads by stealing instead of waiting on a static chunk
+//! assignment. Order is preserved: `collect()` returns results in input
+//! order regardless of which worker computed each block.
+//!
+//! Thread counts come from two sources:
+//!
+//! * Uncapped fan-outs borrow from a process-wide budget of
+//!   `cores − 1` extra threads, so nested `par_iter` calls compose
+//!   without oversubscribing the machine.
+//! * A [`with_worker_cap`] scope installs an explicit budget of
+//!   `workers − 1` extra threads that is *shared by every fan-out
+//!   transitively under the scope*, including fan-outs running on the
+//!   scope's spawned worker threads. The cap is a grant as well as a
+//!   limit: capped fan-outs may spawn up to the requested width even on
+//!   machines with fewer cores (the workers time-share), so tests and
+//!   `--threads N` behave identically everywhere.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicIsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The traits users import, mirroring `rayon::prelude::*`.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
-/// Process-wide budget of extra worker threads. Real rayon shares one
-/// work-stealing pool; without a budget, nested `par_iter` calls (an
-/// outer sweep whose items each fan out again) would multiply thread
-/// counts and oversubscribe the machine. Inner calls that find the
-/// budget exhausted simply run sequentially on the caller's thread.
+/// Process-wide budget of extra worker threads for *uncapped* fan-outs.
+/// Real rayon shares one work-stealing pool; without a budget, nested
+/// `par_iter` calls (an outer sweep whose items each fan out again)
+/// would multiply thread counts and oversubscribe the machine. Inner
+/// calls that find the budget exhausted simply run sequentially on the
+/// caller's thread.
 fn budget() -> &'static AtomicIsize {
     static BUDGET: OnceLock<AtomicIsize> = OnceLock::new();
     BUDGET.get_or_init(|| {
@@ -32,41 +52,63 @@ fn budget() -> &'static AtomicIsize {
     })
 }
 
-thread_local! {
-    /// Per-thread override of the fan-out width; see [`with_worker_cap`].
-    static WORKER_CAP: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+/// The shared extra-thread budget of one [`with_worker_cap`] scope.
+///
+/// Unlike the pre-work-stealing shim — whose cap was a plain
+/// thread-local integer, visible only to fan-outs started on the
+/// calling thread — this pool is an `Arc` handed to every worker thread
+/// a capped fan-out spawns. Nested fan-outs running on those workers
+/// draw from the *same* finite budget, so a `with_worker_cap(w)` scope
+/// never holds more than `w` live threads no matter how deeply scopes
+/// nest.
+#[derive(Debug)]
+struct CapPool {
+    /// Extra-thread permits still available under the cap.
+    permits: AtomicIsize,
 }
 
-/// Runs `f` with every parallel fan-out *started on this thread* capped
-/// at `workers` total threads (including the calling thread), then
-/// restores the previous cap. `workers <= 1` forces sequential
-/// execution. Real rayon expresses this with a scoped thread pool; the
-/// shim only needs the cap at the fan-out call site, which always runs
-/// on the calling thread.
+thread_local! {
+    /// The innermost cap pool governing fan-outs on this thread, if any.
+    static CAP_POOL: RefCell<Option<Arc<CapPool>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with every parallel fan-out *transitively under this call*
+/// capped at `workers` total threads (including the calling thread),
+/// then restores the previous cap. The budget is shared: nested
+/// `par_iter` calls — even those executing on the fan-out's spawned
+/// worker threads — draw extra threads from the same pool, so the scope
+/// as a whole never exceeds `workers` live threads. `workers <= 1`
+/// forces sequential execution.
 ///
-/// Used by determinism tests to assert that results are identical with
-/// 1, 4, or 16 workers.
+/// The cap is also an explicit grant: capped fan-outs may spawn up to
+/// the requested width even when it exceeds the machine's core count
+/// (the global budget only governs uncapped fan-outs). Determinism
+/// tests rely on this to genuinely exercise 4- and 16-worker execution
+/// on any machine; `--threads N` maps onto this call.
 pub fn with_worker_cap<R>(workers: usize, f: impl FnOnce() -> R) -> R {
-    struct Restore(Option<usize>);
+    struct Restore(Option<Arc<CapPool>>);
     impl Drop for Restore {
         fn drop(&mut self) {
-            WORKER_CAP.with(|c| c.set(self.0));
+            CAP_POOL.with(|c| *c.borrow_mut() = self.0.take());
         }
     }
-    let _restore = Restore(WORKER_CAP.with(|c| c.replace(Some(workers))));
+    let pool = Arc::new(CapPool {
+        permits: AtomicIsize::new(workers.saturating_sub(1) as isize),
+    });
+    let _restore = Restore(CAP_POOL.with(|c| c.borrow_mut().replace(pool)));
     f()
 }
 
-/// Takes up to `want` worker-thread permits from the global budget.
-fn acquire_workers(want: usize) -> usize {
-    let budget = budget();
-    let mut available = budget.load(Ordering::Relaxed);
+/// Takes up to `want` permits from `source` (a CAS loop that never goes
+/// negative).
+fn cas_take(source: &AtomicIsize, want: usize) -> usize {
+    let mut available = source.load(Ordering::Relaxed);
     loop {
         let take = (want as isize).min(available).max(0);
         if take == 0 {
             return 0;
         }
-        match budget.compare_exchange_weak(
+        match source.compare_exchange_weak(
             available,
             available - take,
             Ordering::Relaxed,
@@ -78,14 +120,55 @@ fn acquire_workers(want: usize) -> usize {
     }
 }
 
+/// Where a fan-out's permits came from (and must be returned to).
+enum PermitSource {
+    /// The process-wide machine budget.
+    Global,
+    /// The innermost [`with_worker_cap`] scope's shared pool.
+    Cap(Arc<CapPool>),
+}
+
 /// Permits held for the duration of one fan-out; returned on drop so a
 /// panicking mapped closure cannot leak budget and silently degrade
 /// every later `par_iter` in the process to sequential.
-struct WorkerPermits(usize);
+struct WorkerPermits {
+    count: usize,
+    source: PermitSource,
+}
+
+impl WorkerPermits {
+    /// Acquires up to `want` extra-thread permits: from the innermost
+    /// cap pool when one is installed, otherwise from the global
+    /// machine budget.
+    fn acquire(want: usize) -> WorkerPermits {
+        let pool = CAP_POOL.with(|c| c.borrow().clone());
+        match pool {
+            Some(pool) => {
+                let count = cas_take(&pool.permits, want);
+                WorkerPermits {
+                    count,
+                    source: PermitSource::Cap(pool),
+                }
+            }
+            None => WorkerPermits {
+                count: cas_take(budget(), want),
+                source: PermitSource::Global,
+            },
+        }
+    }
+}
 
 impl Drop for WorkerPermits {
     fn drop(&mut self) {
-        budget().fetch_add(self.0 as isize, Ordering::Relaxed);
+        match &self.source {
+            PermitSource::Global => {
+                budget().fetch_add(self.count as isize, Ordering::Relaxed);
+            }
+            PermitSource::Cap(pool) => {
+                pool.permits
+                    .fetch_add(self.count as isize, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -220,6 +303,99 @@ pub struct ParMap<T, F> {
     f: F,
 }
 
+/// A contiguous run of items claimed and computed as a unit; `start` is
+/// the index of its first item in the original input, which is all the
+/// merge step needs to restore input order.
+struct Block<T> {
+    start: usize,
+    items: Vec<T>,
+}
+
+/// How many stealable blocks each worker's share of the input is split
+/// into. More blocks → finer rebalancing of skewed loads, at the cost
+/// of slightly more deque traffic.
+const BLOCKS_PER_WORKER: usize = 4;
+
+/// The shared state of one work-stealing fan-out.
+struct Steal<T> {
+    /// One deque per worker; the owner pops from the back (bottom),
+    /// thieves drain from the front (top).
+    deques: Vec<Mutex<VecDeque<Block<T>>>>,
+    /// Blocks not yet claimed by any worker. Workers exit when this
+    /// reaches zero (every block claimed; stragglers finish theirs).
+    unclaimed: AtomicUsize,
+    /// Set when a mapped closure panicked, so every worker stops
+    /// instead of spinning on work that will never be re-queued.
+    poisoned: AtomicBool,
+}
+
+impl<T: Send> Steal<T> {
+    /// Claims the next block for worker `me`: own deque first (LIFO),
+    /// then steal-half from the first non-empty victim (the thief keeps
+    /// one block to work on and re-queues the rest on its own deque,
+    /// where they become stealable again).
+    fn claim(&self, me: usize) -> Option<Block<T>> {
+        if let Some(block) = self.deques[me].lock().expect("deque lock").pop_back() {
+            self.unclaimed.fetch_sub(1, Ordering::AcqRel);
+            return Some(block);
+        }
+        let w = self.deques.len();
+        for k in 1..w {
+            let victim = (me + k) % w;
+            let mut v = self.deques[victim].lock().expect("deque lock");
+            let available = v.len();
+            if available == 0 {
+                continue;
+            }
+            let mut stolen: Vec<Block<T>> = v.drain(..available.div_ceil(2)).collect();
+            drop(v);
+            let first = stolen.remove(0);
+            self.unclaimed.fetch_sub(1, Ordering::AcqRel);
+            if !stolen.is_empty() {
+                let mut mine = self.deques[me].lock().expect("deque lock");
+                mine.extend(stolen);
+            }
+            return Some(first);
+        }
+        None
+    }
+
+    /// Worker `me`'s main loop: claim blocks (own deque, then steal)
+    /// until every block is claimed, computing each and collecting
+    /// `(start index, results)` pairs for the merge step.
+    fn work<R: Send, F: Fn(T) -> R + Sync>(&self, me: usize, f: &F) -> Vec<(usize, Vec<R>)> {
+        let mut out = Vec::new();
+        loop {
+            if self.poisoned.load(Ordering::Relaxed) {
+                break;
+            }
+            match self.claim(me) {
+                Some(block) => {
+                    let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        block.items.into_iter().map(f).collect::<Vec<R>>()
+                    }));
+                    match computed {
+                        Ok(results) => out.push((block.start, results)),
+                        Err(payload) => {
+                            // Unblock every other worker before unwinding;
+                            // the caller re-raises this payload.
+                            self.poisoned.store(true, Ordering::Relaxed);
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+                None => {
+                    if self.unclaimed.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+        out
+    }
+}
+
 impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParallelIterator for ParMap<T, F> {
     type Item = R;
 
@@ -230,48 +406,89 @@ impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParallelIterator for ParMap<T, F> {
             return Vec::new();
         }
         // The caller's thread is one worker; borrow the rest from the
-        // global budget (zero available → run sequentially), further
-        // limited by any `with_worker_cap` scope on this thread.
-        let mut want = n.saturating_sub(1);
-        if let Some(cap) = WORKER_CAP.with(|c| c.get()) {
-            want = want.min(cap.saturating_sub(1));
-        }
-        let permits = WorkerPermits(acquire_workers(want));
-        let workers = permits.0 + 1;
+        // innermost cap pool (or the global machine budget when
+        // uncapped). Zero available → run sequentially.
+        let permits = WorkerPermits::acquire(n.saturating_sub(1));
+        let workers = permits.count + 1;
         if workers <= 1 {
+            drop(permits);
             return items.into_iter().map(f).collect();
         }
-        let chunk_len = n.div_ceil(workers);
-        // Split into contiguous per-worker chunks so output order is
-        // restored by simple concatenation.
-        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+
+        // Split into contiguous blocks small enough for stealing to
+        // rebalance skewed loads, dealt round-robin onto the deques.
+        let block_len = n.div_ceil(workers * BLOCKS_PER_WORKER).max(1);
+        let mut blocks = Vec::with_capacity(n.div_ceil(block_len));
         let mut items = items;
+        let mut start = 0;
         while !items.is_empty() {
-            let rest = items.split_off(items.len().min(chunk_len));
-            chunks.push(std::mem::replace(&mut items, rest));
+            let rest = items.split_off(items.len().min(block_len));
+            let chunk = std::mem::replace(&mut items, rest);
+            let len = chunk.len();
+            blocks.push(Block {
+                start,
+                items: chunk,
+            });
+            start += len;
         }
+        let steal = Steal {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            unclaimed: AtomicUsize::new(blocks.len()),
+            poisoned: AtomicBool::new(false),
+        };
+        for (i, b) in blocks.into_iter().enumerate() {
+            steal.deques[i % workers]
+                .lock()
+                .expect("deque lock")
+                .push_back(b);
+        }
+
+        // Spawned workers inherit the cap pool, so their nested
+        // fan-outs draw from the same scoped budget instead of
+        // oversubscribing through the global one.
+        let inherited = CAP_POOL.with(|c| c.borrow().clone());
+        let steal = &steal;
         let f = &f;
-        let mut out = Vec::with_capacity(n);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let place = |parts: Vec<(usize, Vec<R>)>, slots: &mut Vec<Option<R>>| {
+            for (start, results) in parts {
+                for (i, r) in results.into_iter().enumerate() {
+                    debug_assert!(slots[start + i].is_none(), "item computed twice");
+                    slots[start + i] = Some(r);
+                }
+            }
+        };
         std::thread::scope(|scope| {
-            let mut chunks = chunks.into_iter();
-            let first = chunks.next().expect("n > 0 so at least one chunk");
-            let handles: Vec<_> = chunks
-                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            let handles: Vec<_> = (1..workers)
+                .map(|me| {
+                    let inherited = inherited.clone();
+                    scope.spawn(move || {
+                        CAP_POOL.with(|c| *c.borrow_mut() = inherited);
+                        steal.work(me, f)
+                    })
+                })
                 .collect();
-            // The caller's thread works the first chunk alongside the pool.
-            out.extend(first.into_iter().map(f));
+            // The caller's thread works its own deque alongside the pool.
+            place(steal.work(0, f), &mut slots);
             for handle in handles {
-                out.extend(handle.join().expect("rayon shim worker panicked"));
+                match handle.join() {
+                    Ok(parts) => place(parts, &mut slots),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
         });
         drop(permits);
-        out
+        slots
+            .into_iter()
+            .map(|s| s.expect("every input item computed exactly once"))
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_collect_preserves_order() {
@@ -326,6 +543,34 @@ mod tests {
     }
 
     #[test]
+    fn panicking_closure_under_a_cap_propagates_and_terminates() {
+        // Workers spinning on a poisoned fan-out must exit rather than
+        // deadlock, and the original panic payload must surface.
+        let result = std::panic::catch_unwind(|| {
+            super::with_worker_cap(4, || {
+                let _: Vec<u32> = (0..64u32)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == 13 {
+                            panic!("kaboom-under-cap")
+                        } else {
+                            i
+                        }
+                    })
+                    .collect();
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("kaboom-under-cap"), "payload lost: {msg:?}");
+    }
+
+    #[test]
     fn worker_cap_preserves_results_and_restores() {
         let want: Vec<u64> = (0..500u64).map(|x| x * 3).collect();
         for cap in [1usize, 4, 16] {
@@ -343,6 +588,86 @@ mod tests {
             let got: Vec<u64> = (0..10u64).into_par_iter().map(|x| x).collect();
             assert_eq!(got.len(), 10);
         });
+    }
+
+    #[test]
+    fn capped_fanout_actually_runs_in_parallel() {
+        // The cap is a grant, not only a limit: even on a single-core
+        // machine, with_worker_cap(4) must execute with real threads so
+        // determinism tests genuinely exercise multi-worker paths.
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        super::with_worker_cap(4, || {
+            let _: Vec<()> = (0..8usize)
+                .into_par_iter()
+                .map(|_| {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                })
+                .collect();
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "cap grant must spawn real workers"
+        );
+    }
+
+    #[test]
+    fn nested_scopes_share_one_cap_budget() {
+        // Regression test for the per-thread-only cap: inner fan-outs
+        // running *on spawned worker threads* used to see no cap at all
+        // and could take extra threads from the global budget,
+        // oversubscribing the with_worker_cap scope. The cap pool is now
+        // inherited, so leaf concurrency across arbitrarily nested
+        // scopes stays within the cap.
+        const CAP: usize = 3;
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        super::with_worker_cap(CAP, || {
+            let out: Vec<u64> = (0..4u64)
+                .into_par_iter()
+                .map(|i| {
+                    (0..8u64)
+                        .into_par_iter()
+                        .map(|j| {
+                            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                            peak.fetch_max(now, Ordering::SeqCst);
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            live.fetch_sub(1, Ordering::SeqCst);
+                            i * 8 + j
+                        })
+                        .sum::<u64>()
+                })
+                .collect();
+            let want: Vec<u64> = (0..4u64).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
+            assert_eq!(out, want);
+        });
+        let peak = peak.load(Ordering::SeqCst);
+        assert!(peak <= CAP, "nested scopes oversubscribed the cap: {peak}");
+        assert!(peak >= 2, "nested fan-out never went parallel");
+    }
+
+    #[test]
+    fn skewed_loads_keep_order_under_stealing() {
+        // Items whose cost varies by 100x: stealing moves blocks between
+        // workers, but results must still come back in input order.
+        let out: Vec<u64> = super::with_worker_cap(4, || {
+            (0..64u64)
+                .into_par_iter()
+                .map(|i| {
+                    let spins = if i % 16 == 0 { 200_000 } else { 2_000 };
+                    let mut acc = i;
+                    for k in 0..spins {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                    }
+                    std::hint::black_box(acc);
+                    i
+                })
+                .collect()
+        });
+        assert_eq!(out, (0..64u64).collect::<Vec<_>>());
     }
 
     #[test]
