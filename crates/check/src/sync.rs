@@ -1,0 +1,512 @@
+//! The `std::sync` facade.
+//!
+//! Without `--cfg dqec_check` this module is a plain re-export of the
+//! `std` types — zero cost, identical semantics. With it, the types are
+//! instrumented: every operation is a preemption point of the model
+//! scheduler, atomics keep a store history so weak orderings are
+//! actually observable, and mutexes are tracked for deadlock detection.
+//!
+//! The instrumented types still behave like their `std` counterparts
+//! when no model execution is active on the current thread (e.g. in
+//! ordinary unit tests of an instrumented build): every operation
+//! checks for a model context first and passes through to the real
+//! primitive otherwise.
+
+#[cfg(not(dqec_check))]
+pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Atomic types and orderings (the `std::sync::atomic` subset the
+/// workspace uses).
+#[cfg(not(dqec_check))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+}
+
+#[cfg(dqec_check)]
+pub use instrumented::{Condvar, Mutex, MutexGuard};
+
+/// Atomic types and orderings (the `std::sync::atomic` subset the
+/// workspace uses).
+#[cfg(dqec_check)]
+pub mod atomic {
+    pub use super::instrumented::{AtomicBool, AtomicIsize, AtomicUsize};
+    pub use std::sync::atomic::Ordering;
+}
+
+#[cfg(dqec_check)]
+mod instrumented {
+    use crate::runtime::{self, Execution, Tid};
+    use std::ops::{Deref, DerefMut};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, LockResult, PoisonError};
+    use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+    /// Lazily assigns and returns the process-wide model identity of a
+    /// sync object (0 = not yet assigned; `new` must stay `const fn`,
+    /// so the id cannot be drawn at construction time).
+    fn object_id(slot: &AtomicU64) -> u64 {
+        let cur = slot.load(Ordering::Relaxed);
+        if cur != 0 {
+            return cur;
+        }
+        let fresh = runtime::fresh_id();
+        match slot.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => fresh,
+            Err(other) => other,
+        }
+    }
+
+    macro_rules! instrumented_atomic {
+        ($name:ident, $std:ident, $prim:ty, $enc:expr, $dec:expr) => {
+            /// Instrumented atomic: models weak-memory visibility under
+            /// the checker, passes through to `std` otherwise.
+            pub struct $name {
+                real: std::sync::atomic::$std,
+                id: AtomicU64,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub const fn new(v: $prim) -> $name {
+                    $name {
+                        real: std::sync::atomic::$std::new(v),
+                        id: AtomicU64::new(0),
+                    }
+                }
+
+                fn with_model<R>(
+                    &self,
+                    model: impl FnOnce(&Execution, Tid, u64) -> R,
+                    real: impl FnOnce() -> R,
+                ) -> R {
+                    match runtime::model_ctx() {
+                        Some((ex, me)) => {
+                            let id = object_id(&self.id);
+                            model(&ex, me, id)
+                        }
+                        None => real(),
+                    }
+                }
+
+                /// Loads the value; under the checker a non-`SeqCst`
+                /// load may observe any coherent stale store.
+                pub fn load(&self, ord: Ordering) -> $prim {
+                    self.with_model(
+                        |ex, me, id| {
+                            let enc: fn($prim) -> u64 = $enc;
+                            let dec: fn(u64) -> $prim = $dec;
+                            dec(ex.atomic_load(
+                                me,
+                                id,
+                                &mut || enc(self.real.load(Ordering::SeqCst)),
+                                ord,
+                            ))
+                        },
+                        || self.real.load(ord),
+                    )
+                }
+
+                /// Stores a value.
+                pub fn store(&self, v: $prim, ord: Ordering) {
+                    self.with_model(
+                        |ex, me, id| {
+                            let enc: fn($prim) -> u64 = $enc;
+                            ex.atomic_store(
+                                me,
+                                id,
+                                &mut || enc(self.real.load(Ordering::SeqCst)),
+                                enc(v),
+                                ord,
+                            );
+                            self.real.store(v, Ordering::SeqCst);
+                        },
+                        || self.real.store(v, ord),
+                    )
+                }
+
+                /// Swaps the value, returning the previous one.
+                pub fn swap(&self, v: $prim, ord: Ordering) -> $prim {
+                    self.rmw(ord, "swap", |_| v, || self.real.swap(v, ord))
+                }
+
+                fn rmw(
+                    &self,
+                    ord: Ordering,
+                    name: &str,
+                    op: impl Fn($prim) -> $prim,
+                    real: impl FnOnce() -> $prim,
+                ) -> $prim {
+                    self.with_model(
+                        |ex, me, id| {
+                            let enc: fn($prim) -> u64 = $enc;
+                            let dec: fn(u64) -> $prim = $dec;
+                            let (old, new) = ex.atomic_rmw(
+                                me,
+                                id,
+                                &mut || enc(self.real.load(Ordering::SeqCst)),
+                                ord,
+                                &mut |v| enc(op(dec(v))),
+                                name,
+                            );
+                            self.real.store(dec(new), Ordering::SeqCst);
+                            dec(old)
+                        },
+                        real,
+                    )
+                }
+
+                /// Compare-and-exchange; under the checker a successful
+                /// exchange extends the release sequence of the store
+                /// it read.
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    self.cas(current, new, success, failure, false)
+                }
+
+                /// Weak compare-and-exchange; under the checker (random
+                /// strategies) spurious failures are injected.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    self.cas(current, new, success, failure, true)
+                }
+
+                fn cas(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                    weak: bool,
+                ) -> Result<$prim, $prim> {
+                    self.with_model(
+                        |ex, me, id| {
+                            let enc: fn($prim) -> u64 = $enc;
+                            let dec: fn(u64) -> $prim = $dec;
+                            match ex.atomic_cas(
+                                me,
+                                id,
+                                &mut || enc(self.real.load(Ordering::SeqCst)),
+                                enc(current),
+                                enc(new),
+                                success,
+                                failure,
+                                weak,
+                            ) {
+                                Ok(old) => {
+                                    self.real.store(new, Ordering::SeqCst);
+                                    Ok(dec(old))
+                                }
+                                Err(seen) => Err(dec(seen)),
+                            }
+                        },
+                        || {
+                            if weak {
+                                self.real
+                                    .compare_exchange_weak(current, new, success, failure)
+                            } else {
+                                self.real.compare_exchange(current, new, success, failure)
+                            }
+                        },
+                    )
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    f.debug_tuple(stringify!($name))
+                        .field(&self.real.load(Ordering::SeqCst))
+                        .finish()
+                }
+            }
+        };
+    }
+
+    instrumented_atomic!(AtomicUsize, AtomicUsize, usize, |v| v as u64, |u| u
+        as usize);
+    instrumented_atomic!(
+        AtomicIsize,
+        AtomicIsize,
+        isize,
+        |v| v as i64 as u64,
+        |u| u as i64 as isize
+    );
+    instrumented_atomic!(AtomicBool, AtomicBool, bool, |v| v as u64, |u| u != 0);
+
+    impl AtomicUsize {
+        /// Adds, returning the previous value.
+        pub fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
+            self.rmw(
+                ord,
+                "fetch_add",
+                |x| x.wrapping_add(v),
+                || self.real.fetch_add(v, ord),
+            )
+        }
+
+        /// Subtracts, returning the previous value.
+        pub fn fetch_sub(&self, v: usize, ord: Ordering) -> usize {
+            self.rmw(
+                ord,
+                "fetch_sub",
+                |x| x.wrapping_sub(v),
+                || self.real.fetch_sub(v, ord),
+            )
+        }
+
+        /// Maximum, returning the previous value.
+        pub fn fetch_max(&self, v: usize, ord: Ordering) -> usize {
+            self.rmw(
+                ord,
+                "fetch_max",
+                |x| x.max(v),
+                || self.real.fetch_max(v, ord),
+            )
+        }
+    }
+
+    impl AtomicIsize {
+        /// Adds, returning the previous value.
+        pub fn fetch_add(&self, v: isize, ord: Ordering) -> isize {
+            self.rmw(
+                ord,
+                "fetch_add",
+                |x| x.wrapping_add(v),
+                || self.real.fetch_add(v, ord),
+            )
+        }
+
+        /// Subtracts, returning the previous value.
+        pub fn fetch_sub(&self, v: isize, ord: Ordering) -> isize {
+            self.rmw(
+                ord,
+                "fetch_sub",
+                |x| x.wrapping_sub(v),
+                || self.real.fetch_sub(v, ord),
+            )
+        }
+
+        /// Maximum, returning the previous value.
+        pub fn fetch_max(&self, v: isize, ord: Ordering) -> isize {
+            self.rmw(
+                ord,
+                "fetch_max",
+                |x| x.max(v),
+                || self.real.fetch_max(v, ord),
+            )
+        }
+    }
+
+    impl AtomicBool {
+        /// Logical OR, returning the previous value.
+        pub fn fetch_or(&self, v: bool, ord: Ordering) -> bool {
+            self.rmw(ord, "fetch_or", |x| x | v, || self.real.fetch_or(v, ord))
+        }
+
+        /// Logical AND, returning the previous value.
+        pub fn fetch_and(&self, v: bool, ord: Ordering) -> bool {
+            self.rmw(ord, "fetch_and", |x| x & v, || self.real.fetch_and(v, ord))
+        }
+    }
+
+    /// Instrumented mutex: the model scheduler serializes lock
+    /// acquisition (and detects deadlock); the real `std` mutex is
+    /// still taken underneath so data access stays actually exclusive.
+    pub struct Mutex<T: ?Sized> {
+        id: AtomicU64,
+        real: StdMutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex.
+        pub const fn new(t: T) -> Mutex<T> {
+            Mutex {
+                id: AtomicU64::new(0),
+                real: StdMutex::new(t),
+            }
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> LockResult<T> {
+            self.real.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the mutex. Under the checker this is a preemption
+        /// point and a blocking edge for deadlock detection; the model
+        /// never reports poisoning (panics become counterexamples
+        /// instead), so the returned result is always `Ok` there.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            match runtime::model_ctx() {
+                Some((ex, me)) => {
+                    let id = object_id(&self.id);
+                    ex.mutex_lock(me, id);
+                    // The model granted the lock, so the real mutex is
+                    // uncontended (except by unwinding free-runners,
+                    // who release it promptly).
+                    let inner = self.real.lock().unwrap_or_else(PoisonError::into_inner);
+                    Ok(MutexGuard {
+                        lock: self,
+                        inner: Some(inner),
+                        model: Some((ex, me, id)),
+                    })
+                }
+                None => match self.real.lock() {
+                    Ok(inner) => Ok(MutexGuard {
+                        lock: self,
+                        inner: Some(inner),
+                        model: None,
+                    }),
+                    Err(e) => Err(PoisonError::new(MutexGuard {
+                        lock: self,
+                        inner: Some(e.into_inner()),
+                        model: None,
+                    })),
+                },
+            }
+        }
+
+        /// Returns a mutable reference to the underlying data.
+        pub fn get_mut(&mut self) -> LockResult<&mut T> {
+            self.real.get_mut()
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Mutex").finish_non_exhaustive()
+        }
+    }
+
+    /// Guard for [`Mutex`]; releases the real lock, then the model
+    /// lock, on drop.
+    pub struct MutexGuard<'a, T: ?Sized + 'a> {
+        lock: &'a Mutex<T>,
+        inner: Option<StdMutexGuard<'a, T>>,
+        model: Option<(Arc<Execution>, Tid, u64)>,
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard still holds the lock")
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard still holds the lock")
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Real unlock first so free-running unwinders are never
+            // blocked on a parked model thread; the model unlock is a
+            // non-panicking preemption point.
+            drop(self.inner.take());
+            if let Some((ex, me, id)) = self.model.take() {
+                ex.mutex_unlock(me, id);
+            }
+        }
+    }
+
+    /// Instrumented condition variable.
+    pub struct Condvar {
+        id: AtomicU64,
+        real: StdCondvar,
+    }
+
+    impl Condvar {
+        /// Creates a new condition variable.
+        pub const fn new() -> Condvar {
+            Condvar {
+                id: AtomicU64::new(0),
+                real: StdCondvar::new(),
+            }
+        }
+
+        /// Blocks until notified, releasing the guard while waiting.
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            match guard.model.take() {
+                Some((ex, me, mutex_id)) => {
+                    let lock = guard.lock;
+                    drop(guard.inner.take()); // real unlock while parked
+                    drop(guard);
+                    ex.cv_wait(me, object_id(&self.id), mutex_id);
+                    let inner = lock.real.lock().unwrap_or_else(PoisonError::into_inner);
+                    Ok(MutexGuard {
+                        lock,
+                        inner: Some(inner),
+                        model: Some((ex, me, mutex_id)),
+                    })
+                }
+                None => {
+                    let lock = guard.lock;
+                    let inner = guard.inner.take().expect("guard still holds the lock");
+                    std::mem::forget(guard);
+                    match self.real.wait(inner) {
+                        Ok(inner) => Ok(MutexGuard {
+                            lock,
+                            inner: Some(inner),
+                            model: None,
+                        }),
+                        Err(e) => Err(PoisonError::new(MutexGuard {
+                            lock,
+                            inner: Some(e.into_inner()),
+                            model: None,
+                        })),
+                    }
+                }
+            }
+        }
+
+        /// Blocks until `condition` returns `false`.
+        pub fn wait_while<'a, T, F>(
+            &self,
+            mut guard: MutexGuard<'a, T>,
+            mut condition: F,
+        ) -> LockResult<MutexGuard<'a, T>>
+        where
+            F: FnMut(&mut T) -> bool,
+        {
+            while condition(&mut guard) {
+                guard = self.wait(guard)?;
+            }
+            Ok(guard)
+        }
+
+        /// Wakes one waiter.
+        pub fn notify_one(&self) {
+            if let Some((ex, me)) = runtime::model_ctx() {
+                ex.cv_notify(me, object_id(&self.id), false);
+            }
+            self.real.notify_one();
+        }
+
+        /// Wakes every waiter.
+        pub fn notify_all(&self) {
+            if let Some((ex, me)) = runtime::model_ctx() {
+                ex.cv_notify(me, object_id(&self.id), true);
+            }
+            self.real.notify_all();
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Condvar {
+            Condvar::new()
+        }
+    }
+}

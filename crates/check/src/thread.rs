@@ -1,0 +1,204 @@
+//! The `std::thread` facade.
+//!
+//! Without `--cfg dqec_check` this is a plain re-export of `std`. With
+//! it, spawned threads register as model tasks: they run as real OS
+//! threads, but the model scheduler serializes them and controls every
+//! interleaving, and joins become blocking edges the deadlock detector
+//! can see.
+
+#[cfg(not(dqec_check))]
+pub use std::thread::{
+    available_parallelism, scope, sleep, spawn, yield_now, JoinHandle, Scope, ScopedJoinHandle,
+};
+
+#[cfg(dqec_check)]
+pub use instrumented::{
+    available_parallelism, scope, sleep, spawn, yield_now, JoinHandle, Scope, ScopedJoinHandle,
+};
+
+#[cfg(dqec_check)]
+mod instrumented {
+    use crate::runtime::{self, Execution, Tid};
+    use std::io;
+    use std::num::NonZeroUsize;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+    use std::time::Duration;
+
+    /// See [`std::thread::available_parallelism`] (not modeled — the
+    /// checker controls concurrency explicitly).
+    pub fn available_parallelism() -> io::Result<NonZeroUsize> {
+        std::thread::available_parallelism()
+    }
+
+    /// A scheduling point: under the checker, forces a switch to
+    /// another runnable thread when one exists (so spin loops make
+    /// progress deterministically).
+    pub fn yield_now() {
+        match runtime::model_ctx() {
+            Some((ex, me)) => ex.yield_point(me),
+            None => std::thread::yield_now(),
+        }
+    }
+
+    /// Under the checker, sleeping is modeled as a yield — model time
+    /// is logical, not wall-clock.
+    pub fn sleep(dur: Duration) {
+        match runtime::model_ctx() {
+            Some((ex, me)) => ex.yield_point(me),
+            None => std::thread::sleep(dur),
+        }
+    }
+
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+        model: Option<(Arc<Execution>, Tid)>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish (a blocking edge in the
+        /// model) and returns its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some((_, tid)) = &self.model {
+                if let Some((ex, me)) = runtime::model_ctx() {
+                    ex.join_one(me, *tid);
+                }
+            }
+            self.inner.join()
+        }
+
+        /// Whether the thread has finished.
+        pub fn is_finished(&self) -> bool {
+            self.inner.is_finished()
+        }
+    }
+
+    /// Spawns a thread; under the checker it becomes a model task whose
+    /// every instrumented operation the scheduler controls.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match runtime::model_ctx() {
+            Some((ex, me)) => {
+                let tid = ex.spawn_register(me);
+                let ex2 = Arc::clone(&ex);
+                let inner = std::thread::spawn(move || runtime::task_main(ex2, tid, f));
+                JoinHandle {
+                    inner,
+                    model: Some((ex, tid)),
+                }
+            }
+            None => JoinHandle {
+                inner: std::thread::spawn(f),
+                model: None,
+            },
+        }
+    }
+
+    /// A scope for spawning borrowing threads, wrapping
+    /// [`std::thread::scope`].
+    ///
+    /// Note the signature difference from `std`: the closure receives
+    /// `&Scope<'scope, 'env>` with an independent outer borrow (like
+    /// crossbeam's scope) rather than `&'scope Scope<'scope, 'env>`.
+    /// Closures that only call `scope.spawn(..)` — the workspace idiom
+    /// — compile unchanged against either.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        /// Tids spawned in this scope, model-joined before `std`'s
+        /// implicit (real, baton-blind) join runs.
+        spawned: StdMutex<Vec<Tid>>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; see [`std::thread::Scope::spawn`].
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            match runtime::model_ctx() {
+                Some((ex, me)) => {
+                    let tid = ex.spawn_register(me);
+                    self.spawned
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(tid);
+                    let ex2 = Arc::clone(&ex);
+                    let inner = self.inner.spawn(move || runtime::task_main(ex2, tid, f));
+                    ScopedJoinHandle {
+                        inner,
+                        model: Some((ex, tid)),
+                    }
+                }
+                None => ScopedJoinHandle {
+                    inner: self.inner.spawn(f),
+                    model: None,
+                },
+            }
+        }
+    }
+
+    /// Handle to a scoped model thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+        model: Option<(Arc<Execution>, Tid)>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish (a blocking edge in the
+        /// model) and returns its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some((_, tid)) = &self.model {
+                if let Some((ex, me)) = runtime::model_ctx() {
+                    ex.join_one(me, *tid);
+                }
+            }
+            self.inner.join()
+        }
+
+        /// Whether the thread has finished.
+        pub fn is_finished(&self) -> bool {
+            self.inner.is_finished()
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads; see
+    /// [`std::thread::scope`] (and the [`Scope`] signature note).
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
+        std::thread::scope(|s| {
+            let wrapper = Scope {
+                inner: s,
+                spawned: StdMutex::new(Vec::new()),
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| f(&wrapper)));
+            // Model-join every scoped thread before std's implicit join
+            // below: the implicit join blocks the real thread while it
+            // still holds the model baton, which would starve the very
+            // threads it waits for. `join_all` passes the baton
+            // properly (and is abort-safe). Already-joined threads are
+            // `Finished` and pass through instantly.
+            let tids = std::mem::take(
+                &mut *wrapper
+                    .spawned
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
+            if !tids.is_empty() {
+                if let Some((ex, me)) = runtime::model_ctx() {
+                    ex.join_all(me, &tids);
+                }
+            }
+            match result {
+                Ok(v) => v,
+                Err(payload) => resume_unwind(payload),
+            }
+        })
+    }
+}

@@ -1,0 +1,242 @@
+//! Model-checker semantics tests: these only make sense under the
+//! instrumented build (`RUSTFLAGS="--cfg dqec_check"`), where `check`
+//! actually explores interleavings and weak-memory behaviours.
+#![cfg(dqec_check)]
+
+use std::sync::Arc;
+
+use dqec_check::sync::atomic::{AtomicUsize, Ordering};
+use dqec_check::sync::Mutex;
+use dqec_check::{check, thread, Config, FailureKind};
+
+// Bug-*finding* tests (the ones asserting `failure.is_some()`) pin an
+// explicit seed: they validate the checker's teeth, which must not
+// depend on the `DQEC_CHECK_SALT` CI uses to diversify the schedules
+// explored by the correctness tests.
+
+/// Classic message-passing litmus test with `Relaxed` everywhere: the
+/// reader may observe `flag == 1` while still seeing a stale
+/// `data == 0`. The weak-memory model must be able to produce that
+/// execution.
+#[test]
+fn relaxed_message_passing_bug_is_found() {
+    let outcome = check(&Config::random(2000).seed(0xD9EC_0001), || {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let writer = thread::spawn(move || {
+            d2.store(1, Ordering::Relaxed);
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            assert_eq!(
+                data.load(Ordering::Relaxed),
+                1,
+                "flag observed but data load was stale"
+            );
+        }
+        writer.join().expect("writer");
+    });
+    let failure = outcome
+        .failure
+        .expect("relaxed message passing must be caught");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(failure.message.contains("stale"), "{}", failure.message);
+}
+
+/// The same protocol with Release/Acquire is correct: once the reader
+/// acquires the flag store, the data store must be visible.
+#[test]
+fn release_acquire_message_passing_is_correct() {
+    let outcome = check(&Config::random(2000), || {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let writer = thread::spawn(move || {
+            d2.store(1, Ordering::Relaxed);
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 1);
+        }
+        writer.join().expect("writer");
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "spurious failure: {}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    eprintln!("release/acquire litmus: {} executions", outcome.executions);
+}
+
+/// A load/store increment (no RMW, no lock) loses updates under some
+/// interleavings; the scheduler must find one.
+#[test]
+fn racy_increment_lost_update_is_found() {
+    let outcome = check(&Config::random(2000).seed(0xD9EC_0003), || {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                thread::spawn(move || {
+                    let v = c.load(Ordering::SeqCst);
+                    c.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("incrementer");
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+    });
+    let failure = outcome.failure.expect("lost update must be caught");
+    assert!(
+        failure.message.contains("lost update"),
+        "{}",
+        failure.message
+    );
+    assert!(
+        !failure.trace.is_empty(),
+        "counterexample trace must be recorded"
+    );
+}
+
+/// The same increment under a mutex is correct — and small enough for
+/// bounded-exhaustive DFS to prove it over every schedule.
+#[test]
+fn mutex_increment_is_correct_and_dfs_exhausts() {
+    let run = || {
+        let counter = Arc::new(Mutex::new(0usize));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                thread::spawn(move || {
+                    *c.lock().unwrap_or_else(|p| p.into_inner()) += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("incrementer");
+        }
+        assert_eq!(*counter.lock().unwrap_or_else(|p| p.into_inner()), 2);
+    };
+    let random = check(&Config::random(500), run);
+    assert!(
+        random.failure.is_none(),
+        "{:?}",
+        random.failure.map(|f| f.report())
+    );
+
+    let dfs = check(&Config::dfs(20_000), run);
+    assert!(
+        dfs.failure.is_none(),
+        "{:?}",
+        dfs.failure.map(|f| f.report())
+    );
+    assert!(
+        dfs.complete,
+        "DFS should exhaust this tiny state space ({} executions)",
+        dfs.executions
+    );
+    eprintln!(
+        "mutex increment DFS: {} executions (complete)",
+        dfs.executions
+    );
+}
+
+/// AB/BA lock ordering deadlocks; the scheduler's deadlock detector
+/// must report it rather than hang.
+#[test]
+fn ab_ba_deadlock_is_detected() {
+    let outcome = check(&Config::random(1000).seed(0xD9EC_0004), || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _ga = a2.lock().unwrap_or_else(|p| p.into_inner());
+            let _gb = b2.lock().unwrap_or_else(|p| p.into_inner());
+        });
+        let _gb = b.lock().unwrap_or_else(|p| p.into_inner());
+        let _ga = a.lock().unwrap_or_else(|p| p.into_inner());
+        drop((_ga, _gb));
+        let _ = t.join();
+    });
+    let failure = outcome.failure.expect("AB/BA deadlock must be detected");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+}
+
+/// PCT must find the lost update too (different strategy, same bug).
+#[test]
+fn pct_strategy_finds_lost_update() {
+    let outcome = check(&Config::pct(2000, 3).seed(0xD9EC_0005), || {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let t = thread::spawn(move || {
+            let v = c.load(Ordering::SeqCst);
+            c.store(v + 1, Ordering::SeqCst);
+        });
+        let v = counter.load(Ordering::SeqCst);
+        counter.store(v + 1, Ordering::SeqCst);
+        t.join().expect("incrementer");
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+    });
+    assert!(outcome.failure.is_some(), "PCT missed the lost update");
+}
+
+/// Replaying a failure's reported seed must reproduce the identical
+/// counterexample, trace included (the replay contract behind
+/// `DQEC_CHECK_SEED`).
+#[test]
+fn failing_seed_replays_bit_exact() {
+    let racy = || {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let t = thread::spawn(move || {
+            let v = c.load(Ordering::SeqCst);
+            c.store(v + 1, Ordering::SeqCst);
+        });
+        let v = counter.load(Ordering::SeqCst);
+        counter.store(v + 1, Ordering::SeqCst);
+        t.join().expect("incrementer");
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+    };
+    let first = check(&Config::random(2000).seed(0xD9EC_0006), racy)
+        .failure
+        .expect("lost update must be found");
+    let seed = first.seed.expect("random failures carry a seed");
+
+    let replay = check(&Config::random(1).seed(seed), racy)
+        .failure
+        .expect("replay with the failing seed must fail again");
+    assert_eq!(replay.seed, Some(seed));
+    assert_eq!(replay.kind, first.kind);
+    assert_eq!(replay.steps, first.steps, "replay diverged (step count)");
+    assert_eq!(replay.trace, first.trace, "replay diverged (trace)");
+}
+
+/// Step-bound handling: a long-yielding execution overruns a tiny step
+/// budget. Depending on `bound_is_failure` it is either reported as a
+/// StepBound failure or counted in `Outcome::bounded`.
+#[test]
+fn step_bound_is_failure_or_prune_as_configured() {
+    let spin = || {
+        let t = thread::spawn(|| {
+            for _ in 0..500 {
+                thread::yield_now();
+            }
+        });
+        t.join().expect("spinner");
+    };
+    let strict = check(&Config::random(3).max_steps(50), spin);
+    let failure = strict
+        .failure
+        .expect("bound overrun must fail when configured");
+    assert_eq!(failure.kind, FailureKind::StepBound);
+
+    let lenient = check(
+        &Config::random(3).max_steps(50).bound_is_failure(false),
+        spin,
+    );
+    assert!(lenient.failure.is_none());
+    assert!(lenient.bounded > 0, "bounded executions must be counted");
+}

@@ -1,0 +1,114 @@
+//! Facade behaviour tests that run in BOTH builds: the plain tier-1
+//! build (where `dqec_check::sync` / `::thread` are thin re-exports of
+//! `std`) and the instrumented `--cfg dqec_check` build (where the same
+//! code runs under the model scheduler). Nothing here depends on
+//! exploring more than one interleaving.
+
+use std::sync::Arc;
+
+use dqec_check::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use dqec_check::sync::{Condvar, Mutex};
+use dqec_check::{check, thread, Config, FailureKind};
+
+#[test]
+fn atomics_roundtrip_all_ops() {
+    let outcome = check(&Config::random(5), || {
+        let u = AtomicUsize::new(3);
+        assert_eq!(u.fetch_add(2, Ordering::SeqCst), 3);
+        assert_eq!(u.fetch_sub(1, Ordering::SeqCst), 5);
+        assert_eq!(u.fetch_max(10, Ordering::SeqCst), 4);
+        assert_eq!(u.swap(7, Ordering::SeqCst), 10);
+        assert_eq!(
+            u.compare_exchange(7, 8, Ordering::SeqCst, Ordering::SeqCst),
+            Ok(7)
+        );
+        assert_eq!(
+            u.compare_exchange(7, 9, Ordering::SeqCst, Ordering::SeqCst),
+            Err(8)
+        );
+        assert_eq!(u.load(Ordering::SeqCst), 8);
+
+        let i = AtomicIsize::new(-4);
+        assert_eq!(i.fetch_add(1, Ordering::SeqCst), -4);
+        assert_eq!(i.load(Ordering::SeqCst), -3);
+        assert_eq!(i.fetch_max(0, Ordering::SeqCst), -3);
+        assert_eq!(i.load(Ordering::SeqCst), 0);
+
+        let b = AtomicBool::new(false);
+        assert!(!b.fetch_or(true, Ordering::SeqCst));
+        assert!(b.load(Ordering::SeqCst));
+        assert!(b.fetch_and(false, Ordering::SeqCst));
+        assert!(!b.load(Ordering::SeqCst));
+    });
+    assert!(outcome.failure.is_none(), "{:?}", outcome.failure);
+}
+
+#[test]
+fn spawn_join_returns_value() {
+    let outcome = check(&Config::random(5), || {
+        let h = thread::spawn(|| 41usize + 1);
+        assert_eq!(h.join().expect("spawned thread completed"), 42);
+    });
+    assert!(outcome.failure.is_none(), "{:?}", outcome.failure);
+}
+
+#[test]
+fn scope_spawns_and_joins_borrowing_threads() {
+    let outcome = check(&Config::random(10), || {
+        let data = [1usize, 2, 3, 4];
+        let total = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|| {
+                    let part: usize = chunk.iter().sum();
+                    total.fetch_add(part, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 10);
+    });
+    assert!(outcome.failure.is_none(), "{:?}", outcome.failure);
+}
+
+#[test]
+fn mutex_and_condvar_handshake() {
+    let outcome = check(&Config::random(20), || {
+        let pair = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let producer = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            match m.lock() {
+                Ok(mut g) => *g = 7,
+                Err(poisoned) => *poisoned.into_inner() = 7,
+            }
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let g = m.lock().unwrap_or_else(|p| p.into_inner());
+        let g = cv
+            .wait_while(g, |v| *v == 0)
+            .unwrap_or_else(|p| p.into_inner());
+        assert_eq!(*g, 7);
+        drop(g);
+        producer.join().expect("producer finished");
+    });
+    assert!(outcome.failure.is_none(), "{:?}", outcome.failure);
+}
+
+#[test]
+fn check_reports_a_panicking_closure_as_failure() {
+    let outcome = check(&Config::random(50), || {
+        let flag = AtomicBool::new(false);
+        flag.store(true, Ordering::SeqCst);
+        assert!(!flag.load(Ordering::SeqCst), "deliberately wrong");
+    });
+    let failure = outcome.failure.expect("panic must surface as a failure");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure.message.contains("deliberately wrong"),
+        "message: {}",
+        failure.message
+    );
+    // report() must not itself panic.
+    let _ = failure.report();
+}

@@ -1,0 +1,9 @@
+//! `dqec-lint` CLI: scans the workspace sources and exits non-zero on
+//! any violation not covered by the ratcheted allowlist.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    dqec_lint::cli(&args)
+}

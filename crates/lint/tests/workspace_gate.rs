@@ -1,0 +1,51 @@
+//! The lint gate as a tier-1 test: `cargo test` fails if the landed
+//! tree violates a hard rule or exceeds the committed ratchet, so the
+//! gate holds even where CI is not the merge authority.
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_dqec_lint() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = dqec_lint::run_workspace(&root);
+    assert!(
+        report.files > 50,
+        "walked only {} files — wrong root?",
+        report.files
+    );
+    let rendered: Vec<String> = report.errors.iter().map(|f| f.to_string()).collect();
+    assert!(
+        report.errors.is_empty(),
+        "dqec-lint found {} error(s) in the landed tree:\n{}",
+        report.errors.len(),
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn ratchet_never_understates_the_tree() {
+    // Measured counts never exceed the committed allowance: shrinking
+    // an allowance without removing the sites (or adding sites beyond
+    // it) must fail here, not just in CI.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = dqec_lint::run_workspace(&root);
+    let committed = std::fs::read_to_string(root.join(dqec_lint::ALLOWLIST_FILE))
+        .expect("lint-allowlist.tsv is committed at the workspace root");
+    let (allow, bad) = dqec_lint::parse_allowlist(&committed);
+    assert!(bad.is_empty(), "malformed allowlist: {bad:?}");
+    for (key, &measured) in &report.counts {
+        let permitted = allow.get(key).copied().unwrap_or(0);
+        assert!(
+            measured <= permitted,
+            "{}:{} measured {measured} > permitted {permitted}",
+            key.0,
+            key.1
+        );
+    }
+}

@@ -26,6 +26,7 @@ use rayon::prelude::*;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::Hasher;
+use std::sync::Mutex;
 
 /// Shots per work unit in batch decoding. Chunk boundaries depend only
 /// on the shot count — never on the worker count — so per-chunk caches
@@ -69,7 +70,9 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
-            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+            let mut word = [0u8; 8];
+            word.copy_from_slice(c);
+            self.mix(u64::from_le_bytes(word));
         }
         let rest = chunks.remainder();
         if !rest.is_empty() {
@@ -100,22 +103,108 @@ impl Hasher for FxHasher {
     }
 }
 
-/// Fixed-size chunk ranges covering `0..shots`.
-fn chunk_ranges(shots: usize) -> Vec<(usize, usize)> {
-    (0..shots.div_ceil(DECODE_CHUNK))
-        .map(|c| (c * DECODE_CHUNK, ((c + 1) * DECODE_CHUNK).min(shots)))
-        .collect()
+/// A reusable stash of per-chunk decode state — one `(scratch,
+/// syndrome cache)` pair per worker that has ever decoded a chunk
+/// through this decoder. Chunks borrow a pair for their duration and
+/// return it, so a *warm* `decode_batch` performs zero scratch or
+/// cache allocations regardless of shot count (the allocation
+/// regression test in `tests/alloc_regression.rs` pins this down).
+///
+/// Reuse is invisible to results: decoding is contractually
+/// deterministic, so a cache entry written by any earlier chunk (even
+/// of an earlier batch) holds exactly the prediction the current chunk
+/// would compute. The one event that *does* invalidate entries is
+/// reweighting — [`ScratchPool::clear`] must be called whenever the
+/// decoder's weights change.
+pub(crate) struct ScratchPool<S> {
+    stack: Mutex<Vec<(S, SyndromeCache)>>,
+}
+
+impl<S> ScratchPool<S> {
+    /// An empty pool.
+    pub(crate) fn new() -> Self {
+        ScratchPool {
+            stack: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Borrows a scratch/cache pair, creating a fresh one on a cold
+    /// pool.
+    fn take(&self, new_scratch: impl FnOnce() -> S) -> (S, SyndromeCache) {
+        let popped = self
+            .stack
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop();
+        popped.unwrap_or_else(|| {
+            (
+                new_scratch(),
+                SyndromeCache::with_capacity(DEFAULT_CACHE_ENTRIES),
+            )
+        })
+    }
+
+    /// Returns a borrowed pair for later chunks to reuse.
+    fn put(&self, scratch: S, cache: SyndromeCache) {
+        self.stack
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((scratch, cache));
+    }
+
+    /// Drops every pooled pair. Required whenever the owning decoder's
+    /// weights change (the memoized predictions are stale).
+    pub(crate) fn clear(&self) {
+        self.stack
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+    }
+}
+
+impl<S> Default for ScratchPool<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A cloned decoder starts with a cold pool: scratches and caches are
+/// derived state, and sharing them across clones would couple their
+/// locking.
+impl<S> Clone for ScratchPool<S> {
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}
+
+impl<S> std::fmt::Debug for ScratchPool<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let len = self
+            .stack
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len();
+        f.debug_struct("ScratchPool").field("pooled", &len).finish()
+    }
 }
 
 /// The shared scratch-reusing, syndrome-memoizing batch decode: fans
 /// fixed-size shot chunks out over worker threads, gives each chunk a
-/// private scratch (from `new_scratch`) and [`SyndromeCache`], and
-/// decodes each shot with `decode`. Chunk boundaries depend only on the
-/// shot count and `decode` is contractually deterministic, so
-/// predictions are identical for any worker count. Used by both the
-/// MWPM and union-find `decode_all` implementations.
-pub(crate) fn decode_all_chunked<S, N, F>(batch: &ShotBatch, new_scratch: N, decode: F) -> Vec<u64>
+/// private scratch/cache pair borrowed from `pool` (created by
+/// `new_scratch` when the pool runs dry), and decodes each shot with
+/// `decode` directly into a preallocated output. Chunk boundaries
+/// depend only on the shot count and `decode` is contractually
+/// deterministic, so predictions are identical for any worker count
+/// and any pool state. Used by both the MWPM and union-find
+/// `decode_all` implementations.
+pub(crate) fn decode_all_chunked<S, N, F>(
+    batch: &ShotBatch,
+    pool: &ScratchPool<S>,
+    new_scratch: N,
+    decode: F,
+) -> Vec<u64>
 where
+    S: Send,
     N: Fn() -> S + Sync,
     F: Fn(&[u32], &mut S) -> u64 + Sync,
 {
@@ -124,38 +213,38 @@ where
     let ev = &ev;
     let new_scratch = &new_scratch;
     let decode = &decode;
-    let parts: Vec<Vec<u64>> = chunk_ranges(shots)
+    let mut out = vec![0u64; shots];
+    let chunks: Vec<(usize, &mut [u64])> = out
+        .chunks_mut(DECODE_CHUNK)
+        .enumerate()
+        .map(|(c, slot)| (c * DECODE_CHUNK, slot))
+        .collect();
+    chunks
         .into_par_iter()
-        .map(|(lo, hi)| {
-            let mut scratch = new_scratch();
-            let mut cache = SyndromeCache::with_capacity(DEFAULT_CACHE_ENTRIES);
-            (lo..hi)
-                .map(|s| {
-                    let events = ev.events_of(s);
-                    if events.is_empty() {
-                        return 0;
-                    }
-                    if events.len() > CACHE_KEY_MAX_EVENTS {
-                        return decode(events, &mut scratch);
-                    }
+        .map(|(lo, slot)| {
+            let (mut scratch, mut cache) = pool.take(new_scratch);
+            for (i, pred) in slot.iter_mut().enumerate() {
+                let events = ev.events_of(lo + i);
+                *pred = if events.is_empty() {
+                    0
+                } else if events.len() > CACHE_KEY_MAX_EVENTS {
+                    decode(events, &mut scratch)
+                } else {
                     match cache.get_or_slot(events) {
                         Ok(p) => p,
-                        Err(slot) => {
+                        Err(open) => {
                             let p = decode(events, &mut scratch);
-                            if let Some(slot) = slot {
-                                cache.fill(slot, events, p);
+                            if let Some(open) = open {
+                                cache.fill(open, events, p);
                             }
                             p
                         }
                     }
-                })
-                .collect()
+                };
+            }
+            pool.put(scratch, cache);
         })
-        .collect();
-    let mut out = Vec::with_capacity(shots);
-    for p in parts {
-        out.extend(p);
-    }
+        .run();
     out
 }
 
@@ -198,40 +287,54 @@ pub trait Decoder: Send + Sync {
         let ev = batch.shot_events();
         let shots = ev.shots();
         let ev = &ev;
-        let parts: Vec<Vec<u64>> = chunk_ranges(shots)
-            .into_par_iter()
-            .map(|(lo, hi)| {
-                (lo..hi)
-                    .map(|s| self.decode_events(ev.events_of(s)))
-                    .collect()
-            })
+        let mut out = vec![0u64; shots];
+        let chunks: Vec<(usize, &mut [u64])> = out
+            .chunks_mut(DECODE_CHUNK)
+            .enumerate()
+            .map(|(c, slot)| (c * DECODE_CHUNK, slot))
             .collect();
-        let mut out = Vec::with_capacity(shots);
-        for p in parts {
-            out.extend(p);
-        }
+        chunks
+            .into_par_iter()
+            .map(|(lo, slot)| {
+                for (i, pred) in slot.iter_mut().enumerate() {
+                    *pred = self.decode_events(ev.events_of(lo + i));
+                }
+            })
+            .run();
         out
     }
 
     /// Decodes every shot of a batch and tallies logical failures.
     ///
     /// Decoding runs shot-parallel through [`Decoder::decode_all`];
-    /// per-chunk tallies are combined with [`DecodeStats::merge`], so
-    /// the result does not depend on how many threads participated.
+    /// tallies land in per-chunk rows of one preallocated table (no
+    /// per-chunk allocation, see `tests/alloc_regression.rs`) that are
+    /// summed in chunk order, so the result does not depend on how many
+    /// threads participated.
     fn decode_batch(&self, batch: &ShotBatch) -> DecodeStats {
         let shots = batch.detectors.shots();
         let preds = self.decode_all(batch);
         debug_assert_eq!(preds.len(), shots);
         let nobs = self.num_observables();
+        let mut stats = DecodeStats::new(nobs);
+        stats.shots = shots;
+        if nobs == 0 || shots == 0 {
+            return stats;
+        }
+        let nchunks = shots.div_ceil(DECODE_CHUNK);
         let preds = &preds;
-        let parts: Vec<DecodeStats> = chunk_ranges(shots)
-            .into_par_iter()
-            .map(|(lo, hi)| {
-                let mut s = DecodeStats::new(nobs);
-                s.shots = hi - lo;
+        let mut tallies: Vec<usize> = vec![0; nchunks * nobs];
+        let rows: Vec<(usize, &mut [usize])> = tallies
+            .chunks_mut(nobs)
+            .enumerate()
+            .map(|(c, row)| (c * DECODE_CHUNK, row))
+            .collect();
+        rows.into_par_iter()
+            .map(|(lo, row)| {
+                let hi = (lo + DECODE_CHUNK).min(shots);
                 for (shot, &predicted) in preds[lo..hi].iter().enumerate().map(|(i, p)| (lo + i, p))
                 {
-                    for (o, f) in s.failures.iter_mut().enumerate() {
+                    for (o, f) in row.iter_mut().enumerate() {
                         let actual = batch.observables.get(o, shot);
                         let pred = (predicted >> o) & 1 == 1;
                         if actual != pred {
@@ -239,12 +342,12 @@ pub trait Decoder: Send + Sync {
                         }
                     }
                 }
-                s
             })
-            .collect();
-        let mut stats = DecodeStats::new(nobs);
-        for s in &parts {
-            stats.merge(s);
+            .run();
+        for row in tallies.chunks(nobs) {
+            for (o, f) in row.iter().enumerate() {
+                stats.failures[o] += f;
+            }
         }
         stats
     }
@@ -685,6 +788,9 @@ pub struct MwpmDecoder {
     /// Present when built via [`MwpmDecoder::from_clean`]: enables
     /// in-place reweighting for a different baseline error rate.
     parametric: Option<Box<ParametricState>>,
+    /// Pooled per-chunk scratch/cache pairs reused across batch
+    /// decodes; cleared on reweight (memoized predictions go stale).
+    scratch_pool: ScratchPool<DecodeScratch>,
 }
 
 #[derive(Debug, Clone)]
@@ -715,6 +821,7 @@ impl MwpmDecoder {
             det_basis: circuit.detectors().iter().map(|d| d.basis).collect(),
             num_observables: circuit.observables().len(),
             parametric: None,
+            scratch_pool: ScratchPool::new(),
         }
     }
 
@@ -881,9 +988,12 @@ impl Decoder for MwpmDecoder {
     /// deterministic, so predictions are identical for any worker
     /// count.
     fn decode_all(&self, batch: &ShotBatch) -> Vec<u64> {
-        decode_all_chunked(batch, DecodeScratch::new, |events, scratch| {
-            self.decode_events_with(events, scratch)
-        })
+        decode_all_chunked(
+            batch,
+            &self.scratch_pool,
+            DecodeScratch::new,
+            |events, scratch| self.decode_events_with(events, scratch),
+        )
     }
 
     /// Reweights both basis graphs from the cached parametric DEM.
@@ -905,6 +1015,9 @@ impl Decoder for MwpmDecoder {
         self.z_graph.reweight_from(&dem);
         self.x_graph.reweight_from(&dem);
         state.current_p = noise.p();
+        // Pooled syndrome caches memoize predictions under the *old*
+        // weights; drop them so no stale prediction survives.
+        self.scratch_pool.clear();
         true
     }
 }

@@ -44,7 +44,7 @@
 //! no allocation — mirroring the [`DecodeScratch`](crate::DecodeScratch)
 //! design of the MWPM hot path.
 
-use crate::decoder::{decode_all_chunked, Decoder};
+use crate::decoder::{decode_all_chunked, Decoder, ScratchPool};
 use crate::graph::{weight_of, DecodingGraph};
 use dqec_sim::circuit::{CheckBasis, Circuit};
 use dqec_sim::dem::{DetectorErrorModel, ParametricDem};
@@ -1248,6 +1248,9 @@ pub struct UfDecoder {
     det_basis: Vec<CheckBasis>,
     num_observables: usize,
     parametric: Option<Box<UfParametric>>,
+    /// Pooled per-chunk scratch/cache pairs reused across batch
+    /// decodes; cleared on reweight (memoized predictions go stale).
+    scratch_pool: ScratchPool<UfScratch>,
 }
 
 #[derive(Debug, Clone)]
@@ -1279,6 +1282,7 @@ impl UfDecoder {
             det_basis: circuit.detectors().iter().map(|d| d.basis).collect(),
             num_observables: circuit.observables().len(),
             parametric: None,
+            scratch_pool: ScratchPool::new(),
         }
     }
 
@@ -1348,9 +1352,12 @@ impl Decoder for UfDecoder {
     /// syndrome memoization — the same fixed-chunk machinery as the
     /// MWPM decoder, so predictions are identical for any worker count.
     fn decode_all(&self, batch: &ShotBatch) -> Vec<u64> {
-        decode_all_chunked(batch, UfScratch::new, |events, scratch| {
-            self.decode_events_with(events, scratch)
-        })
+        decode_all_chunked(
+            batch,
+            &self.scratch_pool,
+            UfScratch::new,
+            |events, scratch| self.decode_events_with(events, scratch),
+        )
     }
 
     /// Reweights both basis graphs (and requantizes the growth weights)
@@ -1372,6 +1379,9 @@ impl Decoder for UfDecoder {
         self.z_uf.requantize(&self.z_graph);
         self.x_uf.requantize(&self.x_graph);
         state.current_p = noise.p();
+        // Pooled syndrome caches memoize predictions under the *old*
+        // weights; drop them so no stale prediction survives.
+        self.scratch_pool.clear();
         true
     }
 }

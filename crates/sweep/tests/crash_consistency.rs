@@ -1,0 +1,123 @@
+//! Crash-consistency of the checkpoint protocol: `SweepState::save`
+//! writes a sibling temp file and renames it over the target. This test
+//! enumerates a crash at *every byte boundary* of the temp-file write,
+//! plus the instants before and after the rename, and asserts the
+//! recovery invariant at each: the target file always parses and always
+//! equals either the old state or the new one — never a torn hybrid —
+//! and a leftover temp file never breaks the next save.
+
+use std::path::PathBuf;
+
+use dqec_sweep::checkpoint::{PointEntry, PointTally, SweepState};
+
+fn state(rounds_done: u64, shots: usize) -> SweepState {
+    SweepState {
+        fingerprint: 0xfeed_f00d_0bad_cafe,
+        batch: 2048,
+        precision: Some(0.05),
+        rounds_done,
+        points: vec![
+            PointEntry {
+                spec: 0,
+                point: 0,
+                series: "d=5".into(),
+                p: 1e-3,
+                tally: PointTally {
+                    shots,
+                    failures: shots / 100,
+                    next_batch: rounds_done,
+                },
+            },
+            PointEntry {
+                spec: 0,
+                point: 1,
+                series: "d=5".into(),
+                p: 2e-3,
+                tally: PointTally {
+                    shots: shots * 2,
+                    failures: shots / 10,
+                    next_batch: rounds_done * 2,
+                },
+            },
+        ],
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dqec_crash_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn every_crash_point_of_save_leaves_a_loadable_checkpoint() {
+    let dir = scratch_dir("prefix");
+    let path = dir.join("state.json");
+    let tmp = dir.join("state.json.tmp");
+
+    let old = state(3, 10_000);
+    let new = state(4, 12_000);
+    old.save(&path).expect("seed the old checkpoint");
+
+    // The exact bytes `save` would write for the new state.
+    let new_doc = new.render() + "\n";
+    let new_bytes = new_doc.as_bytes();
+
+    // Crash during the temp-file write, after each possible byte count
+    // (0 = crash immediately after create, len = fully written but not
+    // yet renamed). In every case the target still holds the old state.
+    for cut in 0..=new_bytes.len() {
+        std::fs::write(&tmp, &new_bytes[..cut]).expect("simulate partial tmp write");
+        let recovered = SweepState::load(&path).expect("target must stay loadable");
+        assert_eq!(
+            recovered, old,
+            "crash after {cut} tmp bytes corrupted the target"
+        );
+    }
+
+    // Crash after the rename: the target holds the new state, whole.
+    std::fs::write(&tmp, new_bytes).expect("full tmp write");
+    std::fs::rename(&tmp, &path).expect("simulate the rename step");
+    assert_eq!(SweepState::load(&path).expect("post-rename load"), new);
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn leftover_temp_file_from_a_crash_does_not_break_the_next_save() {
+    let dir = scratch_dir("leftover");
+    let path = dir.join("state.json");
+    let tmp = dir.join("state.json.tmp");
+
+    let old = state(1, 500);
+    let new = state(2, 900);
+    old.save(&path).expect("seed the old checkpoint");
+
+    // A previous run died mid-write, leaving a torn temp file (even one
+    // full of garbage).
+    std::fs::write(&tmp, b"{\"version\":1,\"fingerp").expect("torn tmp");
+
+    // The next save must succeed, land the new state, and leave no
+    // temp file behind.
+    new.save(&path).expect("save over a torn tmp");
+    assert_eq!(SweepState::load(&path).expect("load"), new);
+    assert!(!tmp.exists(), "save left its temp file behind");
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn torn_target_is_rejected_not_misread() {
+    // Defense in depth: the rename makes a torn *target* impossible on
+    // a POSIX filesystem, but if one ever appears (filesystem bugs,
+    // manual edits), every strict prefix of a valid document must be
+    // rejected by the parser rather than silently misread.
+    let doc = state(7, 4_321).render();
+    for cut in 0..doc.len() {
+        assert!(
+            SweepState::from_text(&doc[..cut]).is_err(),
+            "prefix of {cut} bytes parsed as a valid checkpoint"
+        );
+    }
+    assert!(SweepState::from_text(&doc).is_ok());
+}

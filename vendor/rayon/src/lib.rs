@@ -25,11 +25,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// Every sync primitive and thread entry point goes through the
+// `dqec_check` facade: plain `std` re-exports in a normal build,
+// instrumented model-checker types under `--cfg dqec_check`. The model
+// tests in `tests/model_check.rs` rely on this seam — new concurrency
+// code in this crate must use the facade, not `std` directly (enforced
+// by `dqec-lint`).
+use dqec_check::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use dqec_check::sync::Mutex;
+use dqec_check::thread;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock, PoisonError};
 
 /// The traits users import, mirroring `rayon::prelude::*`.
 pub mod prelude {
@@ -45,7 +53,7 @@ pub mod prelude {
 fn budget() -> &'static AtomicIsize {
     static BUDGET: OnceLock<AtomicIsize> = OnceLock::new();
     BUDGET.get_or_init(|| {
-        let cores = std::thread::available_parallelism()
+        let cores = thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1);
         AtomicIsize::new(cores as isize - 1)
@@ -86,17 +94,59 @@ thread_local! {
 /// tests rely on this to genuinely exercise 4- and 16-worker execution
 /// on any machine; `--threads N` maps onto this call.
 pub fn with_worker_cap<R>(workers: usize, f: impl FnOnce() -> R) -> R {
-    struct Restore(Option<Arc<CapPool>>);
+    // Panic-safety audit (model-checked in tests/model_check.rs): the
+    // previous cap is restored — and any permits borrowed from the
+    // enclosing pool are returned — by this drop guard on every exit
+    // path, including unwinds out of `f`; the fan-out budget itself is
+    // returned by `WorkerPermits::drop`, which runs during unwinding of
+    // `run()` even when a spawned worker panicked mid-steal (the scope
+    // joins every worker before the permits local goes out of scope).
+    struct Restore {
+        prev: Option<Arc<CapPool>>,
+        outer: Option<Arc<CapPool>>,
+        borrowed: isize,
+    }
     impl Drop for Restore {
         fn drop(&mut self) {
-            CAP_POOL.with(|c| *c.borrow_mut() = self.0.take());
+            CAP_POOL.with(|c| *c.borrow_mut() = self.prev.take());
+            if let Some(outer) = self.outer.take() {
+                outer.permits.fetch_add(self.borrowed, Ordering::Relaxed);
+            }
         }
     }
+    // A nested cap is a sub-budget of its enclosing scope, not a fresh
+    // grant: it may only hold permits the outer pool can spare, so the
+    // outermost `with_worker_cap(w)` bounds the whole tree at `w` live
+    // threads. (Found by the model checker: a fresh pool per nested
+    // call let two cap-2 scopes under a cap-3 scope run 4 threads.)
+    let outer = CAP_POOL.with(|c| c.borrow().clone());
+    let want = workers.saturating_sub(1);
+    let granted = match &outer {
+        Some(pool) => cas_take(&pool.permits, want) as isize,
+        // Outermost cap: an explicit grant of the requested width.
+        None => want as isize,
+    };
     let pool = Arc::new(CapPool {
-        permits: AtomicIsize::new(workers.saturating_sub(1) as isize),
+        permits: AtomicIsize::new(granted),
     });
-    let _restore = Restore(CAP_POOL.with(|c| c.borrow_mut().replace(pool)));
+    let _restore = Restore {
+        prev: CAP_POOL.with(|c| c.borrow_mut().replace(pool)),
+        borrowed: if outer.is_some() { granted } else { 0 },
+        outer,
+    };
     f()
+}
+
+/// Remaining extra-thread permits of the innermost [`with_worker_cap`]
+/// scope on this thread, or `None` when uncapped. Test/diagnostic
+/// introspection only — the value is stale the moment it is read.
+#[doc(hidden)]
+pub fn cap_pool_permits() -> Option<isize> {
+    CAP_POOL.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|pool| pool.permits.load(Ordering::Acquire))
+    })
 }
 
 /// Takes up to `want` permits from `source` (a CAS loop that never goes
@@ -335,14 +385,22 @@ impl<T: Send> Steal<T> {
     /// one block to work on and re-queues the rest on its own deque,
     /// where they become stealable again).
     fn claim(&self, me: usize) -> Option<Block<T>> {
-        if let Some(block) = self.deques[me].lock().expect("deque lock").pop_back() {
+        let own = {
+            let mut mine = self.deques[me]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            mine.pop_back()
+        };
+        if let Some(block) = own {
             self.unclaimed.fetch_sub(1, Ordering::AcqRel);
             return Some(block);
         }
         let w = self.deques.len();
         for k in 1..w {
             let victim = (me + k) % w;
-            let mut v = self.deques[victim].lock().expect("deque lock");
+            let mut v = self.deques[victim]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             let available = v.len();
             if available == 0 {
                 continue;
@@ -352,7 +410,9 @@ impl<T: Send> Steal<T> {
             let first = stolen.remove(0);
             self.unclaimed.fetch_sub(1, Ordering::AcqRel);
             if !stolen.is_empty() {
-                let mut mine = self.deques[me].lock().expect("deque lock");
+                let mut mine = self.deques[me]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
                 mine.extend(stolen);
             }
             return Some(first);
@@ -366,7 +426,15 @@ impl<T: Send> Steal<T> {
     fn work<R: Send, F: Fn(T) -> R + Sync>(&self, me: usize, f: &F) -> Vec<(usize, Vec<R>)> {
         let mut out = Vec::new();
         loop {
-            if self.poisoned.load(Ordering::Relaxed) {
+            // Acquire pairs with the `Release` store below: a worker
+            // that observes the poison also observes everything the
+            // panicking worker did first, so it can never act on a
+            // half-published fan-out state. (`Relaxed` would very
+            // likely terminate too — the flag is only ever 0→1 and
+            // eventually visible — but the model checker treats
+            // unsynchronized publication as an error budget we don't
+            // want to spend; see tests/model_check.rs.)
+            if self.poisoned.load(Ordering::Acquire) {
                 break;
             }
             match self.claim(me) {
@@ -378,8 +446,10 @@ impl<T: Send> Steal<T> {
                         Ok(results) => out.push((block.start, results)),
                         Err(payload) => {
                             // Unblock every other worker before unwinding;
-                            // the caller re-raises this payload.
-                            self.poisoned.store(true, Ordering::Relaxed);
+                            // the caller re-raises this payload. Release
+                            // pairs with the Acquire load at the top of
+                            // the loop.
+                            self.poisoned.store(true, Ordering::Release);
                             std::panic::resume_unwind(payload);
                         }
                     }
@@ -388,7 +458,7 @@ impl<T: Send> Steal<T> {
                     if self.unclaimed.load(Ordering::Acquire) == 0 {
                         break;
                     }
-                    std::thread::yield_now();
+                    thread::yield_now();
                 }
             }
         }
@@ -439,7 +509,7 @@ impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParallelIterator for ParMap<T, F> {
         for (i, b) in blocks.into_iter().enumerate() {
             steal.deques[i % workers]
                 .lock()
-                .expect("deque lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .push_back(b);
         }
 
@@ -458,7 +528,7 @@ impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParallelIterator for ParMap<T, F> {
                 }
             }
         };
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             let handles: Vec<_> = (1..workers)
                 .map(|me| {
                     let inherited = inherited.clone();
@@ -568,6 +638,39 @@ mod tests {
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_default();
         assert!(msg.contains("kaboom-under-cap"), "payload lost: {msg:?}");
+    }
+
+    #[test]
+    fn panicking_closure_restores_cap_budget_at_every_width() {
+        // Satellite regression for panic-safe with_worker_cap: a
+        // panicking mapped closure must return every borrowed permit to
+        // the scope's shared pool — at the sequential width (1, where
+        // the panic propagates straight through), and at real fan-out
+        // widths (4, 16) where spawned workers unwind mid-steal.
+        for cap in [1usize, 4, 16] {
+            super::with_worker_cap(cap, || {
+                let full = cap.saturating_sub(1) as isize;
+                assert_eq!(super::cap_pool_permits(), Some(full), "cap={cap}");
+                let result = std::panic::catch_unwind(|| {
+                    let _: Vec<u32> = (0..64u32)
+                        .into_par_iter()
+                        .map(|i| if i == 20 { panic!("pow-{i}") } else { i })
+                        .collect();
+                });
+                assert!(result.is_err(), "panic must propagate at cap={cap}");
+                // Every worker is joined before `run()` unwinds, so the
+                // permits are already back by the time the panic
+                // reaches us.
+                assert_eq!(
+                    super::cap_pool_permits(),
+                    Some(full),
+                    "permits leaked on unwind at cap={cap}"
+                );
+                // And the scope still works at full width afterwards.
+                let got: Vec<u32> = (0..100u32).into_par_iter().map(|x| x + 1).collect();
+                assert_eq!(got.len(), 100);
+            });
+        }
     }
 
     #[test]

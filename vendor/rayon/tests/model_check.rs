@@ -1,0 +1,198 @@
+//! Model-checked properties of the work-stealing shim, run under the
+//! deterministic scheduler (`RUSTFLAGS="--cfg dqec_check"`). Each test
+//! drives the *real* shim code — `with_worker_cap`, the deque/steal
+//! path, the `unclaimed`/`poisoned` handshake — through thousands of
+//! schedules. Internal shim assertions ("item computed twice", "every
+//! input item computed exactly once") turn lost or duplicated tasks
+//! into panics the checker reports with a replayable seed.
+#![cfg(dqec_check)]
+
+use dqec_check::sync::atomic::{AtomicUsize, Ordering};
+use dqec_check::{check, Config};
+use rayon::{with_worker_cap, IntoParallelIterator, ParallelIterator};
+
+/// Steal-half vs owner LIFO pop: every input item is computed exactly
+/// once and lands in its input-order slot, under every explored
+/// schedule of two workers racing over the deques.
+#[test]
+fn steal_never_loses_or_duplicates_items() {
+    let outcome = check(&Config::random(1500).max_steps(100_000), || {
+        let got: Vec<u32> = with_worker_cap(2, || {
+            (0..6u32).into_par_iter().map(|i| i * 10 + 1).collect()
+        });
+        assert_eq!(got, vec![1, 11, 21, 31, 41, 51]);
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "steal path lost/duplicated work: {}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    eprintln!("steal no-loss/no-dup: {} executions", outcome.executions);
+}
+
+/// Bounded-exhaustive DFS over a deliberately tiny configuration
+/// (one worker thread + the submitting thread, two items).
+#[test]
+fn tiny_config_survives_exhaustive_dfs() {
+    let outcome = check(&Config::dfs(30_000).max_steps(100_000), || {
+        let got: Vec<u32> =
+            with_worker_cap(2, || (0..2u32).into_par_iter().map(|i| i + 7).collect());
+        assert_eq!(got, vec![7, 8]);
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "DFS found a schedule that breaks the shim: {}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    eprintln!(
+        "tiny-config DFS: {} executions, complete = {}",
+        outcome.executions, outcome.complete
+    );
+}
+
+/// `with_worker_cap` budget inheritance: across nested scopes, the
+/// number of concurrently-running pipeline closures never exceeds the
+/// outer cap. The closure-side counter uses facade atomics, so the
+/// checker explores its interleavings too.
+#[test]
+fn nested_caps_never_oversubscribe() {
+    let outcome = check(&Config::random(600).max_steps(200_000), || {
+        // Counts threads currently executing *leaf* work. Each live
+        // thread runs at most one leaf closure at a time, so this
+        // counter exceeding the outer cap means more than `outer_cap`
+        // threads were live inside the scope. (Only leaves count: an
+        // outer closure that is itself running a nested fan-out is
+        // parked in claim/merge bookkeeping, and its thread reappears
+        // here the moment it picks up an inner block of its own.)
+        let running = AtomicUsize::new(0);
+        let outer_cap = 3;
+        with_worker_cap(outer_cap, || {
+            let sums: Vec<u32> = (0..2u32)
+                .into_par_iter()
+                .map(|i| {
+                    with_worker_cap(2, || {
+                        (0..2u32)
+                            .into_par_iter()
+                            .map(|j| {
+                                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                                assert!(
+                                    now <= outer_cap,
+                                    "{now} concurrent workers under cap {outer_cap}"
+                                );
+                                running.fetch_sub(1, Ordering::SeqCst);
+                                i * 10 + j
+                            })
+                            .sum()
+                    })
+                })
+                .collect();
+            assert_eq!(sums, vec![1, 21]);
+        });
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "nested caps oversubscribed: {}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    eprintln!("nested caps: {} executions", outcome.executions);
+}
+
+/// Satellite 1 under the model scheduler: a panicking closure unwinding
+/// through `run()` must restore the inherited budget on every schedule
+/// — `WorkerPermits::drop` and the `Restore` guard race the workers'
+/// own permit returns here.
+#[test]
+fn panic_unwind_restores_budget_on_every_schedule() {
+    let outcome = check(&Config::random(400).max_steps(200_000), || {
+        with_worker_cap(2, || {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                (0..4u32)
+                    .into_par_iter()
+                    .map(|i| {
+                        assert!(i != 2, "boom-{i}");
+                        i
+                    })
+                    .collect::<Vec<_>>()
+            }));
+            assert!(r.is_err(), "panicking pipeline must report the panic");
+            assert_eq!(
+                rayon::cap_pool_permits(),
+                Some(1),
+                "budget not restored after unwind"
+            );
+            // The pool must still be fully usable afterwards.
+            let again: u32 = (0..4u32).into_par_iter().map(|i| i).sum();
+            assert_eq!(again, 6);
+        });
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "panic-unwind budget restore failed: {}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    eprintln!("panic-unwind restore: {} executions", outcome.executions);
+}
+
+/// The `poisoned`/`unclaimed` shutdown handshake can neither hang
+/// (the checker's deadlock/step-bound detectors would fire) nor drop
+/// the panic (catch_unwind must see Err on every schedule).
+#[test]
+fn poisoned_shutdown_handshake_cannot_hang_or_drop_the_panic() {
+    let outcome = check(&Config::random(800).max_steps(200_000), || {
+        with_worker_cap(3, || {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                (0..6u32)
+                    .into_par_iter()
+                    .map(|i| {
+                        assert!(i != 4, "poison-{i}");
+                        i
+                    })
+                    .collect::<Vec<_>>()
+            }));
+            assert!(r.is_err(), "worker panic was dropped by the handshake");
+        });
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "shutdown handshake hung or dropped a panic: {}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    eprintln!("shutdown handshake: {} executions", outcome.executions);
+}
+
+/// Mutation teeth against the shim's own publication protocol: the
+/// checker distinguishes the real `Release`-publish / `Acquire`-observe
+/// `unclaimed` handshake from a `Relaxed`-mutated copy (see
+/// `crates/check/tests/mutation_teeth.rs` for the full pair; this
+/// asserts the mutated copy of the *shim's* protocol is caught when
+/// run side by side with the real shim in the same process).
+#[test]
+fn mutation_relaxed_unclaimed_handshake_is_caught() {
+    let outcome = check(&Config::random(4000).seed(0xD9EC_0009), || {
+        let slot = std::sync::Arc::new(AtomicUsize::new(0));
+        let unclaimed = std::sync::Arc::new(AtomicUsize::new(1));
+        let (s2, u2) = (
+            std::sync::Arc::clone(&slot),
+            std::sync::Arc::clone(&unclaimed),
+        );
+        let worker = dqec_check::thread::spawn(move || {
+            s2.store(9, Ordering::Relaxed);
+            // MUTATION of the shim's `unclaimed.fetch_sub(1, AcqRel)`.
+            u2.fetch_sub(1, Ordering::Relaxed);
+        });
+        // MUTATION of the shim's `unclaimed.load(Acquire)` wait loop.
+        while unclaimed.load(Ordering::Relaxed) != 0 {
+            dqec_check::thread::yield_now();
+        }
+        assert_eq!(
+            slot.load(Ordering::Relaxed),
+            9,
+            "stale slot after handshake"
+        );
+        worker.join().expect("worker");
+    });
+    assert!(
+        outcome.failure.is_some(),
+        "weakened unclaimed handshake was NOT caught — the model has no teeth"
+    );
+}
