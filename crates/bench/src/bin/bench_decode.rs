@@ -159,10 +159,11 @@ fn bench(args: &Args) {
             // "workers" in the JSON).
             // Sparse MWPM batch path, as the experiment runner drives
             // it; also the reference the `uf` rows compare against.
+            let mut mwpm_stats = dqec_matching::DecodeStats::default();
             let t_sparse = rayon::with_worker_cap(1, || {
                 mwpm.decode_batch(&batch); // warm-up
                 time3(|| {
-                    std::hint::black_box(mwpm.decode_batch(&batch));
+                    mwpm_stats = std::hint::black_box(mwpm.decode_batch(&batch));
                 })
             });
             let sparse_sps = args.shots as f64 / t_sparse;
@@ -188,18 +189,22 @@ fn bench(args: &Args) {
                 rows.push(format!(
                     "{{\"decoder\": \"mwpm\", \"d\": {d}, \"p\": {p}, \"shots\": {}, \"workers\": 1, \
                      \"mean_events_per_shot\": {mean_events:.3}, \"dense_shots_per_sec\": {dense_sps:.1}, \
-                     \"sparse_shots_per_sec\": {sparse_sps:.1}, \"speedup\": {:.2}}}",
+                     \"sparse_shots_per_sec\": {sparse_sps:.1}, \"speedup\": {:.2}, \
+                     \"cache_hits\": {}, \"cache_misses\": {}}}",
                     args.shots,
-                    t_dense / t_sparse
+                    t_dense / t_sparse,
+                    mwpm_stats.cache_hits,
+                    mwpm_stats.cache_misses
                 ));
             }
 
             if args.uf {
                 let uf = UfDecoder::new(&noisy);
+                let mut uf_stats = dqec_matching::DecodeStats::default();
                 let t_uf = rayon::with_worker_cap(1, || {
                     uf.decode_batch(&batch); // warm-up
                     time3(|| {
-                        std::hint::black_box(uf.decode_batch(&batch));
+                        uf_stats = std::hint::black_box(uf.decode_batch(&batch));
                     })
                 });
                 let uf_sps = args.shots as f64 / t_uf;
@@ -211,9 +216,12 @@ fn bench(args: &Args) {
                 rows.push(format!(
                     "{{\"decoder\": \"uf\", \"d\": {d}, \"p\": {p}, \"shots\": {}, \"workers\": 1, \
                      \"mean_events_per_shot\": {mean_events:.3}, \"uf_shots_per_sec\": {uf_sps:.1}, \
-                     \"mwpm_shots_per_sec\": {sparse_sps:.1}, \"speedup_vs_mwpm\": {:.2}}}",
+                     \"mwpm_shots_per_sec\": {sparse_sps:.1}, \"speedup_vs_mwpm\": {:.2}, \
+                     \"cache_hits\": {}, \"cache_misses\": {}}}",
                     args.shots,
-                    t_sparse / t_uf
+                    t_sparse / t_uf,
+                    uf_stats.cache_hits,
+                    uf_stats.cache_misses
                 ));
             }
         }

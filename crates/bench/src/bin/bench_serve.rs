@@ -1,0 +1,251 @@
+//! Harness-free serving benchmark: drives an in-process `dqec_serve`
+//! server over real TCP with a mixed mwpm/uf burst at d = 5 and writes
+//! cold-vs-warm throughput and latency percentiles to
+//! `BENCH_serve.json` so successive PRs can track the trajectory.
+//!
+//! Two phases over the identical request stream:
+//!
+//! * `cold` — the server runs with `--cache 0`, so every request pays
+//!   experiment compilation (circuit synthesis + decoder construction)
+//!   before sampling;
+//! * `warm` — the server runs with a real compiled-experiment cache,
+//!   pre-warmed with one request per distinct (patch, decoder, noise)
+//!   key, so the burst is pure cache-hit sampling.
+//!
+//! `speedup` is warm throughput over cold throughput; the CI smoke job
+//! asserts it stays >= 5 at d = 5.
+
+use dqec_serve::protocol::{parse_response, DecodeRequest, Request, Response};
+use dqec_serve::{start, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+const USAGE: &str = "\
+usage: bench_serve [--requests N] [--shots N] [--threads N] [--out FILE] [--help]
+
+  --requests N  burst size per phase (default 32)
+  --shots N     shots per decode request (default 256; small on purpose
+                so compilation dominates the cold phase)
+  --threads N   worker cap for decode fan-outs (N >= 1)
+  --out FILE    where to write the JSON report (default BENCH_serve.json)
+  --help        show this message";
+
+struct Args {
+    requests: usize,
+    shots: usize,
+    threads: Option<usize>,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut requests = 32usize;
+    let mut shots = 256usize;
+    let mut threads: Option<usize> = None;
+    let mut out = std::path::PathBuf::from("BENCH_serve.json");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--requests" => requests = flag_value(&mut it, "--requests"),
+            "--shots" => shots = flag_value(&mut it, "--shots"),
+            "--threads" => {
+                let n: usize = flag_value(&mut it, "--threads");
+                if n == 0 {
+                    eprintln!("error: --threads must be >= 1\n{USAGE}");
+                    std::process::exit(2);
+                }
+                threads = Some(n);
+            }
+            "--out" => {
+                out = it
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --out requires a value\n{USAGE}");
+                        std::process::exit(2);
+                    })
+                    .into();
+            }
+            other => {
+                eprintln!("error: unknown flag {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if requests == 0 || shots == 0 {
+        eprintln!("error: --requests and --shots must be >= 1\n{USAGE}");
+        std::process::exit(2);
+    }
+    Args {
+        requests,
+        shots,
+        threads,
+        out,
+    }
+}
+
+fn flag_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> usize {
+    let v = it.next().unwrap_or_else(|| {
+        eprintln!("error: {flag} requires a value\n{USAGE}");
+        std::process::exit(2);
+    });
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("error: bad {flag} value {v:?}\n{USAGE}");
+        std::process::exit(2);
+    })
+}
+
+/// The four distinct cache keys of the burst: {mwpm, uf} x {2 ps}.
+const PS: [f64; 2] = [1e-3, 3e-3];
+const DECODERS: [&str; 2] = ["mwpm", "uf"];
+const D: u32 = 5;
+
+/// Request `i` of the burst: cycles the four configurations, fresh
+/// seed per request (same configuration, new randomness — the serving
+/// workload the cache is built for).
+fn burst_request(i: usize, shots: usize) -> Request {
+    let decoder =
+        dqec_chiplet::runner::DecoderChoice::parse(DECODERS[i % 2]).expect("known decoder name");
+    Request::Decode(DecodeRequest {
+        id: i as u64,
+        d: D,
+        p: PS[(i / 2) % 2],
+        rounds: None,
+        shots,
+        seed: 0x5e7e + i as u64,
+        decoder,
+        defects: Default::default(),
+    })
+}
+
+struct Phase {
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    total_s: f64,
+}
+
+/// Closed-loop client: send a request, block for its response, repeat.
+/// Closed-loop keeps per-request latency unambiguous (no queueing time
+/// from the client's own burst inflating the tail).
+fn run_phase(config: ServerConfig, requests: usize, shots: usize, prewarm: bool) -> Phase {
+    let server = start(config).unwrap_or_else(|e| {
+        eprintln!("error: cannot start server: {e}");
+        std::process::exit(1);
+    });
+    let stream = TcpStream::connect(server.addr()).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect: {e}");
+        std::process::exit(1);
+    });
+    stream.set_nodelay(true).expect("set TCP_NODELAY");
+    let mut write = stream.try_clone().expect("clone connection");
+    let mut read = BufReader::new(stream);
+
+    let mut roundtrip = |req: &Request| -> f64 {
+        let t0 = Instant::now();
+        writeln!(write, "{}", req.render_line()).expect("send request");
+        write.flush().expect("flush request");
+        let mut line = String::new();
+        let n = read.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection mid-phase");
+        let dt = t0.elapsed().as_secs_f64();
+        match parse_response(line.trim_end()).expect("parseable response") {
+            Response::Ler(r) => assert_eq!(r.shots, shots, "short-counted response"),
+            other => panic!("expected ler response, got {other:?}"),
+        }
+        dt
+    };
+
+    if prewarm {
+        // One request per distinct (patch, decoder, noise) key: after
+        // this, the timed burst never compiles.
+        for i in 0..PS.len() * DECODERS.len() {
+            roundtrip(&burst_request(i, shots));
+        }
+    }
+
+    let t0 = Instant::now();
+    let mut lat: Vec<f64> = (0..requests)
+        .map(|i| roundtrip(&burst_request(i, shots)))
+        .collect();
+    let total_s = t0.elapsed().as_secs_f64();
+    server.stop();
+
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |q: f64| lat[((lat.len() - 1) as f64 * q).round() as usize] * 1e3;
+    Phase {
+        rps: requests as f64 / total_s,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        total_s,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.threads {
+        Some(n) => rayon::with_worker_cap(n, || bench(&args)),
+        None => bench(&args),
+    }
+}
+
+fn bench(args: &Args) {
+    let base = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        queue_capacity: 1024,
+        ..ServerConfig::default()
+    };
+
+    let cold_config = ServerConfig {
+        cache_capacity: 0,
+        ..base.clone()
+    };
+    let cold = run_phase(cold_config, args.requests, args.shots, false);
+    eprintln!(
+        "cold: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms ({} requests, {:.2} s)",
+        cold.rps, cold.p50_ms, cold.p99_ms, args.requests, cold.total_s
+    );
+
+    let warm_config = ServerConfig {
+        cache_capacity: 16,
+        ..base
+    };
+    let warm = run_phase(warm_config, args.requests, args.shots, true);
+    eprintln!(
+        "warm: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms ({} requests, {:.2} s)",
+        warm.rps, warm.p50_ms, warm.p99_ms, args.requests, warm.total_s
+    );
+    let speedup = warm.rps / cold.rps;
+    eprintln!("speedup (warm/cold): {speedup:.1}x");
+
+    let rows = [
+        format!(
+            "{{\"phase\": \"cold\", \"d\": {D}, \"requests\": {}, \"shots\": {}, \
+             \"requests_per_sec\": {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"total_s\": {:.3}}}",
+            args.requests, args.shots, cold.rps, cold.p50_ms, cold.p99_ms, cold.total_s
+        ),
+        format!(
+            "{{\"phase\": \"warm\", \"d\": {D}, \"requests\": {}, \"shots\": {}, \
+             \"requests_per_sec\": {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"total_s\": {:.3}, \"speedup\": {speedup:.2}}}",
+            args.requests, args.shots, warm.rps, warm.p50_ms, warm.p99_ms, warm.total_s
+        ),
+    ];
+    let mut json = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str("  ");
+        json.push_str(row);
+        json.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("]\n");
+    let mut file = std::fs::File::create(&args.out)
+        .unwrap_or_else(|e| panic!("create {}: {e}", args.out.display()));
+    file.write_all(json.as_bytes())
+        .unwrap_or_else(|e| panic!("write {}: {e}", args.out.display()));
+    eprintln!("wrote {}", args.out.display());
+}

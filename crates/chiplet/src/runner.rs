@@ -557,9 +557,30 @@ impl CompiledExperiment {
         shots_bound: usize,
     ) -> DecodeStats {
         let point = self.current_point.expect("select_point before sampling");
+        self.sample_batches_with_seed(batches, batch, shots_bound, self.point_seed(point))
+    }
+
+    /// [`Self::sample_batches`] with an explicit point seed instead of
+    /// the spec-derived one. This is the decode-service entry point: a
+    /// cached compiled experiment (compiled under a normalized spec so
+    /// requests differing only in seed/shots share one entry) serves
+    /// each request under that request's own seed, and tallies stay a
+    /// pure function of `(circuit, decoder, seed, batch ranges)` — byte
+    /// -identical to a one-shot [`Runner`] run with the same seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no point is selected ([`Self::select_point`]).
+    pub fn sample_batches_with_seed(
+        &self,
+        batches: std::ops::Range<u64>,
+        batch: usize,
+        shots_bound: usize,
+        seed: u64,
+    ) -> DecodeStats {
+        assert!(self.current_point.is_some(), "select_point before sampling");
         let noisy = self.noisy.as_ref().expect("noisy circuit built");
         let batch = batch.max(1);
-        let seed = self.point_seed(point);
         let decoder = self.decoder.as_ref();
         let results: Vec<DecodeStats> = batches
             .into_par_iter()

@@ -16,7 +16,16 @@ use crate::coords::Coord;
 use crate::error::CoreError;
 use crate::graphs::CheckGraph;
 use dqec_sim::circuit::{CheckBasis, Circuit, MeasRecord};
+use dqec_sim::SimError;
 use std::collections::BTreeMap;
+
+/// Maps a simulator rejection into a typed [`CoreError`], tagging the
+/// schedule stage it came from.
+fn build_err(stage: &'static str) -> impl Fn(SimError) -> CoreError {
+    move |e| CoreError::CircuitBuild {
+        detail: format!("{stage}: {e}"),
+    }
+}
 
 /// A generated experiment circuit (noiseless; apply a
 /// [`dqec_sim::NoiseModel`] before sampling).
@@ -141,7 +150,7 @@ fn build(
 
     // Initialize all qubits in |0>.
     for &c in live_data.iter().chain(live_faces.iter()) {
-        circuit.reset(q(c)).expect("qubit in range");
+        circuit.reset(q(c)).map_err(build_err("initial reset"))?;
     }
     circuit.tick();
 
@@ -180,7 +189,7 @@ fn build(
                 // reset state, so nothing to do here.
             }
             if f.face_basis() == CheckBasis::X {
-                circuit.h(q(f)).expect("qubit in range");
+                circuit.h(q(f)).map_err(build_err("ancilla H"))?;
             }
         }
         circuit.tick();
@@ -198,8 +207,8 @@ fn build(
                 let d = Coord::new(f.x + dx, f.y + dy);
                 if patch.is_live_data(d) {
                     match f.face_basis() {
-                        CheckBasis::X => circuit.cx(q(f), q(d)).expect("distinct qubits"),
-                        CheckBasis::Z => circuit.cx(q(d), q(f)).expect("distinct qubits"),
+                        CheckBasis::X => circuit.cx(q(f), q(d)).map_err(build_err("CX step"))?,
+                        CheckBasis::Z => circuit.cx(q(d), q(f)).map_err(build_err("CX step"))?,
                     }
                 }
             }
@@ -207,14 +216,16 @@ fn build(
         }
         for &f in &measured {
             if f.face_basis() == CheckBasis::X {
-                circuit.h(q(f)).expect("qubit in range");
+                circuit.h(q(f)).map_err(build_err("ancilla un-H"))?;
             }
         }
         circuit.tick();
         // Measure (and reset for reuse).
         let mut this_rec: BTreeMap<Coord, MeasRecord> = BTreeMap::new();
         for &f in &measured {
-            let m = circuit.measure_reset(q(f)).expect("qubit in range");
+            let m = circuit
+                .measure_reset(q(f))
+                .map_err(build_err("ancilla readout"))?;
             this_rec.insert(f, m);
         }
         circuit.tick();
@@ -227,13 +238,13 @@ fn build(
                 (CheckBasis::Z, None) => {
                     circuit
                         .add_detector(&[m], CheckBasis::Z, coord)
-                        .expect("records exist");
+                        .map_err(build_err("first-round detector"))?;
                 }
                 (CheckBasis::X, None) => {}
                 (basis, Some(&p)) => {
                     circuit
                         .add_detector(&[m, p], basis, coord)
-                        .expect("records exist");
+                        .map_err(build_err("round-pair detector"))?;
                 }
             }
         }
@@ -256,14 +267,14 @@ fn build(
                     let coord = (g.x, g.y, t as i32);
                     circuit
                         .add_detector(&[this_rec[&g], prev_rec[&g]], basis, coord)
-                        .expect("records exist");
+                        .map_err(build_err("gauge repeat detector"))?;
                 }
             } else if basis == CheckBasis::Z && !prev_rec.contains_key(&gauges[0]) {
                 // First Z block: each Z gauge is deterministic in |0…0>.
                 for &g in gauges {
                     circuit
                         .add_detector(&[this_rec[&g]], basis, (g.x, g.y, t as i32))
-                        .expect("records exist");
+                        .map_err(build_err("first Z-block detector"))?;
                 }
             } else if prev_rec.contains_key(&gauges[0]) {
                 // New block with an earlier same-basis block: compare
@@ -276,7 +287,7 @@ fn build(
                 let anchor = gauges[0];
                 circuit
                     .add_detector(&records, basis, (anchor.x, anchor.y, t as i32))
-                    .expect("records exist");
+                    .map_err(build_err("super-stabilizer detector"))?;
             }
             // else: first X block — X gauges start out random.
         }
@@ -289,7 +300,7 @@ fn build(
     // Final transversal Z readout of the data qubits.
     let mut data_rec: BTreeMap<Coord, MeasRecord> = BTreeMap::new();
     for &d in &live_data {
-        let m = circuit.measure(q(d)).expect("qubit in range");
+        let m = circuit.measure(q(d)).map_err(build_err("data readout"))?;
         data_rec.insert(d, m);
     }
     // Closing detectors for Z-type checks.
@@ -305,7 +316,7 @@ fn build(
         records.push(prev_rec[&f]);
         circuit
             .add_detector(&records, CheckBasis::Z, (f.x, f.y, rounds as i32))
-            .expect("records exist");
+            .map_err(build_err("closing detector"))?;
     }
     for cluster in patch.clusters() {
         if cluster.z_gauges.is_empty() {
@@ -323,7 +334,7 @@ fn build(
                 records.push(prev_rec[&g]);
                 circuit
                     .add_detector(&records, CheckBasis::Z, (g.x, g.y, rounds as i32))
-                    .expect("records exist");
+                    .map_err(build_err("closing gauge detector"))?;
             }
         } else {
             // Ended on an X block: close the Z super-stabilizer product.
@@ -335,7 +346,7 @@ fn build(
             let anchor = cluster.z_gauges[0];
             circuit
                 .add_detector(&records, CheckBasis::Z, (anchor.x, anchor.y, rounds as i32))
-                .expect("records exist");
+                .map_err(build_err("closing super-stabilizer detector"))?;
         }
     }
 
@@ -345,7 +356,7 @@ fn build(
             let records: Vec<MeasRecord> = obs_path.iter().map(|d| data_rec[d]).collect();
             circuit
                 .include_observable(0, &records)
-                .expect("records exist");
+                .map_err(build_err("memory observable"))?;
         }
         Experiment::Stability => {
             let mut records: Vec<MeasRecord> = Vec::new();
@@ -364,7 +375,7 @@ fn build(
             }
             circuit
                 .include_observable(0, &records)
-                .expect("records exist");
+                .map_err(build_err("stability observable"))?;
         }
     }
 

@@ -39,6 +39,16 @@ pub enum CoreError {
         /// Description of the failure.
         detail: String,
     },
+    /// Circuit synthesis emitted an operation the simulator rejected
+    /// (out-of-range qubit, duplicated pair, dangling measurement
+    /// record). Always a generator bug rather than a bad input, but
+    /// surfaced as a typed error so callers report it instead of
+    /// unwinding mid-build.
+    CircuitBuild {
+        /// The simulator's rejection, plus where in the schedule it
+        /// happened.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -61,6 +71,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::Sweep { detail } => {
                 write!(f, "sweep orchestration failed: {detail}")
+            }
+            CoreError::CircuitBuild { detail } => {
+                write!(f, "circuit synthesis failed: {detail}")
             }
         }
     }

@@ -188,6 +188,16 @@ impl<S> std::fmt::Debug for ScratchPool<S> {
     }
 }
 
+/// Syndrome-cache hit/miss deltas observed while decoding one batch,
+/// summed over its chunks. Diagnostic only: the split between hits and
+/// misses depends on which pooled cache each chunk happened to borrow,
+/// so it is *not* deterministic across worker counts — predictions are.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CacheCounters {
+    pub hits: u64,
+    pub misses: u64,
+}
+
 /// The shared scratch-reusing, syndrome-memoizing batch decode: fans
 /// fixed-size shot chunks out over worker threads, gives each chunk a
 /// private scratch/cache pair borrowed from `pool` (created by
@@ -196,13 +206,14 @@ impl<S> std::fmt::Debug for ScratchPool<S> {
 /// depend only on the shot count and `decode` is contractually
 /// deterministic, so predictions are identical for any worker count
 /// and any pool state. Used by both the MWPM and union-find
-/// `decode_all` implementations.
+/// `decode_all` implementations. Also returns the batch's aggregate
+/// syndrome-cache hit/miss deltas for observability.
 pub(crate) fn decode_all_chunked<S, N, F>(
     batch: &ShotBatch,
     pool: &ScratchPool<S>,
     new_scratch: N,
     decode: F,
-) -> Vec<u64>
+) -> (Vec<u64>, CacheCounters)
 where
     S: Send,
     N: Fn() -> S + Sync,
@@ -219,10 +230,11 @@ where
         .enumerate()
         .map(|(c, slot)| (c * DECODE_CHUNK, slot))
         .collect();
-    chunks
+    let deltas: Vec<(u64, u64)> = chunks
         .into_par_iter()
         .map(|(lo, slot)| {
             let (mut scratch, mut cache) = pool.take(new_scratch);
+            let (h0, m0) = (cache.hits(), cache.misses());
             for (i, pred) in slot.iter_mut().enumerate() {
                 let events = ev.events_of(lo + i);
                 *pred = if events.is_empty() {
@@ -242,10 +254,17 @@ where
                     }
                 };
             }
+            let delta = (cache.hits() - h0, cache.misses() - m0);
             pool.put(scratch, cache);
+            delta
         })
-        .run();
-    out
+        .collect();
+    let mut counters = CacheCounters::default();
+    for (h, m) in deltas {
+        counters.hits += h;
+        counters.misses += m;
+    }
+    (out, counters)
 }
 
 /// A syndrome decoder for a fixed circuit.
@@ -312,45 +331,51 @@ pub trait Decoder: Send + Sync {
     /// summed in chunk order, so the result does not depend on how many
     /// threads participated.
     fn decode_batch(&self, batch: &ShotBatch) -> DecodeStats {
-        let shots = batch.detectors.shots();
-        let preds = self.decode_all(batch);
-        debug_assert_eq!(preds.len(), shots);
-        let nobs = self.num_observables();
-        let mut stats = DecodeStats::new(nobs);
-        stats.shots = shots;
-        if nobs == 0 || shots == 0 {
-            return stats;
-        }
-        let nchunks = shots.div_ceil(DECODE_CHUNK);
-        let preds = &preds;
-        let mut tallies: Vec<usize> = vec![0; nchunks * nobs];
-        let rows: Vec<(usize, &mut [usize])> = tallies
-            .chunks_mut(nobs)
-            .enumerate()
-            .map(|(c, row)| (c * DECODE_CHUNK, row))
-            .collect();
-        rows.into_par_iter()
-            .map(|(lo, row)| {
-                let hi = (lo + DECODE_CHUNK).min(shots);
-                for (shot, &predicted) in preds[lo..hi].iter().enumerate().map(|(i, p)| (lo + i, p))
-                {
-                    for (o, f) in row.iter_mut().enumerate() {
-                        let actual = batch.observables.get(o, shot);
-                        let pred = (predicted >> o) & 1 == 1;
-                        if actual != pred {
-                            *f += 1;
-                        }
+        tally_failures(self.num_observables(), &self.decode_all(batch), batch)
+    }
+}
+
+/// Tallies logical failures of precomputed per-shot predictions into a
+/// [`DecodeStats`]: per-chunk rows of one preallocated table (no
+/// per-chunk allocation, see `tests/alloc_regression.rs`) summed in
+/// chunk order, so the result does not depend on how many threads
+/// participated. Shared by the default [`Decoder::decode_batch`] and
+/// the cache-counting overrides of the MWPM and union-find decoders.
+pub(crate) fn tally_failures(nobs: usize, preds: &[u64], batch: &ShotBatch) -> DecodeStats {
+    let shots = batch.detectors.shots();
+    debug_assert_eq!(preds.len(), shots);
+    let mut stats = DecodeStats::new(nobs);
+    stats.shots = shots;
+    if nobs == 0 || shots == 0 {
+        return stats;
+    }
+    let nchunks = shots.div_ceil(DECODE_CHUNK);
+    let mut tallies: Vec<usize> = vec![0; nchunks * nobs];
+    let rows: Vec<(usize, &mut [usize])> = tallies
+        .chunks_mut(nobs)
+        .enumerate()
+        .map(|(c, row)| (c * DECODE_CHUNK, row))
+        .collect();
+    rows.into_par_iter()
+        .map(|(lo, row)| {
+            let hi = (lo + DECODE_CHUNK).min(shots);
+            for (shot, &predicted) in preds[lo..hi].iter().enumerate().map(|(i, p)| (lo + i, p)) {
+                for (o, f) in row.iter_mut().enumerate() {
+                    let actual = batch.observables.get(o, shot);
+                    let pred = (predicted >> o) & 1 == 1;
+                    if actual != pred {
+                        *f += 1;
                     }
                 }
-            })
-            .run();
-        for row in tallies.chunks(nobs) {
-            for (o, f) in row.iter().enumerate() {
-                stats.failures[o] += f;
             }
+        })
+        .run();
+    for row in tallies.chunks(nobs) {
+        for (o, f) in row.iter().enumerate() {
+            stats.failures[o] += f;
         }
-        stats
     }
+    stats
 }
 
 /// Asserts the invariants every [`Decoder`] implementation must hold on
@@ -462,13 +487,32 @@ pub fn check_decoder_conformance<D: Decoder>(decoder: &D, circuit: &Circuit) {
 }
 
 /// Outcome statistics of decoding a batch of shots.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Equality compares only the *results* — `shots` and `failures`. The
+/// syndrome-cache counters are diagnostics: which pooled cache a chunk
+/// borrows depends on scheduling, so the hit/miss split varies across
+/// worker counts while predictions (and therefore tallies) do not.
+#[derive(Debug, Clone, Default)]
 pub struct DecodeStats {
     /// Number of shots decoded.
     pub shots: usize,
     /// Per-observable counts of logical failures (prediction != actual).
     pub failures: Vec<usize>,
+    /// Syndrome-cache hits observed while decoding (merge-aware
+    /// diagnostic; excluded from equality — see the type docs).
+    pub cache_hits: u64,
+    /// Syndrome-cache misses observed while decoding (merge-aware
+    /// diagnostic; excluded from equality — see the type docs).
+    pub cache_misses: u64,
 }
+
+impl PartialEq for DecodeStats {
+    fn eq(&self, other: &DecodeStats) -> bool {
+        self.shots == other.shots && self.failures == other.failures
+    }
+}
+
+impl Eq for DecodeStats {}
 
 impl DecodeStats {
     /// An empty tally over `num_observables` observables.
@@ -476,14 +520,16 @@ impl DecodeStats {
         DecodeStats {
             shots: 0,
             failures: vec![0; num_observables],
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
     /// Accumulates another tally into this one: shot counts add,
-    /// per-observable failure counts add elementwise. The natural
-    /// reduction for per-chunk statistics from parallel batch decoding
-    /// (associative and commutative, so the total is independent of
-    /// chunk evaluation order).
+    /// per-observable failure counts add elementwise, cache counters
+    /// add. The natural reduction for per-chunk statistics from
+    /// parallel batch decoding (associative and commutative, so the
+    /// total is independent of chunk evaluation order).
     ///
     /// # Panics
     ///
@@ -498,6 +544,8 @@ impl DecodeStats {
         for (a, b) in self.failures.iter_mut().zip(&other.failures) {
             *a += b;
         }
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 
     /// Logical error rate of observable `obs`.
@@ -994,6 +1042,22 @@ impl Decoder for MwpmDecoder {
             DecodeScratch::new,
             |events, scratch| self.decode_events_with(events, scratch),
         )
+        .0
+    }
+
+    /// Same tallies as the default implementation, plus the batch's
+    /// syndrome-cache hit/miss counts in the stats.
+    fn decode_batch(&self, batch: &ShotBatch) -> DecodeStats {
+        let (preds, counters) = decode_all_chunked(
+            batch,
+            &self.scratch_pool,
+            DecodeScratch::new,
+            |events, scratch| self.decode_events_with(events, scratch),
+        );
+        let mut stats = tally_failures(self.num_observables(), &preds, batch);
+        stats.cache_hits = counters.hits;
+        stats.cache_misses = counters.misses;
+        stats
     }
 
     /// Reweights both basis graphs from the cached parametric DEM.
@@ -1559,18 +1623,56 @@ mod tests {
         let mut a = DecodeStats {
             shots: 10,
             failures: vec![1, 2],
+            cache_hits: 7,
+            cache_misses: 3,
         };
         let b = DecodeStats {
             shots: 5,
             failures: vec![0, 3],
+            cache_hits: 2,
+            cache_misses: 1,
         };
         a.merge(&b);
         assert_eq!(a.shots, 15);
         assert_eq!(a.failures, vec![1, 5]);
+        assert_eq!((a.cache_hits, a.cache_misses), (9, 4));
         // Merging into a fresh tally is the reduction identity.
         let mut zero = DecodeStats::new(2);
         zero.merge(&a);
         assert_eq!(zero, a);
+        // Equality compares results, not the cache diagnostics: the
+        // hit/miss split varies with which pooled cache a chunk
+        // borrowed, while tallies are worker-count independent.
+        let mut c = a.clone();
+        c.cache_hits = 0;
+        c.cache_misses = 999;
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn decode_batch_reports_cache_traffic() {
+        let c = repetition(3, 0.04);
+        let batch = FrameSampler::new(&c).sample(5000, &mut StdRng::seed_from_u64(21));
+        let decoder = MwpmDecoder::new(&c);
+        let stats = decoder.decode_batch(&batch);
+        // Small-syndrome shots all flow through the cache, so a 5000-
+        // shot batch at p=0.04 must generate traffic; the exact
+        // hit/miss split is scheduling-dependent, but every cached-path
+        // decode is either a hit or a miss and repeated syndromes on a
+        // warm per-chunk cache guarantee some hits.
+        assert!(
+            stats.cache_hits + stats.cache_misses > 0,
+            "no cache traffic recorded: {stats:?}"
+        );
+        assert!(stats.cache_hits > 0, "no hits on a repetition-code batch");
+        // A second (warm-pool) decode keeps counting from zero per call.
+        let again = decoder.decode_batch(&batch);
+        assert!(
+            again.cache_hits >= stats.cache_hits,
+            "warm pool should not hit less: {} < {}",
+            again.cache_hits,
+            stats.cache_hits
+        );
     }
 
     #[test]
@@ -1630,6 +1732,7 @@ mod tests {
         let stats = DecodeStats {
             shots: 1000,
             failures: vec![37],
+            ..Default::default()
         };
         let (lo, hi) = stats.wilson_interval(0);
         let p = stats.logical_error_rate(0);

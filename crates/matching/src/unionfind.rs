@@ -1358,6 +1358,22 @@ impl Decoder for UfDecoder {
             UfScratch::new,
             |events, scratch| self.decode_events_with(events, scratch),
         )
+        .0
+    }
+
+    /// Same tallies as the default implementation, plus the batch's
+    /// syndrome-cache hit/miss counts in the stats.
+    fn decode_batch(&self, batch: &ShotBatch) -> crate::decoder::DecodeStats {
+        let (preds, counters) = decode_all_chunked(
+            batch,
+            &self.scratch_pool,
+            UfScratch::new,
+            |events, scratch| self.decode_events_with(events, scratch),
+        );
+        let mut stats = crate::decoder::tally_failures(self.num_observables(), &preds, batch);
+        stats.cache_hits = counters.hits;
+        stats.cache_misses = counters.misses;
+        stats
     }
 
     /// Reweights both basis graphs (and requantizes the growth weights)

@@ -1,0 +1,261 @@
+//! The decode-service CLI: serve (default), client, and oneshot modes.
+//!
+//! The three modes share one execution path (`ExperimentCache` over
+//! `sample_batches_with_seed`), so `--client` output against a running
+//! server is byte-identical to `--oneshot` output for the same request
+//! file — the conformance property CI enforces.
+
+use dqec_serve::protocol::{self, Request, Response, StatsResponse};
+use dqec_serve::{ExperimentCache, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+const USAGE: &str = "\
+usage: dqec_serve [--addr A] [--threads N] [--cache N] [--queue N] [--batch N]
+                  [--max-clients N] [--oneshot FILE | --client FILE] [--help]
+
+Modes
+  (default)        serve: listen on --addr and run until killed
+  --oneshot FILE   run the JSON-lines requests in FILE locally and print
+                   one normalized response line per request, sorted by id
+  --client FILE    connect to --addr, send the requests in FILE, collect
+                   the responses, and print them normalized, sorted by id
+
+Options
+  --addr A         listen/connect address (default 127.0.0.1:7461)
+  --threads N      worker cap for decode fan-outs (default: all cores)
+  --cache N        compiled-experiment cache capacity (default 64; 0
+                   compiles per request)
+  --queue N        per-client admission queue capacity (default 64)
+  --batch N        max requests coalesced per executor pass (default 32)
+  --max-clients N  connection limit (default 64)
+  --help           show this message";
+
+struct Args {
+    config: ServerConfig,
+    threads: Option<usize>,
+    oneshot: Option<std::path::PathBuf>,
+    client: Option<std::path::PathBuf>,
+}
+
+fn usize_flag(it: &mut std::slice::Iter<'_, String>, flag: &str) -> usize {
+    let v = it.next().unwrap_or_else(|| {
+        eprintln!("error: {flag} requires a value\n{USAGE}");
+        std::process::exit(2);
+    });
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("error: bad {flag} value {v:?}\n{USAGE}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        config: ServerConfig::default(),
+        threads: None,
+        oneshot: None,
+        client: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--addr" => {
+                args.config.addr = it
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --addr requires a value\n{USAGE}");
+                        std::process::exit(2);
+                    })
+                    .clone();
+            }
+            "--threads" => {
+                let n = usize_flag(&mut it, "--threads");
+                if n == 0 {
+                    eprintln!("error: --threads must be >= 1\n{USAGE}");
+                    std::process::exit(2);
+                }
+                args.threads = Some(n);
+            }
+            "--cache" => args.config.cache_capacity = usize_flag(&mut it, "--cache"),
+            "--queue" => args.config.queue_capacity = usize_flag(&mut it, "--queue"),
+            "--batch" => args.config.batch_max = usize_flag(&mut it, "--batch"),
+            "--max-clients" => args.config.max_clients = usize_flag(&mut it, "--max-clients"),
+            "--oneshot" | "--client" => {
+                let path = it.next().unwrap_or_else(|| {
+                    eprintln!("error: {arg} requires a file\n{USAGE}");
+                    std::process::exit(2);
+                });
+                if arg == "--oneshot" {
+                    args.oneshot = Some(path.into());
+                } else {
+                    args.client = Some(path.into());
+                }
+            }
+            other => {
+                eprintln!("error: unknown flag {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.oneshot.is_some() && args.client.is_some() {
+        eprintln!("error: --oneshot and --client are mutually exclusive\n{USAGE}");
+        std::process::exit(2);
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    match args.threads {
+        Some(n) => rayon::with_worker_cap(n, || run(&args)),
+        None => run(&args),
+    }
+}
+
+fn run(args: &Args) {
+    if let Some(path) = &args.oneshot {
+        oneshot(path, args.config.cache_capacity);
+    } else if let Some(path) = &args.client {
+        client(&args.config.addr, path);
+    } else {
+        serve(args.config.clone());
+    }
+}
+
+fn serve(config: ServerConfig) {
+    let handle = dqec_serve::start(config).unwrap_or_else(|e| {
+        eprintln!("error: cannot start server: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("dqec_serve: listening on {}", handle.addr());
+    handle.wait();
+}
+
+fn read_request_lines(path: &std::path::Path) -> Vec<String> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Sorts normalized lines by (id, arrival) and prints them.
+fn print_normalized(mut responses: Vec<(u64, usize, String)>) {
+    responses.sort_by_key(|&(id, arrival, _)| (id, arrival));
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for (_, _, line) in responses {
+        writeln!(out, "{line}").unwrap_or_else(|e| {
+            eprintln!("error: stdout: {e}");
+            std::process::exit(1);
+        });
+    }
+}
+
+fn oneshot(path: &std::path::Path, cache_capacity: usize) {
+    let lines = read_request_lines(path);
+    let mut cache = ExperimentCache::new(cache_capacity);
+    let mut served = 0u64;
+    let mut rejected = 0u64;
+    let mut responses = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let resp = match protocol::parse_request(line) {
+            Err((id, detail)) => {
+                rejected += 1;
+                Response::Error(protocol::ErrorResponse {
+                    id,
+                    kind: dqec_serve::ErrorKind::BadRequest,
+                    detail,
+                })
+            }
+            Ok(Request::Ping { id }) => Response::Pong { id },
+            Ok(Request::Stats { id }) => {
+                let c = cache.counters();
+                Response::Stats(StatsResponse {
+                    id,
+                    served,
+                    rejected,
+                    cache_hits: c.hits,
+                    cache_misses: c.misses,
+                    cache_evictions: c.evictions,
+                    cache_entries: c.entries,
+                    syndrome_hits: c.syndrome_hits,
+                    syndrome_misses: c.syndrome_misses,
+                    pool_workers: 0,
+                })
+            }
+            Ok(Request::Decode(req)) => match cache.execute(&req, 1) {
+                Ok((resp, _)) => {
+                    served += 1;
+                    Response::Ler(resp)
+                }
+                Err(err) => {
+                    rejected += 1;
+                    Response::Error(err)
+                }
+            },
+        };
+        responses.push((resp.id().unwrap_or(u64::MAX), idx, resp.normalized_line()));
+    }
+    print_normalized(responses);
+}
+
+fn client(addr: &str, path: &std::path::Path) {
+    let lines = read_request_lines(path);
+    let stream = TcpStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let _ = stream.set_nodelay(true);
+    let mut write_half = stream.try_clone().unwrap_or_else(|e| {
+        eprintln!("error: cannot clone connection: {e}");
+        std::process::exit(1);
+    });
+    for line in &lines {
+        writeln!(write_half, "{line}").unwrap_or_else(|e| {
+            eprintln!("error: send failed: {e}");
+            std::process::exit(1);
+        });
+    }
+    write_half.flush().unwrap_or_else(|e| {
+        eprintln!("error: send failed: {e}");
+        std::process::exit(1);
+    });
+
+    // One response per request line, in whatever order the server
+    // produced them; normalize and sort for stable output.
+    let reader = BufReader::new(stream);
+    let mut responses = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.unwrap_or_else(|e| {
+            eprintln!("error: receive failed: {e}");
+            std::process::exit(1);
+        });
+        let resp = protocol::parse_response(&line).unwrap_or_else(|e| {
+            eprintln!("error: bad response line {line:?}: {e}");
+            std::process::exit(1);
+        });
+        responses.push((resp.id().unwrap_or(u64::MAX), idx, resp.normalized_line()));
+        if responses.len() == lines.len() {
+            break;
+        }
+    }
+    if responses.len() != lines.len() {
+        eprintln!(
+            "error: sent {} requests but received {} responses",
+            lines.len(),
+            responses.len()
+        );
+        std::process::exit(1);
+    }
+    print_normalized(responses);
+}

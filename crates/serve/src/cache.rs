@@ -1,0 +1,338 @@
+//! The compiled-experiment cache: the server-side seam that amortizes
+//! circuit generation and decoder construction (the all-pairs
+//! shortest-path step dominates) across every request that shares a
+//! (patch, decoder, noise) configuration.
+//!
+//! A request is **normalized** before keying: shots, seed, and id are
+//! serving parameters, not compilation parameters, so requests that
+//! differ only in those share one [`CompiledExperiment`]. Each request
+//! is then sampled under its *own* seed through
+//! [`CompiledExperiment::sample_batches_with_seed`] with the standard
+//! 4096-shot batch layout, which makes a served tally bit-identical to
+//! a one-shot [`Runner`](dqec_chiplet::runner::Runner) run of the same
+//! request — the conformance property the CI smoke job diffs.
+//!
+//! Eviction is LRU over a monotonic use tick; capacity 0 disables
+//! caching entirely (every request compiles, counted as a miss), which
+//! is the `bench_serve` cold mode.
+
+use crate::protocol::{DecodeRequest, ErrorKind, ErrorResponse, LerResponse};
+use dqec_chiplet::runner::{CompiledExperiment, ExperimentSpec, Fnv};
+use dqec_core::adapt::AdaptedPatch;
+use dqec_core::layout::PatchLayout;
+use dqec_matching::DecodeStats;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The standard batch granularity shared with the `Runner`.
+pub const BATCH_SHOTS: usize = 4096;
+
+/// The normalized experiment spec a decode request compiles to: same
+/// patch, protocol, error rate, rounds, and decoder backend — shots,
+/// seed, and label pinned so serving parameters do not fragment the
+/// cache key space.
+pub fn normalized_spec(req: &DecodeRequest) -> ExperimentSpec {
+    let layout = PatchLayout::memory(req.d);
+    let defects = req.defects.clamp_to(&layout);
+    let patch = AdaptedPatch::new(layout, &defects);
+    let mut spec = ExperimentSpec::memory(patch)
+        .p(req.p)
+        .shots(0)
+        .seed(0)
+        .label("serve")
+        .decoder(req.decoder.builder());
+    if let Some(rounds) = req.rounds {
+        spec = spec.rounds(rounds);
+    }
+    spec
+}
+
+/// The cache key of a normalized spec + decoder backend. The spec
+/// fingerprint covers protocol, patch geometry/defects, `p`, and
+/// rounds; the backend tag is mixed separately because decoder
+/// builders are opaque closures the fingerprint cannot see.
+pub fn cache_key(spec: &ExperimentSpec, decoder_tag: &str) -> u64 {
+    let mut h = Fnv::new();
+    h.word(spec.fingerprint());
+    h.bytes(decoder_tag.as_bytes());
+    h.finish()
+}
+
+struct Entry {
+    exp: Arc<CompiledExperiment>,
+    last_used: u64,
+}
+
+/// Aggregate cache counters (compiled-experiment level plus the
+/// syndrome-memoization traffic of every decode served through
+/// [`ExperimentCache::execute`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Requests answered from a resident compiled experiment.
+    pub hits: u64,
+    /// Requests that had to compile.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Syndrome-cache hits summed over executed requests.
+    pub syndrome_hits: u64,
+    /// Syndrome-cache misses summed over executed requests.
+    pub syndrome_misses: u64,
+}
+
+/// An LRU cache of [`CompiledExperiment`]s keyed by
+/// (patch, decoder, noise) fingerprint.
+pub struct ExperimentCache {
+    capacity: usize,
+    tick: u64,
+    entries: BTreeMap<u64, Entry>,
+    counters: CacheCounters,
+}
+
+impl ExperimentCache {
+    /// A cache holding at most `capacity` compiled experiments;
+    /// capacity 0 disables caching (every request compiles).
+    pub fn new(capacity: usize) -> Self {
+        ExperimentCache {
+            capacity,
+            tick: 0,
+            entries: BTreeMap::new(),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        let mut c = self.counters;
+        c.entries = self.entries.len() as u64;
+        c
+    }
+
+    /// Fetches the compiled experiment for `key`, compiling from
+    /// `spec` on a miss. Returns the entry and whether it was a hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures (degenerate patch, bad rounds)
+    /// as an [`ErrorResponse`] of kind
+    /// [`bad-request`](crate::protocol::ErrorKind::BadRequest) —
+    /// compile errors are properties of the request, not the server.
+    pub fn get_or_compile(
+        &mut self,
+        key: u64,
+        spec: &ExperimentSpec,
+        id: u64,
+    ) -> Result<(Arc<CompiledExperiment>, bool), ErrorResponse> {
+        self.tick += 1;
+        if self.capacity > 0 {
+            if let Some(entry) = self.entries.get_mut(&key) {
+                entry.last_used = self.tick;
+                self.counters.hits += 1;
+                return Ok((Arc::clone(&entry.exp), true));
+            }
+        }
+        self.counters.misses += 1;
+        let mut compiled = CompiledExperiment::new(spec).map_err(|e| ErrorResponse {
+            id: Some(id),
+            kind: ErrorKind::BadRequest,
+            detail: format!("cannot compile experiment: {e}"),
+        })?;
+        // Single-point spec: select once at insert so every request
+        // sampled from this entry reuses the reweighted decoder and
+        // noisy circuit.
+        compiled.select_point(0);
+        let exp = Arc::new(compiled);
+        if self.capacity > 0 {
+            while self.entries.len() >= self.capacity {
+                // Evict the least-recently-used entry; BTreeMap keeps
+                // the scan deterministic.
+                let lru = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k);
+                match lru {
+                    Some(k) => {
+                        self.entries.remove(&k);
+                        self.counters.evictions += 1;
+                    }
+                    None => break,
+                }
+            }
+            self.entries.insert(
+                key,
+                Entry {
+                    exp: Arc::clone(&exp),
+                    last_used: self.tick,
+                },
+            );
+        }
+        Ok((exp, false))
+    }
+
+    /// Runs one validated decode request end to end: normalize, fetch
+    /// or compile, then sample `shots` under the request's seed in the
+    /// standard batch layout. `batched` reports how many requests of
+    /// the current coalesced batch share the entry (1 when serving
+    /// solo). Returns the response and the raw tally (whose
+    /// syndrome-cache counters have already been folded into
+    /// [`Self::counters`]).
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ErrorResponse`]: `bad-request` for validation or
+    /// compilation failures.
+    pub fn execute(
+        &mut self,
+        req: &DecodeRequest,
+        batched: usize,
+    ) -> Result<(LerResponse, DecodeStats), ErrorResponse> {
+        req.validate().map_err(|detail| ErrorResponse {
+            id: Some(req.id),
+            kind: ErrorKind::BadRequest,
+            detail,
+        })?;
+        let spec = normalized_spec(req);
+        let key = cache_key(&spec, req.decoder.name());
+        let (exp, hit) = self.get_or_compile(key, &spec, req.id)?;
+        let num_batches = req.shots.div_ceil(BATCH_SHOTS) as u64;
+        let stats = exp.sample_batches_with_seed(0..num_batches, BATCH_SHOTS, req.shots, req.seed);
+        self.counters.syndrome_hits += stats.cache_hits;
+        self.counters.syndrome_misses += stats.cache_misses;
+        let resp = LerResponse {
+            id: req.id,
+            d: req.d,
+            p: req.p,
+            rounds: exp.spec().effective_rounds(),
+            decoder: req.decoder,
+            seed: req.seed,
+            shots: stats.shots,
+            failures: stats.failures.first().copied().unwrap_or(0) as u64,
+            cache_hit: hit,
+            batched,
+        };
+        Ok((resp, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqec_chiplet::runner::DecoderChoice;
+    use dqec_core::{Coord, DefectSet};
+
+    fn req(id: u64, d: u32, p: f64, seed: u64, decoder: DecoderChoice) -> DecodeRequest {
+        DecodeRequest {
+            id,
+            d,
+            p,
+            rounds: None,
+            shots: 512,
+            seed,
+            decoder,
+            defects: DefectSet::new(),
+        }
+    }
+
+    #[test]
+    fn same_configuration_hits_different_seed_or_shots() {
+        let mut cache = ExperimentCache::new(4);
+        let (r1, _) = cache
+            .execute(&req(1, 3, 3e-3, 0, DecoderChoice::Mwpm), 1)
+            .unwrap();
+        assert!(!r1.cache_hit);
+        // Different seed and id: same compiled experiment.
+        let (r2, _) = cache
+            .execute(&req(2, 3, 3e-3, 7, DecoderChoice::Mwpm), 1)
+            .unwrap();
+        assert!(r2.cache_hit);
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn decoder_backend_and_defects_split_the_key() {
+        let mut cache = ExperimentCache::new(8);
+        cache
+            .execute(&req(1, 3, 3e-3, 0, DecoderChoice::Mwpm), 1)
+            .unwrap();
+        cache
+            .execute(&req(2, 3, 3e-3, 0, DecoderChoice::Uf), 1)
+            .unwrap();
+        let mut defective = req(3, 3, 3e-3, 0, DecoderChoice::Mwpm);
+        defective.defects.add_synd(Coord::new(2, 2));
+        cache.execute(&defective, 1).unwrap();
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.entries), (0, 3, 3));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut cache = ExperimentCache::new(2);
+        let a = req(1, 3, 1e-3, 0, DecoderChoice::Mwpm);
+        let b = req(2, 3, 2e-3, 0, DecoderChoice::Mwpm);
+        let c = req(3, 3, 4e-3, 0, DecoderChoice::Mwpm);
+        cache.execute(&a, 1).unwrap(); // a
+        cache.execute(&b, 1).unwrap(); // a b
+        cache.execute(&a, 1).unwrap(); // touch a -> b is LRU
+        cache.execute(&c, 1).unwrap(); // evicts b
+        assert_eq!(cache.counters().evictions, 1);
+        cache.execute(&a, 1).unwrap(); // still resident
+        assert_eq!(cache.counters().hits, 2);
+        cache.execute(&b, 1).unwrap(); // recompiles
+        assert_eq!(cache.counters().misses, 4);
+    }
+
+    #[test]
+    fn capacity_zero_always_compiles() {
+        let mut cache = ExperimentCache::new(0);
+        let r = req(1, 3, 3e-3, 0, DecoderChoice::Mwpm);
+        cache.execute(&r, 1).unwrap();
+        cache.execute(&r, 1).unwrap();
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.entries), (0, 2, 0));
+    }
+
+    #[test]
+    fn served_tally_matches_one_shot_runner() {
+        use dqec_chiplet::record::NullSink;
+        use dqec_chiplet::runner::{ExperimentSpec, Runner};
+
+        let request = DecodeRequest {
+            id: 1,
+            d: 3,
+            p: 6e-3,
+            rounds: None,
+            shots: 3000, // not a multiple of 4096: exercises truncation
+            seed: 11,
+            decoder: DecoderChoice::Uf,
+            defects: DefectSet::new(),
+        };
+        let mut cache = ExperimentCache::new(2);
+        let (served, _) = cache.execute(&request, 1).unwrap();
+
+        let patch = AdaptedPatch::new(PatchLayout::memory(3), &DefectSet::new());
+        let spec = ExperimentSpec::memory(patch)
+            .p(6e-3)
+            .shots(3000)
+            .seed(11)
+            .decoder(DecoderChoice::Uf.builder());
+        let outcome = Runner::new().run(&spec, &mut NullSink).unwrap();
+        assert_eq!(served.shots, outcome.points[0].shots);
+        assert_eq!(served.failures as usize, outcome.points[0].failures);
+    }
+
+    #[test]
+    fn compile_failures_become_bad_request() {
+        // Rounds below the gauge-schedule requirement trip a typed
+        // CoreError during compilation.
+        let mut bad = req(5, 5, 3e-3, 0, DecoderChoice::Mwpm);
+        bad.defects.add_synd(Coord::new(4, 4));
+        bad.rounds = Some(1);
+        let err = ExperimentCache::new(2).execute(&bad, 1).unwrap_err();
+        assert_eq!(err.kind, crate::protocol::ErrorKind::BadRequest);
+        assert_eq!(err.id, Some(5));
+    }
+}

@@ -1,0 +1,425 @@
+//! Bounded queues for the request pipeline, built on the
+//! `dqec_check::sync` facade so every interleaving is model-checkable
+//! under `RUSTFLAGS="--cfg dqec_check"` (see `tests/model_chan.rs`).
+//!
+//! Two shapes:
+//!
+//! * [`Bounded`] — a plain MPMC bounded channel. The server uses one
+//!   per connection as the response path: the reader thread (protocol
+//!   errors, pongs) and the executor (decode results) both send rendered
+//!   response lines; the connection's writer thread drains them to the
+//!   socket. A full channel blocks the sender, so a slow client
+//!   eventually backpressures the executor instead of buffering
+//!   unboundedly.
+//! * [`Inbox`] — the admission queue: one bounded FIFO **per client**
+//!   drained round-robin by the executor, so a client flooding requests
+//!   can neither starve other clients (fairness) nor grow memory
+//!   (its own queue fills and [`Inbox::try_push`] reports
+//!   [`PushError::Full`], which the server turns into a typed
+//!   backpressure error response).
+
+use dqec_check::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::{Arc, PoisonError};
+
+/// Why [`Bounded::try_send`] / [`Inbox::try_push`] rejected an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; retry later or surface backpressure.
+    Full,
+    /// The queue was closed (receiver gone / server shutting down).
+    Closed,
+}
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+struct ChanShared<T> {
+    state: Mutex<ChanState<T>>,
+    /// Signalled when an item arrives or the channel closes.
+    ready: Condvar,
+    /// Signalled when space frees up.
+    space: Condvar,
+    cap: usize,
+}
+
+impl<T> ChanShared<T> {
+    fn lock(&self) -> dqec_check::sync::MutexGuard<'_, ChanState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A bounded MPMC channel; cloning shares the same queue.
+pub struct Bounded<T> {
+    shared: Arc<ChanShared<T>>,
+}
+
+impl<T> Clone for Bounded<T> {
+    fn clone(&self) -> Self {
+        Bounded {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Bounded<T> {
+    /// A channel holding at most `cap` items (`cap` is clamped to ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        Bounded {
+            shared: Arc::new(ChanShared {
+                state: Mutex::new(ChanState {
+                    queue: VecDeque::new(),
+                    closed: false,
+                }),
+                ready: Condvar::new(),
+                space: Condvar::new(),
+                cap: cap.max(1),
+            }),
+        }
+    }
+
+    /// Enqueues `v`, blocking while the channel is full. Returns the
+    /// item back if the channel is (or becomes) closed.
+    ///
+    /// # Errors
+    ///
+    /// `Err(v)` when the channel is closed before `v` was enqueued.
+    pub fn send(&self, v: T) -> Result<(), T> {
+        let mut state = self.shared.lock();
+        loop {
+            if state.closed {
+                return Err(v);
+            }
+            if state.queue.len() < self.shared.cap {
+                state.queue.push_back(v);
+                // Wake under the lock: a receiver between its emptiness
+                // check and its wait cannot miss this notification.
+                self.shared.ready.notify_one();
+                return Ok(());
+            }
+            state = self
+                .shared
+                .space
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Enqueues `v` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// `(v, PushError::Full)` at capacity, `(v, PushError::Closed)` on
+    /// a closed channel; `v` is handed back either way.
+    pub fn try_send(&self, v: T) -> Result<(), (T, PushError)> {
+        let mut state = self.shared.lock();
+        if state.closed {
+            return Err((v, PushError::Closed));
+        }
+        if state.queue.len() >= self.shared.cap {
+            return Err((v, PushError::Full));
+        }
+        state.queue.push_back(v);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the channel is empty.
+    /// Returns `None` once the channel is closed **and** drained, so
+    /// close is graceful: items sent before the close are still
+    /// delivered.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                self.shared.space.notify_one();
+                return Some(v);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .shared
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the channel: senders fail fast, receivers drain what is
+    /// already queued and then see `None`.
+    pub fn close(&self) {
+        let mut state = self.shared.lock();
+        state.closed = true;
+        self.shared.ready.notify_all();
+        self.shared.space.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Whether no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct InboxState<T> {
+    /// One FIFO per registered client; `None` marks a freed slot
+    /// (kept so slot indices stay stable for live clients).
+    slots: Vec<Option<VecDeque<T>>>,
+    /// Round-robin cursor: the slot the next drain pass starts at.
+    cursor: usize,
+    closed: bool,
+}
+
+struct InboxShared<T> {
+    state: Mutex<InboxState<T>>,
+    /// Signalled when any item arrives or the inbox closes.
+    ready: Condvar,
+    /// Per-client queue capacity.
+    cap: usize,
+}
+
+impl<T> InboxShared<T> {
+    fn lock(&self) -> dqec_check::sync::MutexGuard<'_, InboxState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The admission queue: per-client bounded FIFOs drained round-robin.
+/// Cloning shares the same inbox.
+pub struct Inbox<T> {
+    shared: Arc<InboxShared<T>>,
+}
+
+impl<T> Clone for Inbox<T> {
+    fn clone(&self) -> Self {
+        Inbox {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Inbox<T> {
+    /// An inbox whose per-client queues hold at most `per_client_cap`
+    /// items (clamped to ≥ 1).
+    pub fn new(per_client_cap: usize) -> Self {
+        Inbox {
+            shared: Arc::new(InboxShared {
+                state: Mutex::new(InboxState {
+                    slots: Vec::new(),
+                    cursor: 0,
+                    closed: false,
+                }),
+                ready: Condvar::new(),
+                cap: per_client_cap.max(1),
+            }),
+        }
+    }
+
+    /// Registers a client, returning its slot id (freed ids are
+    /// reused).
+    pub fn register(&self) -> usize {
+        let mut state = self.shared.lock();
+        if let Some(free) = state.slots.iter().position(Option::is_none) {
+            state.slots[free] = Some(VecDeque::new());
+            free
+        } else {
+            state.slots.push(Some(VecDeque::new()));
+            state.slots.len() - 1
+        }
+    }
+
+    /// Deregisters a client, dropping anything still queued for it.
+    pub fn deregister(&self, client: usize) {
+        let mut state = self.shared.lock();
+        if let Some(slot) = state.slots.get_mut(client) {
+            *slot = None;
+        }
+    }
+
+    /// Enqueues `v` on `client`'s queue without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when the client's queue is at capacity (the
+    /// caller surfaces a typed backpressure error and keeps the
+    /// connection alive); [`PushError::Closed`] when the inbox is
+    /// closed or the client is not registered.
+    pub fn try_push(&self, client: usize, v: T) -> Result<(), PushError> {
+        let mut state = self.shared.lock();
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        let queue = match state.slots.get_mut(client) {
+            Some(Some(q)) => q,
+            _ => return Err(PushError::Closed),
+        };
+        if queue.len() >= self.shared.cap {
+            return Err(PushError::Full);
+        }
+        queue.push_back(v);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues up to `max` items fairly: repeated round-robin passes
+    /// over the client queues, taking at most one item per client per
+    /// pass, starting where the previous drain left off. Blocks while
+    /// the inbox is empty; returns an empty vector only once the inbox
+    /// is closed **and** fully drained (the executor's exit signal).
+    pub fn drain(&self, max: usize) -> Vec<T> {
+        let max = max.max(1);
+        let mut state = self.shared.lock();
+        loop {
+            let mut out = Vec::new();
+            let n = state.slots.len();
+            if n > 0 {
+                // Keep sweeping until a full round-robin pass finds
+                // nothing or `max` is reached.
+                let mut progress = true;
+                while progress && out.len() < max {
+                    progress = false;
+                    let start = state.cursor;
+                    for step in 0..n {
+                        if out.len() >= max {
+                            break;
+                        }
+                        let idx = (start + step) % n;
+                        if let Some(Some(q)) = state.slots.get_mut(idx) {
+                            if let Some(v) = q.pop_front() {
+                                out.push(v);
+                                progress = true;
+                                // The next drain resumes after the last
+                                // slot served, so no client gets two
+                                // turns before everyone else gets one.
+                                state.cursor = (idx + 1) % n;
+                            }
+                        }
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return out;
+            }
+            if state.closed {
+                return Vec::new();
+            }
+            state = self
+                .shared
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the inbox: pushes fail fast, [`Inbox::drain`] delivers
+    /// the backlog and then returns empty.
+    pub fn close(&self) {
+        let mut state = self.shared.lock();
+        state.closed = true;
+        self.shared.ready.notify_all();
+    }
+
+    /// Total items queued across all clients.
+    pub fn pending(&self) -> usize {
+        let state = self.shared.lock();
+        state
+            .slots
+            .iter()
+            .flatten()
+            .map(VecDeque::len)
+            .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqec_check::thread;
+
+    #[test]
+    fn bounded_fifo_and_backpressure() {
+        let chan = Bounded::new(2);
+        chan.try_send(1).unwrap();
+        chan.try_send(2).unwrap();
+        assert_eq!(chan.try_send(3), Err((3, PushError::Full)));
+        assert_eq!(chan.recv(), Some(1));
+        chan.try_send(3).unwrap();
+        assert_eq!(chan.recv(), Some(2));
+        assert_eq!(chan.recv(), Some(3));
+        chan.close();
+        assert_eq!(chan.try_send(4), Err((4, PushError::Closed)));
+        assert_eq!(chan.recv(), None);
+    }
+
+    #[test]
+    fn bounded_close_delivers_backlog() {
+        let chan = Bounded::new(8);
+        chan.try_send("a").unwrap();
+        chan.try_send("b").unwrap();
+        chan.close();
+        assert_eq!(chan.recv(), Some("a"));
+        assert_eq!(chan.recv(), Some("b"));
+        assert_eq!(chan.recv(), None);
+    }
+
+    #[test]
+    fn bounded_blocking_send_resumes_when_space_frees() {
+        let chan = Bounded::new(1);
+        chan.try_send(0).unwrap();
+        let tx = chan.clone();
+        let sender = thread::spawn(move || tx.send(1));
+        // The sender blocks until this recv frees the slot.
+        assert_eq!(chan.recv(), Some(0));
+        sender.join().unwrap().unwrap();
+        assert_eq!(chan.recv(), Some(1));
+    }
+
+    #[test]
+    fn inbox_round_robin_is_fair() {
+        let inbox: Inbox<(usize, u32)> = Inbox::new(8);
+        let a = inbox.register();
+        let b = inbox.register();
+        for i in 0..3 {
+            inbox.try_push(a, (a, i)).unwrap();
+        }
+        inbox.try_push(b, (b, 0)).unwrap();
+        // Client a queued first, but b still gets its item second.
+        let order: Vec<usize> = inbox.drain(16).into_iter().map(|(c, _)| c).collect();
+        assert_eq!(order, vec![a, b, a, a]);
+    }
+
+    #[test]
+    fn inbox_full_and_deregister() {
+        let inbox = Inbox::new(1);
+        let c = inbox.register();
+        inbox.try_push(c, 1).unwrap();
+        assert_eq!(inbox.try_push(c, 2), Err(PushError::Full));
+        inbox.deregister(c);
+        assert_eq!(inbox.try_push(c, 3), Err(PushError::Closed));
+        // The dropped client's backlog is gone; close unblocks drain.
+        inbox.close();
+        assert!(inbox.drain(4).is_empty());
+    }
+
+    #[test]
+    fn inbox_slot_reuse_keeps_live_clients_stable() {
+        let inbox = Inbox::new(4);
+        let a = inbox.register();
+        let b = inbox.register();
+        inbox.deregister(a);
+        let c = inbox.register();
+        assert_eq!(c, a, "freed slot is reused");
+        inbox.try_push(b, 1).unwrap();
+        inbox.try_push(c, 2).unwrap();
+        let mut got = inbox.drain(4);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

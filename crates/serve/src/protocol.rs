@@ -1,0 +1,715 @@
+//! The JSON-lines wire protocol: one request object per line in, one
+//! response object per line out, over the workspace's own JSON model
+//! ([`dqec_sweep::json`] — the vendored `serde` shim is derive-only).
+//!
+//! # Requests
+//!
+//! ```json
+//! {"op":"decode","id":1,"d":5,"p":0.003,"shots":4000,"seed":7,
+//!  "decoder":"mwpm","rounds":5,
+//!  "defects":{"data":[[3,3]],"synd":[[4,4]],"links":[[3,3,4,4]]}}
+//! {"op":"stats","id":2}
+//! {"op":"ping","id":3}
+//! ```
+//!
+//! `rounds` and `defects` are optional (defaults: the patch's natural
+//! round count; no defects). Defect coordinates use the doubled
+//! coordinate system of [`dqec_core::Coord`]; `links` entries are
+//! `[data_x, data_y, face_x, face_y]`.
+//!
+//! # Responses
+//!
+//! ```json
+//! {"type":"ler","id":1,"d":5,"p":0.003,"rounds":5,"decoder":"mwpm",
+//!  "seed":7,"shots":4000,"failures":31,"ler":0.00775,
+//!  "cache":"hit","batched":2}
+//! {"type":"error","id":1,"error":"backpressure","detail":"..."}
+//! {"type":"stats","id":2,"served":9,...}
+//! {"type":"pong","id":3}
+//! ```
+//!
+//! A malformed line produces one `error` response and leaves the
+//! connection open. Every response type has a **normalized** rendering
+//! ([`Response::normalized_line`]) restricted to fields that are a pure
+//! function of the request — `cache`, `batched`, and live counters are
+//! diagnostics that depend on scheduling — which is what the
+//! conformance gate diffs between a served session and a one-shot CLI
+//! run.
+
+use dqec_chiplet::runner::DecoderChoice;
+use dqec_core::{Coord, DefectSet};
+use dqec_sweep::json::{self, Json};
+
+/// Largest accepted patch distance (compile cost grows steeply).
+pub const MAX_DISTANCE: u32 = 21;
+/// Largest accepted per-request shot count.
+pub const MAX_SHOTS: usize = 10_000_000;
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A decode job.
+    Decode(DecodeRequest),
+    /// Server counters.
+    Stats {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+    },
+}
+
+/// A decode job: estimate the logical error rate of a (possibly
+/// defective) distance-`d` memory patch at physical error rate `p`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Code distance of the fabricated patch.
+    pub d: u32,
+    /// Physical error rate.
+    pub p: f64,
+    /// Syndrome-round override (default: the patch's natural count).
+    pub rounds: Option<u32>,
+    /// Monte-Carlo shots.
+    pub shots: usize,
+    /// Base RNG seed; tallies are a pure function of the request.
+    pub seed: u64,
+    /// Decoder backend.
+    pub decoder: DecoderChoice,
+    /// Fabrication defects to adapt around.
+    pub defects: DefectSet,
+}
+
+impl DecodeRequest {
+    /// Checks ranges before any compilation happens.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when a field is out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.d < 2 || self.d > MAX_DISTANCE {
+            return Err(format!("d must be in 2..={MAX_DISTANCE}, got {}", self.d));
+        }
+        if !(self.p > 0.0 && self.p < 1.0) {
+            return Err(format!("p must be in (0, 1), got {}", self.p));
+        }
+        if self.shots == 0 || self.shots > MAX_SHOTS {
+            return Err(format!(
+                "shots must be in 1..={MAX_SHOTS}, got {}",
+                self.shots
+            ));
+        }
+        if self.rounds == Some(0) {
+            return Err("rounds must be >= 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Typed error categories, stable on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line did not parse, or a field failed validation/compile.
+    BadRequest,
+    /// The client's admission queue is full; retry later.
+    Backpressure,
+    /// The server's connection limit is reached.
+    TooManyClients,
+    /// The server is shutting down.
+    Unavailable,
+    /// An unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire name of this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad-request",
+            ErrorKind::Backpressure => "backpressure",
+            ErrorKind::TooManyClients => "too-many-clients",
+            ErrorKind::Unavailable => "unavailable",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire name.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unknown kind.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "bad-request" => Ok(ErrorKind::BadRequest),
+            "backpressure" => Ok(ErrorKind::Backpressure),
+            "too-many-clients" => Ok(ErrorKind::TooManyClients),
+            "unavailable" => Ok(ErrorKind::Unavailable),
+            "internal" => Ok(ErrorKind::Internal),
+            other => Err(format!("unknown error kind {other:?}")),
+        }
+    }
+}
+
+/// A typed error response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorResponse {
+    /// The offending request's id, when one could be extracted.
+    pub id: Option<u64>,
+    /// Error category.
+    pub kind: ErrorKind,
+    /// Human-readable detail (diagnostic; not normalized).
+    pub detail: String,
+}
+
+/// A decode result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LerResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// Echoed code distance.
+    pub d: u32,
+    /// Echoed physical error rate.
+    pub p: f64,
+    /// Effective syndrome rounds actually run.
+    pub rounds: u32,
+    /// Echoed decoder backend.
+    pub decoder: DecoderChoice,
+    /// Echoed seed.
+    pub seed: u64,
+    /// Shots decoded.
+    pub shots: usize,
+    /// Logical failures observed.
+    pub failures: u64,
+    /// Whether the compiled experiment came from the cache
+    /// (diagnostic; not normalized).
+    pub cache_hit: bool,
+    /// How many requests of the drained batch shared this compiled
+    /// experiment (diagnostic; not normalized).
+    pub batched: usize,
+}
+
+impl LerResponse {
+    /// The logical error rate estimate `failures / shots`.
+    pub fn ler(&self) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.shots as f64
+        }
+    }
+}
+
+/// Server counters at a point in time (all diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// Decode requests answered.
+    pub served: u64,
+    /// Requests rejected (backpressure or bad).
+    pub rejected: u64,
+    /// Compiled-experiment cache hits.
+    pub cache_hits: u64,
+    /// Compiled-experiment cache misses (compilations).
+    pub cache_misses: u64,
+    /// Compiled-experiment cache evictions.
+    pub cache_evictions: u64,
+    /// Entries resident in the compiled-experiment cache.
+    pub cache_entries: u64,
+    /// Syndrome-memoization hits summed over served decodes.
+    pub syndrome_hits: u64,
+    /// Syndrome-memoization misses summed over served decodes.
+    pub syndrome_misses: u64,
+    /// Resident-pool worker threads currently spawned.
+    pub pool_workers: u64,
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A decode result.
+    Ler(LerResponse),
+    /// A typed error.
+    Error(ErrorResponse),
+    /// Server counters.
+    Stats(StatsResponse),
+    /// Liveness reply.
+    Pong {
+        /// Echoed request id.
+        id: u64,
+    },
+}
+
+fn num(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+fn coord_pair(c: Coord) -> Json {
+    Json::Arr(vec![Json::Num(f64::from(c.x)), Json::Num(f64::from(c.y))])
+}
+
+fn defects_json(d: &DefectSet) -> Json {
+    Json::Obj(vec![
+        (
+            "data".to_string(),
+            Json::Arr(d.data.iter().copied().map(coord_pair).collect()),
+        ),
+        (
+            "synd".to_string(),
+            Json::Arr(d.synd.iter().copied().map(coord_pair).collect()),
+        ),
+        (
+            "links".to_string(),
+            Json::Arr(
+                d.links
+                    .iter()
+                    .map(|&(a, b)| {
+                        Json::Arr(vec![
+                            Json::Num(f64::from(a.x)),
+                            Json::Num(f64::from(a.y)),
+                            Json::Num(f64::from(b.x)),
+                            Json::Num(f64::from(b.y)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+impl Request {
+    /// This request as a JSON value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Ping { id } => Json::Obj(vec![
+                ("op".to_string(), Json::Str("ping".to_string())),
+                ("id".to_string(), num(*id)),
+            ]),
+            Request::Stats { id } => Json::Obj(vec![
+                ("op".to_string(), Json::Str("stats".to_string())),
+                ("id".to_string(), num(*id)),
+            ]),
+            Request::Decode(r) => {
+                let mut fields = vec![
+                    ("op".to_string(), Json::Str("decode".to_string())),
+                    ("id".to_string(), num(r.id)),
+                    ("d".to_string(), num(u64::from(r.d))),
+                    ("p".to_string(), Json::Num(r.p)),
+                    ("shots".to_string(), num(r.shots as u64)),
+                    ("seed".to_string(), num(r.seed)),
+                    (
+                        "decoder".to_string(),
+                        Json::Str(r.decoder.name().to_string()),
+                    ),
+                ];
+                if let Some(rounds) = r.rounds {
+                    fields.push(("rounds".to_string(), num(u64::from(rounds))));
+                }
+                if !r.defects.is_empty() {
+                    fields.push(("defects".to_string(), defects_json(&r.defects)));
+                }
+                Json::Obj(fields)
+            }
+        }
+    }
+
+    /// This request as one wire line (no trailing newline).
+    pub fn render_line(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+fn get_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn get_coord(v: &Json, what: &str) -> Result<Coord, String> {
+    let arr = v.as_arr().ok_or_else(|| format!("{what}: not an array"))?;
+    if arr.len() != 2 {
+        return Err(format!("{what}: need [x, y]"));
+    }
+    let x = arr[0]
+        .as_f64()
+        .ok_or_else(|| format!("{what}: non-numeric x"))?;
+    let y = arr[1]
+        .as_f64()
+        .ok_or_else(|| format!("{what}: non-numeric y"))?;
+    Ok(Coord::new(x as i32, y as i32))
+}
+
+fn parse_defects(v: &Json) -> Result<DefectSet, String> {
+    let mut out = DefectSet::new();
+    if let Some(items) = v.get("data").and_then(Json::as_arr) {
+        for item in items {
+            out.add_data(get_coord(item, "defects.data")?);
+        }
+    }
+    if let Some(items) = v.get("synd").and_then(Json::as_arr) {
+        for item in items {
+            out.add_synd(get_coord(item, "defects.synd")?);
+        }
+    }
+    if let Some(items) = v.get("links").and_then(Json::as_arr) {
+        for item in items {
+            let arr = item.as_arr().ok_or("defects.links: not an array")?;
+            if arr.len() != 4 {
+                return Err("defects.links: need [dx, dy, fx, fy]".to_string());
+            }
+            let mut xs = [0i32; 4];
+            for (slot, v) in xs.iter_mut().zip(arr) {
+                *slot = v.as_f64().ok_or("defects.links: non-numeric entry")? as i32;
+            }
+            out.add_link(Coord::new(xs[0], xs[1]), Coord::new(xs[2], xs[3]));
+        }
+    }
+    Ok(out)
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// `(id, reason)` on malformed input, carrying the request id when one
+/// was recoverable so the error response can still be correlated.
+pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, String)> {
+    let obj = json::parse(line).map_err(|e| (None, format!("malformed JSON: {e}")))?;
+    let id = obj.get("id").and_then(Json::as_u64);
+    let fail = |msg: String| (id, msg);
+    let op = obj
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail("missing string field \"op\"".to_string()))?;
+    match op {
+        "ping" => Ok(Request::Ping {
+            id: get_u64(&obj, "id").map_err(fail)?,
+        }),
+        "stats" => Ok(Request::Stats {
+            id: get_u64(&obj, "id").map_err(fail)?,
+        }),
+        "decode" => {
+            let decoder = match obj.get("decoder").and_then(Json::as_str) {
+                None => DecoderChoice::default(),
+                Some(name) => DecoderChoice::parse(name).map_err(fail)?,
+            };
+            let req = DecodeRequest {
+                id: get_u64(&obj, "id").map_err(fail)?,
+                d: u32::try_from(get_u64(&obj, "d").map_err(fail)?)
+                    .map_err(|_| fail("d out of range".to_string()))?,
+                p: obj
+                    .get("p")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| fail("missing or non-numeric field \"p\"".to_string()))?,
+                rounds: match obj.get("rounds") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(
+                        v.as_u64()
+                            .and_then(|r| u32::try_from(r).ok())
+                            .ok_or_else(|| fail("non-integer field \"rounds\"".to_string()))?,
+                    ),
+                },
+                shots: get_u64(&obj, "shots").map_err(fail)? as usize,
+                seed: get_u64(&obj, "seed").map_err(fail)?,
+                decoder,
+                defects: match obj.get("defects") {
+                    None | Some(Json::Null) => DefectSet::new(),
+                    Some(v) => parse_defects(v).map_err(fail)?,
+                },
+            };
+            req.validate().map_err(fail)?;
+            Ok(Request::Decode(req))
+        }
+        other => Err(fail(format!("unknown op {other:?}"))),
+    }
+}
+
+impl Response {
+    /// This response as a JSON value (all fields, diagnostics
+    /// included).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Pong { id } => Json::Obj(vec![
+                ("type".to_string(), Json::Str("pong".to_string())),
+                ("id".to_string(), num(*id)),
+            ]),
+            Response::Error(e) => {
+                let mut fields = vec![("type".to_string(), Json::Str("error".to_string()))];
+                if let Some(id) = e.id {
+                    fields.push(("id".to_string(), num(id)));
+                }
+                fields.push(("error".to_string(), Json::Str(e.kind.as_str().to_string())));
+                fields.push(("detail".to_string(), Json::Str(e.detail.clone())));
+                Json::Obj(fields)
+            }
+            Response::Ler(r) => Json::Obj(vec![
+                ("type".to_string(), Json::Str("ler".to_string())),
+                ("id".to_string(), num(r.id)),
+                ("d".to_string(), num(u64::from(r.d))),
+                ("p".to_string(), Json::Num(r.p)),
+                ("rounds".to_string(), num(u64::from(r.rounds))),
+                (
+                    "decoder".to_string(),
+                    Json::Str(r.decoder.name().to_string()),
+                ),
+                ("seed".to_string(), num(r.seed)),
+                ("shots".to_string(), num(r.shots as u64)),
+                ("failures".to_string(), num(r.failures)),
+                ("ler".to_string(), Json::Num(r.ler())),
+                (
+                    "cache".to_string(),
+                    Json::Str(if r.cache_hit { "hit" } else { "miss" }.to_string()),
+                ),
+                ("batched".to_string(), num(r.batched as u64)),
+            ]),
+            Response::Stats(s) => Json::Obj(vec![
+                ("type".to_string(), Json::Str("stats".to_string())),
+                ("id".to_string(), num(s.id)),
+                ("served".to_string(), num(s.served)),
+                ("rejected".to_string(), num(s.rejected)),
+                ("cache_hits".to_string(), num(s.cache_hits)),
+                ("cache_misses".to_string(), num(s.cache_misses)),
+                ("cache_evictions".to_string(), num(s.cache_evictions)),
+                ("cache_entries".to_string(), num(s.cache_entries)),
+                ("syndrome_hits".to_string(), num(s.syndrome_hits)),
+                ("syndrome_misses".to_string(), num(s.syndrome_misses)),
+                ("pool_workers".to_string(), num(s.pool_workers)),
+            ]),
+        }
+    }
+
+    /// This response as one wire line (no trailing newline).
+    pub fn render_line(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// The deterministic rendering used by the conformance gate: only
+    /// fields that are a pure function of the request survive —
+    /// `cache`/`batched`, counter values, and error detail text are
+    /// dropped.
+    pub fn normalized_line(&self) -> String {
+        match self {
+            Response::Pong { .. } | Response::Stats(_) => {
+                let keep = ["type", "id"];
+                let Json::Obj(fields) = self.to_json() else {
+                    unreachable!("responses render as objects")
+                };
+                Json::Obj(
+                    fields
+                        .into_iter()
+                        .filter(|(k, _)| keep.contains(&k.as_str()))
+                        .collect(),
+                )
+                .render()
+            }
+            Response::Error(_) => {
+                let keep = ["type", "id", "error"];
+                let Json::Obj(fields) = self.to_json() else {
+                    unreachable!("responses render as objects")
+                };
+                Json::Obj(
+                    fields
+                        .into_iter()
+                        .filter(|(k, _)| keep.contains(&k.as_str()))
+                        .collect(),
+                )
+                .render()
+            }
+            Response::Ler(_) => {
+                let drop = ["cache", "batched"];
+                let Json::Obj(fields) = self.to_json() else {
+                    unreachable!("responses render as objects")
+                };
+                Json::Obj(
+                    fields
+                        .into_iter()
+                        .filter(|(k, _)| !drop.contains(&k.as_str()))
+                        .collect(),
+                )
+                .render()
+            }
+        }
+    }
+
+    /// The id this response correlates to, when it carries one.
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            Response::Ler(r) => Some(r.id),
+            Response::Error(e) => e.id,
+            Response::Stats(s) => Some(s.id),
+            Response::Pong { id } => Some(*id),
+        }
+    }
+}
+
+/// Parses one response line (the client side of the protocol).
+///
+/// # Errors
+///
+/// A human-readable reason on malformed input.
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let obj = json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let ty = obj
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"type\"")?;
+    match ty {
+        "pong" => Ok(Response::Pong {
+            id: get_u64(&obj, "id")?,
+        }),
+        "error" => Ok(Response::Error(ErrorResponse {
+            id: obj.get("id").and_then(Json::as_u64),
+            kind: ErrorKind::parse(
+                obj.get("error")
+                    .and_then(Json::as_str)
+                    .ok_or("missing string field \"error\"")?,
+            )?,
+            detail: obj
+                .get("detail")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        })),
+        "ler" => Ok(Response::Ler(LerResponse {
+            id: get_u64(&obj, "id")?,
+            d: u32::try_from(get_u64(&obj, "d")?).map_err(|_| "d out of range".to_string())?,
+            p: obj
+                .get("p")
+                .and_then(Json::as_f64)
+                .ok_or("missing or non-numeric field \"p\"")?,
+            rounds: u32::try_from(get_u64(&obj, "rounds")?)
+                .map_err(|_| "rounds out of range".to_string())?,
+            decoder: DecoderChoice::parse(
+                obj.get("decoder")
+                    .and_then(Json::as_str)
+                    .ok_or("missing string field \"decoder\"")?,
+            )?,
+            seed: get_u64(&obj, "seed")?,
+            shots: get_u64(&obj, "shots")? as usize,
+            failures: get_u64(&obj, "failures")?,
+            cache_hit: obj.get("cache").and_then(Json::as_str) == Some("hit"),
+            batched: obj.get("batched").and_then(Json::as_u64).unwrap_or(1) as usize,
+        })),
+        "stats" => Ok(Response::Stats(StatsResponse {
+            id: get_u64(&obj, "id")?,
+            served: get_u64(&obj, "served")?,
+            rejected: get_u64(&obj, "rejected")?,
+            cache_hits: get_u64(&obj, "cache_hits")?,
+            cache_misses: get_u64(&obj, "cache_misses")?,
+            cache_evictions: get_u64(&obj, "cache_evictions")?,
+            cache_entries: get_u64(&obj, "cache_entries")?,
+            syndrome_hits: get_u64(&obj, "syndrome_hits")?,
+            syndrome_misses: get_u64(&obj, "syndrome_misses")?,
+            pool_workers: get_u64(&obj, "pool_workers")?,
+        })),
+        other => Err(format!("unknown response type {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_request_round_trips() {
+        let mut defects = DefectSet::new();
+        defects.add_data(Coord::new(3, 3));
+        defects.add_synd(Coord::new(4, 4));
+        defects.add_link(Coord::new(3, 3), Coord::new(4, 4));
+        let req = Request::Decode(DecodeRequest {
+            id: 17,
+            d: 5,
+            p: 3e-3,
+            rounds: Some(7),
+            shots: 4000,
+            seed: 42,
+            decoder: DecoderChoice::Uf,
+            defects,
+        });
+        let parsed = parse_request(&req.render_line()).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn decoder_field_defaults_to_mwpm() {
+        let line = r#"{"op":"decode","id":1,"d":3,"p":0.003,"shots":100,"seed":0}"#;
+        match parse_request(line).unwrap() {
+            Request::Decode(r) => assert_eq!(r.decoder, DecoderChoice::Mwpm),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_keep_the_recoverable_id() {
+        // Parseable JSON with a bad field: id survives for correlation.
+        let (id, msg) =
+            parse_request(r#"{"op":"decode","id":9,"d":5,"shots":10,"seed":0}"#).unwrap_err();
+        assert_eq!(id, Some(9));
+        assert!(msg.contains('p'), "message names the field: {msg}");
+        // Unparseable JSON: no id.
+        let (id, _) = parse_request("{not json").unwrap_err();
+        assert_eq!(id, None);
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_fields() {
+        for (line, needle) in [
+            (
+                r#"{"op":"decode","id":1,"d":99,"p":0.003,"shots":10,"seed":0}"#,
+                "d must",
+            ),
+            (
+                r#"{"op":"decode","id":1,"d":5,"p":1.5,"shots":10,"seed":0}"#,
+                "p must",
+            ),
+            (
+                r#"{"op":"decode","id":1,"d":5,"p":0.003,"shots":0,"seed":0}"#,
+                "shots must",
+            ),
+            (
+                r#"{"op":"decode","id":1,"d":5,"p":0.003,"shots":10,"seed":0,"rounds":0}"#,
+                "rounds must",
+            ),
+        ] {
+            let (_, msg) = parse_request(line).unwrap_err();
+            assert!(msg.contains(needle), "{line} -> {msg}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_and_normalize() {
+        let resp = Response::Ler(LerResponse {
+            id: 3,
+            d: 5,
+            p: 1e-3,
+            rounds: 5,
+            decoder: DecoderChoice::Mwpm,
+            seed: 9,
+            shots: 4000,
+            failures: 12,
+            cache_hit: true,
+            batched: 4,
+        });
+        let parsed = parse_response(&resp.render_line()).unwrap();
+        assert_eq!(parsed, resp);
+        let norm = resp.normalized_line();
+        assert!(
+            !norm.contains("cache") && !norm.contains("batched"),
+            "{norm}"
+        );
+        assert!(norm.contains("\"failures\":12"), "{norm}");
+
+        let err = Response::Error(ErrorResponse {
+            id: Some(4),
+            kind: ErrorKind::Backpressure,
+            detail: "queue full (cap 8)".to_string(),
+        });
+        let parsed = parse_response(&err.render_line()).unwrap();
+        assert_eq!(parsed, err);
+        assert!(!err.normalized_line().contains("detail"));
+    }
+}

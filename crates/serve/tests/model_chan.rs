@@ -1,0 +1,170 @@
+//! Model suites for the serve-layer channels
+//! (`RUSTFLAGS="--cfg dqec_check"`): the bounded reply channel and the
+//! fair admission inbox explored under the deterministic concurrency
+//! checker, plus a mutation-teeth pair proving the checker catches the
+//! classic missed-wakeup weakening of the notify protocol both
+//! structures rely on (publish and notify *under* the lock).
+
+#![cfg(dqec_check)]
+
+use dqec_check::sync::atomic::{AtomicUsize, Ordering};
+use dqec_check::sync::{Condvar, Mutex};
+use dqec_check::{check, Config};
+use dqec_serve::chan::Bounded;
+use dqec_serve::chan::Inbox;
+use std::sync::Arc;
+
+/// A capacity-1 channel forces the producer to block on every send
+/// after the first; under every explored schedule the consumer still
+/// receives the full FIFO backlog and then sees the close.
+#[test]
+fn bounded_blocking_sends_deliver_fifo_then_close() {
+    let outcome = check(&Config::random(800).max_steps(100_000), || {
+        let chan = Bounded::new(1);
+        let producer = {
+            let chan = chan.clone();
+            dqec_check::thread::spawn(move || {
+                for v in 0..3u32 {
+                    chan.send(v).expect("channel closed under producer");
+                }
+                chan.close();
+            })
+        };
+        let mut got = Vec::new();
+        while let Some(v) = chan.recv() {
+            got.push(v);
+        }
+        assert_eq!(got, vec![0, 1, 2], "reply backlog lost or reordered");
+        producer.join().expect("producer thread");
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "bounded channel lost or reordered replies: {}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    eprintln!("bounded fifo/close: {} executions", outcome.executions);
+}
+
+/// Two clients push concurrently while the (main-thread) executor
+/// drains: every admitted item is drained exactly once and each
+/// client's items stay in its submission order — the fairness pass must
+/// never duplicate or drop work, whatever the interleaving.
+#[test]
+fn inbox_concurrent_pushes_drain_exactly_once() {
+    let outcome = check(&Config::random(600).max_steps(200_000), || {
+        let inbox = Inbox::new(4);
+        let a = inbox.register();
+        let b = inbox.register();
+        let push_a = {
+            let inbox = inbox.clone();
+            dqec_check::thread::spawn(move || {
+                inbox.try_push(a, (a, 0usize)).expect("within client cap");
+                inbox.try_push(a, (a, 1usize)).expect("within client cap");
+            })
+        };
+        let push_b = {
+            let inbox = inbox.clone();
+            dqec_check::thread::spawn(move || {
+                inbox.try_push(b, (b, 0usize)).expect("within client cap");
+            })
+        };
+        // Drain concurrently with the pushes; drain blocks when the
+        // inbox is momentarily empty but not yet closed.
+        let mut got = Vec::new();
+        while got.len() < 3 {
+            let batch = inbox.drain(8);
+            assert!(!batch.is_empty(), "drain returned empty before close");
+            got.extend(batch);
+        }
+        push_a.join().expect("client a");
+        push_b.join().expect("client b");
+        inbox.close();
+        assert!(inbox.drain(8).is_empty(), "items remained after close");
+
+        let from_a: Vec<usize> = got
+            .iter()
+            .filter(|(c, _)| *c == a)
+            .map(|&(_, i)| i)
+            .collect();
+        let from_b: Vec<usize> = got
+            .iter()
+            .filter(|(c, _)| *c == b)
+            .map(|&(_, i)| i)
+            .collect();
+        assert_eq!(from_a, vec![0, 1], "client a lost per-client FIFO");
+        assert_eq!(from_b, vec![0], "client b item lost or duplicated");
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "inbox dropped/duplicated work or deadlocked: {}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    eprintln!("inbox exactly-once: {} executions", outcome.executions);
+}
+
+/// The notify protocol of `Bounded`/`Inbox` distilled to one handoff:
+/// the producer publishes and notifies while holding the lock (correct
+/// variant), or publishes and notifies lock-free (mutation).
+fn handoff_round(notify_under_lock: bool) {
+    let shared = Arc::new((Mutex::new(()), Condvar::new(), AtomicUsize::new(0)));
+    let producer = {
+        let shared = Arc::clone(&shared);
+        dqec_check::thread::spawn(move || {
+            let (mutex, ready, filled) = &*shared;
+            if notify_under_lock {
+                // The real protocol (Bounded::send / Inbox::try_push):
+                // holding the lock serializes this publish+notify
+                // against the consumer's check-then-wait, closing the
+                // missed-wakeup window.
+                let _guard = mutex.lock().expect("handoff mutex");
+                filled.store(1, Ordering::Release);
+                ready.notify_all();
+            } else {
+                // MUTATION: publish and notify without the lock — the
+                // notify can land between the consumer's emptiness
+                // check and its park, and no second notify ever comes.
+                filled.store(1, Ordering::Release);
+                ready.notify_all();
+            }
+        })
+    };
+    let (mutex, ready, filled) = &*shared;
+    let mut guard = mutex.lock().expect("handoff mutex");
+    while filled.load(Ordering::Acquire) == 0 {
+        guard = ready.wait(guard).expect("handoff wait");
+    }
+    drop(guard);
+    producer.join().expect("producer thread");
+}
+
+/// Correct variant: no schedule can miss the wakeup.
+#[test]
+fn chan_notify_under_lock_is_sound() {
+    let outcome = check(&Config::random(2000).max_steps(100_000), || {
+        handoff_round(true);
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "correct notify protocol reported a failure: {}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    eprintln!("handoff (correct): {} executions", outcome.executions);
+}
+
+/// Mutation teeth: the lock-free publish+notify must be caught (the
+/// checker finds the schedule where the notify fires while the
+/// consumer sits between its check and its park — a deadlock).
+#[test]
+fn mutation_lock_free_notify_is_caught() {
+    let outcome = check(&Config::random(2000).max_steps(100_000), || {
+        handoff_round(false);
+    });
+    assert!(
+        outcome.failure.is_some(),
+        "weakened channel notify was NOT caught — the model has no teeth"
+    );
+    eprintln!(
+        "handoff (mutation) caught after {} executions",
+        outcome.executions
+    );
+}

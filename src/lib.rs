@@ -17,7 +17,9 @@
 //! * [`chiplet`] — defect models, post-selection, yield/overhead;
 //! * [`sweep`] — the Monte-Carlo orchestration subsystem: sweep plans,
 //!   adaptive CI-targeted shot allocation, checkpoint/resume;
-//! * [`estimator`] — application-level resource and fidelity estimates.
+//! * [`estimator`] — application-level resource and fidelity estimates;
+//! * [`serve`] — decode-as-a-service: the resident TCP decode server
+//!   with a compiled-experiment cache and batched request pipeline.
 //!
 //! # Quick start
 //!
@@ -58,6 +60,7 @@ pub use dqec_chiplet as chiplet;
 pub use dqec_core as core;
 pub use dqec_estimator as estimator;
 pub use dqec_matching as matching;
+pub use dqec_serve as serve;
 pub use dqec_sim as sim;
 pub use dqec_sweep as sweep;
 

@@ -9,6 +9,12 @@
 //! assignment. Order is preserved: `collect()` returns results in input
 //! order regardless of which worker computed each block.
 //!
+//! Fan-outs execute on a process-wide **resident pool** of long-lived
+//! worker threads (see [`resident`]): participation jobs are queued,
+//! parked workers wake to run them, and the submitting thread helps
+//! drain the queue while waiting — no per-fan-out thread
+//! startup/teardown.
+//!
 //! Thread counts come from two sources:
 //!
 //! * Uncapped fan-outs borrow from a process-wide budget of
@@ -22,7 +28,11 @@
 //!   machines with fewer cores (the workers time-share), so tests and
 //!   `--threads N` behave identically everywhere.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the resident pool's job queue needs exactly one
+// lifetime-erasing `unsafe` block (see `resident::erase_job`), which
+// carries its own `#[allow]` and SAFETY argument. Everything else in
+// the crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 // Every sync primitive and thread entry point goes through the
@@ -43,6 +53,8 @@ use std::sync::{Arc, OnceLock, PoisonError};
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
+
+pub mod resident;
 
 /// Process-wide budget of extra worker threads for *uncapped* fan-outs.
 /// Real rayon shares one work-stealing pool; without a budget, nested
@@ -98,9 +110,9 @@ pub fn with_worker_cap<R>(workers: usize, f: impl FnOnce() -> R) -> R {
     // previous cap is restored — and any permits borrowed from the
     // enclosing pool are returned — by this drop guard on every exit
     // path, including unwinds out of `f`; the fan-out budget itself is
-    // returned by `WorkerPermits::drop`, which runs during unwinding of
-    // `run()` even when a spawned worker panicked mid-steal (the scope
-    // joins every worker before the permits local goes out of scope).
+    // returned by `WorkerPermits::drop`, which runs before `run()`
+    // re-raises a captured panic (the fan-out latch guarantees every
+    // participation has completed before `fan_out` returns).
     struct Restore {
         prev: Option<Arc<CapPool>>,
         outer: Option<Arc<CapPool>>,
@@ -513,10 +525,13 @@ impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParallelIterator for ParMap<T, F> {
                 .push_back(b);
         }
 
-        // Spawned workers inherit the cap pool, so their nested
-        // fan-outs draw from the same scoped budget instead of
-        // oversubscribing through the global one.
-        let inherited = CAP_POOL.with(|c| c.borrow().clone());
+        // Fan out onto the resident pool: extra participations run as
+        // queued jobs on long-lived workers (which inherit the cap pool
+        // per job), the caller's thread works its own deque, then helps
+        // drain the queue until every participation completes. Under
+        // `--cfg dqec_check` a private pool is built per fan-out so
+        // model executions never leak tasks into a global singleton —
+        // while still driving the exact resident code path.
         let steal = &steal;
         let f = &f;
         let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -528,26 +543,28 @@ impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParallelIterator for ParMap<T, F> {
                 }
             }
         };
-        thread::scope(|scope| {
-            let handles: Vec<_> = (1..workers)
-                .map(|me| {
-                    let inherited = inherited.clone();
-                    scope.spawn(move || {
-                        CAP_POOL.with(|c| *c.borrow_mut() = inherited);
-                        steal.work(me, f)
-                    })
-                })
-                .collect();
-            // The caller's thread works its own deque alongside the pool.
-            place(steal.work(0, f), &mut slots);
-            for handle in handles {
-                match handle.join() {
-                    Ok(parts) => place(parts, &mut slots),
-                    Err(payload) => std::panic::resume_unwind(payload),
-                }
-            }
-        });
+        let fan = {
+            #[cfg(not(dqec_check))]
+            let pool = resident::global();
+            #[cfg(dqec_check)]
+            let local = resident::ResidentPool::new();
+            #[cfg(dqec_check)]
+            let pool = &local;
+            let fan = pool.fan_out(workers - 1, &|me| steal.work(me, f));
+            #[cfg(dqec_check)]
+            local.shutdown();
+            fan
+        };
+        if let Some(part) = fan.own {
+            place(part, &mut slots);
+        }
+        for part in fan.parts {
+            place(part, &mut slots);
+        }
         drop(permits);
+        if let Some(payload) = fan.panic {
+            std::panic::resume_unwind(payload);
+        }
         slots
             .into_iter()
             .map(|s| s.expect("every input item computed exactly once"))
@@ -777,5 +794,30 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u32> = Vec::<u32>::new().par_iter().map(|&x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[cfg(not(dqec_check))]
+    #[test]
+    fn resident_pool_reuses_workers_across_fanouts() {
+        // The whole point of the promotion: repeated fan-outs of the
+        // same width must not keep spawning threads. Run a first batch
+        // to warm the pool, record its size, then run many more batches
+        // and assert the pool did not grow.
+        let warm = || {
+            let got: Vec<u64> =
+                super::with_worker_cap(4, || (0..256u64).into_par_iter().map(|x| x + 1).collect());
+            assert_eq!(got.len(), 256);
+        };
+        warm();
+        let after_first = super::resident::global().workers();
+        assert!(after_first >= 1, "capped fan-out must grow the pool");
+        for _ in 0..32 {
+            warm();
+        }
+        assert_eq!(
+            super::resident::global().workers(),
+            after_first,
+            "same-width fan-outs must reuse resident workers"
+        );
     }
 }

@@ -1,0 +1,389 @@
+//! A resident worker pool that outlives individual fan-outs.
+//!
+//! The PR 5 scheduler spawned a fresh set of scoped threads for every
+//! `par_iter` fan-out. That is correct but pays thread startup/teardown
+//! on every call — exactly the overhead a persistent decode service
+//! cannot afford. This module keeps a process-wide pool of long-lived
+//! workers (lazily grown on demand, parked on a condvar when idle) and
+//! routes every fan-out through it as a batch of queued *participation
+//! jobs*.
+//!
+//! Design notes:
+//!
+//! * **Completion latch, not join.** A fan-out submits one job per
+//!   extra worker, runs its own share inline, then waits for a latch
+//!   (`remaining` participation count) to hit zero. The latch's last
+//!   decrementer takes the pool lock before notifying, which closes the
+//!   classic missed-wakeup race (model-checked in
+//!   `tests/model_resident.rs`, including a mutation variant proving
+//!   the checker catches the broken protocol).
+//! * **Helper draining.** While waiting on its latch, the submitting
+//!   thread pops and runs *other* queued jobs. This is what makes
+//!   nested fan-outs deadlock-free with a bounded pool: a worker whose
+//!   job starts an inner fan-out drains the queue — including the inner
+//!   fan-out's own jobs — instead of blocking the only threads that
+//!   could run them.
+//! * **Cap inheritance.** Workers are reused across unrelated fan-outs,
+//!   so the `with_worker_cap` pool cannot ride on thread locals set at
+//!   spawn time. Each job saves, installs, and restores the submitting
+//!   scope's cap pool around the body.
+//! * **One lifetime erasure.** Fan-out bodies borrow from the caller's
+//!   stack, but resident workers are `'static` threads. The queue
+//!   stores jobs with the lifetime erased (the single `unsafe` block in
+//!   the workspace); soundness rests on `fan_out` never returning
+//!   before its latch reaches zero, i.e. after every submitted job has
+//!   run to completion.
+//!
+//! Under `--cfg dqec_check` the `ParMap` pipeline builds a private pool
+//! per fan-out (so model executions never leak tasks into a global
+//! singleton), which means the model suites exercise this exact code
+//! path: erasure, latch, helper drain, panic capture, shutdown.
+
+use dqec_check::sync::atomic::{AtomicUsize, Ordering};
+use dqec_check::sync::{Condvar, Mutex};
+use dqec_check::thread;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, PoisonError};
+
+use crate::{CapPool, CAP_POOL};
+
+/// Hard ceiling on resident workers, guarding against a pathological
+/// `with_worker_cap(huge)`; fan-outs wider than the pool still complete
+/// because queued jobs are drained by whichever threads exist.
+const MAX_WORKERS: usize = 256;
+
+/// A queued unit of work: one worker's participation in one fan-out,
+/// with its borrowed lifetime erased (see [`ResidentPool::fan_out`]).
+type Job = Box<dyn FnOnce() + Send>;
+
+/// State behind the pool lock.
+struct PoolState {
+    /// FIFO of pending participation jobs across all fan-outs.
+    jobs: VecDeque<Job>,
+    /// Set once by [`ResidentPool::shutdown`]; workers drain the queue
+    /// before exiting so no submitted job is ever dropped unrun.
+    shutdown: bool,
+    /// Workers spawned so far (monotonic; reserved before spawning so
+    /// concurrent `ensure_workers` calls never double-spawn).
+    spawned: usize,
+    /// Join handles for [`ResidentPool::shutdown`].
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+/// Lock + condvar shared by workers, submitters, and helpers.
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled on job submission, on shutdown, and by the last
+    /// decrement of any fan-out latch.
+    work: Condvar,
+}
+
+impl PoolShared {
+    fn lock(&self) -> dqec_check::sync::MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A pool of resident worker threads executing fan-out participation
+/// jobs. The process-wide instance behind `par_iter` is reached via
+/// [`global`]; tests and model suites build private instances. Cloning
+/// yields another handle to the same pool.
+#[derive(Clone)]
+pub struct ResidentPool {
+    shared: Arc<PoolShared>,
+}
+
+impl Default for ResidentPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Everything a fan-out produced: the submitter's own part, the parts
+/// computed by pool workers (in completion order), and the first panic
+/// payload if any body panicked.
+pub struct FanOutcome<P> {
+    /// Result of `body(0)` on the submitting thread; `None` if it
+    /// panicked (then `panic` holds its payload).
+    pub own: Option<P>,
+    /// Results of `body(1..=extra)` from the queued jobs.
+    pub parts: Vec<P>,
+    /// First captured panic payload, to re-raise once cleanup is done.
+    pub panic: Option<Box<dyn Any + Send>>,
+}
+
+/// Per-fan-out shared context the queued jobs run against. Everything
+/// here lives on the `fan_out` stack frame; jobs reach it through the
+/// lifetime-erased closure.
+struct FanCtx<'a, P, B: ?Sized> {
+    body: &'a B,
+    /// Parts and the first panic payload, pushed under a private lock.
+    sink: &'a Mutex<FanSink<P>>,
+    /// Participation jobs still outstanding — the completion latch.
+    remaining: &'a AtomicUsize,
+    shared: &'a PoolShared,
+}
+
+// Manual impl: derive(Clone, Copy) would demand P: Copy.
+impl<P, B: ?Sized> Clone for FanCtx<'_, P, B> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<P, B: ?Sized> Copy for FanCtx<'_, P, B> {}
+
+struct FanSink<P> {
+    parts: Vec<P>,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl<P: Send, B: Fn(usize) -> P + Sync + ?Sized> FanCtx<'_, P, B> {
+    /// Runs participation `me`: installs the submitting scope's cap
+    /// pool, runs the body under `catch_unwind` (a panic must not
+    /// unwind into the worker loop), records the result, and
+    /// decrements the latch — taking the pool lock before the final
+    /// notify so a submitter checking the latch under that lock can
+    /// never miss the wakeup.
+    fn run_job(&self, me: usize, inherited: Option<Arc<CapPool>>) {
+        let prev = CAP_POOL.with(|c| std::mem::replace(&mut *c.borrow_mut(), inherited));
+        let result = catch_unwind(AssertUnwindSafe(|| (self.body)(me)));
+        CAP_POOL.with(|c| *c.borrow_mut() = prev);
+        {
+            let mut sink = self.sink.lock().unwrap_or_else(PoisonError::into_inner);
+            match result {
+                Ok(part) => sink.parts.push(part),
+                Err(payload) => {
+                    sink.panic.get_or_insert(payload);
+                }
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.shared.lock();
+            self.shared.work.notify_all();
+        }
+    }
+}
+
+impl ResidentPool {
+    /// Creates an empty pool; workers are spawned on demand by
+    /// [`ensure_workers`](Self::ensure_workers) / fan-outs.
+    pub fn new() -> ResidentPool {
+        ResidentPool {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState {
+                    jobs: VecDeque::new(),
+                    shutdown: false,
+                    spawned: 0,
+                    handles: Vec::new(),
+                }),
+                work: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Number of worker threads spawned so far (monotonic). Diagnostic:
+    /// lets tests assert reuse and the serve metrics report pool size.
+    pub fn workers(&self) -> usize {
+        self.lock_state().spawned
+    }
+
+    fn lock_state(&self) -> dqec_check::sync::MutexGuard<'_, PoolState> {
+        self.shared.lock()
+    }
+
+    /// Grows the pool to at least `want` workers (clamped to
+    /// `MAX_WORKERS`). Never shrinks; no-op after shutdown.
+    pub fn ensure_workers(&self, want: usize) {
+        let want = want.min(MAX_WORKERS);
+        let spawn_from = {
+            let mut st = self.lock_state();
+            if st.shutdown || st.spawned >= want {
+                return;
+            }
+            let from = st.spawned;
+            st.spawned = want;
+            from
+        };
+        for _ in spawn_from..want {
+            let shared = Arc::clone(&self.shared);
+            let handle = thread::spawn(move || worker_loop(&shared));
+            self.lock_state().handles.push(handle);
+        }
+    }
+
+    /// Queues `jobs` and wakes parked workers.
+    fn submit_all(&self, jobs: Vec<Job>) {
+        let mut st = self.lock_state();
+        st.jobs.extend(jobs);
+        drop(st);
+        self.shared.work.notify_all();
+    }
+
+    /// Runs `body(me)` for `me in 0..=extra` — `0` inline on the
+    /// calling thread, the rest as queued jobs on pool workers — and
+    /// returns once *all* participations have run to completion. While
+    /// waiting, the calling thread helps drain the queue (any fan-out's
+    /// jobs), which keeps nested fan-outs deadlock-free even on a pool
+    /// smaller than the nesting depth. Panics in any participation are
+    /// captured and returned, never propagated mid-wait.
+    pub fn fan_out<P, B>(&self, extra: usize, body: &B) -> FanOutcome<P>
+    where
+        P: Send,
+        B: Fn(usize) -> P + Sync,
+    {
+        if extra == 0 {
+            return match catch_unwind(AssertUnwindSafe(|| body(0))) {
+                Ok(part) => FanOutcome {
+                    own: Some(part),
+                    parts: Vec::new(),
+                    panic: None,
+                },
+                Err(payload) => FanOutcome {
+                    own: None,
+                    parts: Vec::new(),
+                    panic: Some(payload),
+                },
+            };
+        }
+        self.ensure_workers(extra);
+        let inherited = CAP_POOL.with(|c| c.borrow().clone());
+        let sink = Mutex::new(FanSink {
+            parts: Vec::with_capacity(extra),
+            panic: None,
+        });
+        let remaining = AtomicUsize::new(extra);
+        let ctx: FanCtx<'_, P, B> = FanCtx {
+            body,
+            sink: &sink,
+            remaining: &remaining,
+            shared: &self.shared,
+        };
+        let mut jobs: Vec<Job> = Vec::with_capacity(extra);
+        for me in 1..=extra {
+            let inherited = inherited.clone();
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || ctx.run_job(me, inherited));
+            jobs.push(erase_job(job));
+        }
+        self.submit_all(jobs);
+        // The calling thread is worker 0, then helps until the latch
+        // clears. Its own panic is captured too: unwinding out of this
+        // frame while queued jobs still borrow it would be unsound.
+        let own = catch_unwind(AssertUnwindSafe(|| body(0)));
+        self.drain_until_zero(&remaining);
+        let FanSink { parts, panic } = sink.into_inner().unwrap_or_else(PoisonError::into_inner);
+        match own {
+            Ok(part) => FanOutcome {
+                own: Some(part),
+                parts,
+                panic,
+            },
+            // Prefer the submitter's own payload, matching the unwind
+            // order of the old scoped implementation.
+            Err(payload) => FanOutcome {
+                own: None,
+                parts,
+                panic: Some(payload),
+            },
+        }
+    }
+
+    /// Pops and runs queued jobs until `remaining` reaches zero,
+    /// parking on the pool condvar when the queue is empty. The latch
+    /// check under the pool lock pairs with the lock-before-notify in
+    /// [`FanCtx::run_job`].
+    fn drain_until_zero(&self, remaining: &AtomicUsize) {
+        loop {
+            if remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            let job = {
+                let mut st = self.lock_state();
+                loop {
+                    if remaining.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    match st.jobs.pop_front() {
+                        Some(job) => break job,
+                        None => {
+                            st = self
+                                .shared
+                                .work
+                                .wait(st)
+                                .unwrap_or_else(PoisonError::into_inner);
+                        }
+                    }
+                }
+            };
+            job();
+        }
+    }
+
+    /// Stops the pool: workers finish the queued backlog (draining
+    /// before exit is what keeps the erasure in [`ResidentPool::fan_out`] sound even
+    /// during teardown), then exit and are joined. Used by tests and
+    /// model suites; the [`global`] pool is never shut down.
+    pub fn shutdown(&self) {
+        let handles = {
+            let mut st = self.lock_state();
+            st.shutdown = true;
+            std::mem::take(&mut st.handles)
+        };
+        self.shared.work.notify_all();
+        for handle in handles {
+            // Job bodies run under catch_unwind, so a worker thread
+            // never unwinds; a join error would mean a bug in the loop
+            // itself and there is no one better to report it to here.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Erases the borrow lifetime of a participation job so it can sit in
+/// the `'static` queue of resident worker threads.
+// The job only borrows the `FanCtx` (and the fan-out caller's stack
+// below it), and `fan_out` does not return until its latch reaches zero
+// — which happens only after every submitted job has run to completion.
+// Every queued job is guaranteed to run: workers drain the queue even
+// on shutdown, and the submitting thread itself drains while waiting.
+#[allow(unsafe_code)]
+fn erase_job(job: Box<dyn FnOnce() + Send + '_>) -> Job {
+    // SAFETY: every borrow in `job` strictly outlives its execution
+    // (see above); only the lifetime is erased — vtable and layout of
+    // the trait object are unchanged.
+    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) }
+}
+
+/// A resident worker: pop a job or park; exit only on shutdown with an
+/// empty queue.
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut st = shared.lock();
+            loop {
+                if let Some(job) = st.jobs.pop_front() {
+                    break Some(job);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+/// The process-wide resident pool behind `par_iter` fan-outs. Lazily
+/// created; grows on demand; never shut down. Not compiled under
+/// `--cfg dqec_check`, where a global pool would leak model tasks
+/// across checker executions — fan-outs build a private pool instead.
+#[cfg(not(dqec_check))]
+pub fn global() -> &'static ResidentPool {
+    static POOL: std::sync::OnceLock<ResidentPool> = std::sync::OnceLock::new();
+    POOL.get_or_init(ResidentPool::new)
+}

@@ -1,0 +1,207 @@
+//! Model suites for the resident worker pool
+//! (`RUSTFLAGS="--cfg dqec_check"`), required before the promotion from
+//! per-fan-out scoped threads merges: startup (lazy spawn + first
+//! fan-out), steal/drain (nested fan-outs helper-draining a shared
+//! queue), and shutdown (draining the backlog, racing an in-flight
+//! fan-out) — plus a mutation-teeth pair proving the checker catches a
+//! weakened completion-latch protocol. The deque/steal interleavings of
+//! the pipeline itself are covered by `tests/model_check.rs`, whose
+//! `par_iter` calls now also drive `ResidentPool::fan_out` end to end
+//! (erasure, latch, helper drain) via the per-fan-out pool built under
+//! `--cfg dqec_check`.
+#![cfg(dqec_check)]
+
+use dqec_check::sync::atomic::{AtomicUsize, Ordering};
+use dqec_check::sync::{Condvar, Mutex};
+use dqec_check::{check, Config};
+use rayon::resident::ResidentPool;
+use std::sync::Arc;
+
+/// Startup: a fresh pool lazily spawns workers on the first fan-out,
+/// and every participation (the submitter's own plus each queued job)
+/// runs exactly once under every explored schedule.
+#[test]
+fn resident_startup_runs_every_participation() {
+    let outcome = check(&Config::random(1000).max_steps(100_000), || {
+        let pool = ResidentPool::new();
+        let ran = AtomicUsize::new(0);
+        let fan = pool.fan_out(2, &|me| {
+            // One bit per participation: a double-run would be visible
+            // as a cleared bit re-set (caught by the exactness check
+            // below as a wrong population count).
+            ran.fetch_add(1 << me, Ordering::SeqCst);
+            me
+        });
+        assert_eq!(fan.own, Some(0), "submitter participation lost");
+        let mut parts = fan.parts;
+        parts.sort_unstable();
+        assert_eq!(parts, vec![1, 2], "queued participations lost/duped");
+        assert!(fan.panic.is_none());
+        assert_eq!(ran.load(Ordering::SeqCst), 0b111);
+        assert!(pool.workers() >= 1, "fan-out must spawn resident workers");
+        pool.shutdown();
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "resident startup lost a participation: {}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    eprintln!("resident startup: {} executions", outcome.executions);
+}
+
+/// Steal/drain: nested fan-outs on one shared pool. The inner fan-out's
+/// jobs land on the same queue the outer participations came from, so
+/// completing them requires busy participants (and the submitter) to
+/// helper-drain jobs they did not submit — the property that makes a
+/// bounded resident pool deadlock-free under nesting.
+#[test]
+fn resident_helper_drain_completes_nested_fanouts() {
+    let outcome = check(&Config::random(800).max_steps(200_000), || {
+        let pool = ResidentPool::new();
+        let leaves = AtomicUsize::new(0);
+        let fan = pool.fan_out(1, &|_outer| {
+            let inner = pool.fan_out(1, &|_inner| {
+                leaves.fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(inner.panic.is_none(), "inner fan-out panicked");
+            assert!(inner.own.is_some() && inner.parts.len() == 1);
+        });
+        assert!(fan.panic.is_none(), "outer fan-out panicked");
+        assert_eq!(leaves.load(Ordering::SeqCst), 4, "nested leaves lost");
+        pool.shutdown();
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "nested fan-outs deadlocked or lost work: {}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    eprintln!("resident helper drain: {} executions", outcome.executions);
+}
+
+/// Shutdown racing an in-flight fan-out: whichever order the scheduler
+/// picks, the fan-out completes (workers drain the backlog before
+/// exiting; the submitter helper-drains if no worker ever spawned) and
+/// the pool joins every worker it started.
+#[test]
+fn resident_shutdown_races_inflight_fanout() {
+    let outcome = check(&Config::random(1000).max_steps(200_000), || {
+        let pool = ResidentPool::new();
+        let submitter = {
+            let pool = pool.clone();
+            dqec_check::thread::spawn(move || {
+                let done = AtomicUsize::new(0);
+                let fan = pool.fan_out(1, &|_me| {
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+                assert!(fan.panic.is_none());
+                assert_eq!(done.load(Ordering::SeqCst), 2, "participation dropped");
+            })
+        };
+        pool.shutdown();
+        submitter.join().expect("submitter thread");
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "shutdown race dropped work or deadlocked: {}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    eprintln!("resident shutdown race: {} executions", outcome.executions);
+}
+
+/// A panicking participation is captured into the outcome (never
+/// unwinds into a worker loop), the latch still clears on every
+/// schedule, and the pool remains usable afterwards.
+#[test]
+fn resident_panic_is_captured_and_pool_survives() {
+    let outcome = check(&Config::random(800).max_steps(200_000), || {
+        let pool = ResidentPool::new();
+        let fan = pool.fan_out(1, &|me| {
+            assert!(me != 1, "resident-boom-{me}");
+            me
+        });
+        assert_eq!(fan.own, Some(0));
+        assert!(
+            fan.parts.is_empty(),
+            "panicked participation produced a part"
+        );
+        assert!(fan.panic.is_some(), "panic payload lost");
+        // The pool must still serve fan-outs after a captured panic.
+        let again = pool.fan_out(1, &|me| me + 10);
+        assert_eq!(again.own, Some(10));
+        assert_eq!(again.parts, vec![11]);
+        assert!(again.panic.is_none());
+        pool.shutdown();
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "panic capture hung or lost the payload: {}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    eprintln!("resident panic capture: {} executions", outcome.executions);
+}
+
+/// The completion-latch protocol distilled: the last decrementer takes
+/// the pool lock before notifying, and the waiter re-checks the latch
+/// under that same lock before parking. One round, correct variant —
+/// must survive every schedule.
+fn latch_round(lock_before_notify: bool) {
+    let shared = Arc::new((Mutex::new(()), Condvar::new(), AtomicUsize::new(1)));
+    let completer = {
+        let shared = Arc::clone(&shared);
+        dqec_check::thread::spawn(move || {
+            let (mutex, work, remaining) = &*shared;
+            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                if lock_before_notify {
+                    // The real protocol (FanCtx::run_job): holding the
+                    // lock serializes this notify against the waiter's
+                    // check-then-wait, closing the missed-wakeup window.
+                    let _guard = mutex.lock().expect("latch mutex");
+                    work.notify_all();
+                } else {
+                    // MUTATION: notify without the lock — can fire
+                    // between the waiter's latch check and its park.
+                    work.notify_all();
+                }
+            }
+        })
+    };
+    let (mutex, work, remaining) = &*shared;
+    let mut guard = mutex.lock().expect("latch mutex");
+    while remaining.load(Ordering::Acquire) != 0 {
+        guard = work.wait(guard).expect("latch wait");
+    }
+    drop(guard);
+    completer.join().expect("completer");
+}
+
+/// Correct latch protocol: no schedule can miss the wakeup.
+#[test]
+fn resident_latch_lock_before_notify_is_sound() {
+    let outcome = check(&Config::random(2000).max_steps(100_000), || {
+        latch_round(true);
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "correct latch protocol reported a failure: {}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    eprintln!("latch (correct): {} executions", outcome.executions);
+}
+
+/// Mutation teeth: the same latch with the lock-before-notify dropped
+/// must be caught (the checker finds the schedule where the notify
+/// lands between the waiter's check and its park — a deadlock).
+#[test]
+fn mutation_unlocked_latch_notify_is_caught() {
+    let outcome = check(&Config::random(2000).max_steps(100_000), || {
+        latch_round(false);
+    });
+    assert!(
+        outcome.failure.is_some(),
+        "weakened latch notify was NOT caught — the model has no teeth"
+    );
+    eprintln!(
+        "latch mutation caught: {}",
+        outcome.failure.map(|f| f.message).unwrap_or_default()
+    );
+}
