@@ -1,16 +1,24 @@
 //! Harness-free serving benchmark: drives an in-process `dqec_serve`
 //! server over real TCP with a mixed mwpm/uf burst at d = 5 and writes
-//! cold-vs-warm throughput and latency percentiles to
-//! `BENCH_serve.json` so successive PRs can track the trajectory.
+//! throughput and latency percentiles to `BENCH_serve.json` so
+//! successive PRs can track the trajectory.
 //!
-//! Two phases over the identical request stream:
+//! Four phases over the identical request stream:
 //!
 //! * `cold` — the server runs with `--cache 0`, so every request pays
 //!   experiment compilation (circuit synthesis + decoder construction)
 //!   before sampling;
 //! * `warm` — the server runs with a real compiled-experiment cache,
 //!   pre-warmed with one request per distinct (patch, decoder, noise)
-//!   key, so the burst is pure cache-hit sampling.
+//!   key, so the burst is pure cache-hit sampling;
+//! * `warm_metrics_off` — the warm burst again with the `dqec_obs`
+//!   metrics registry disabled, isolating the cost of the always-on
+//!   instrumentation. `overhead_ratio` is metrics-on warm throughput
+//!   over metrics-off; CI asserts it stays >= 0.98 (<= 2% overhead);
+//! * `open_loop` — the warm burst paced at a fixed arrival rate
+//!   (`--rate`) from a sender thread, so latency includes the queueing
+//!   a real client population would see instead of the closed loop's
+//!   one-in-flight flattering view.
 //!
 //! `speedup` is warm throughput over cold throughput; the CI smoke job
 //! asserts it stays >= 5 at d = 5.
@@ -19,15 +27,17 @@ use dqec_serve::protocol::{parse_response, DecodeRequest, Request, Response};
 use dqec_serve::{start, ServerConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
-usage: bench_serve [--requests N] [--shots N] [--threads N] [--out FILE] [--help]
+usage: bench_serve [--requests N] [--shots N] [--threads N] [--rate REQ_S]
+                   [--out FILE] [--help]
 
   --requests N  burst size per phase (default 32)
   --shots N     shots per decode request (default 256; small on purpose
                 so compilation dominates the cold phase)
   --threads N   worker cap for decode fan-outs (N >= 1)
+  --rate REQ_S  open-loop arrival rate in requests/s (default 200)
   --out FILE    where to write the JSON report (default BENCH_serve.json)
   --help        show this message";
 
@@ -35,6 +45,7 @@ struct Args {
     requests: usize,
     shots: usize,
     threads: Option<usize>,
+    rate: f64,
     out: std::path::PathBuf,
 }
 
@@ -42,6 +53,7 @@ fn parse_args() -> Args {
     let mut requests = 32usize;
     let mut shots = 256usize;
     let mut threads: Option<usize> = None;
+    let mut rate = 200.0f64;
     let mut out = std::path::PathBuf::from("BENCH_serve.json");
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -60,6 +72,20 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }
                 threads = Some(n);
+            }
+            "--rate" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("error: --rate requires a value\n{USAGE}");
+                    std::process::exit(2);
+                });
+                rate = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: bad --rate value {v:?}\n{USAGE}");
+                    std::process::exit(2);
+                });
+                if !rate.is_finite() || rate <= 0.0 {
+                    eprintln!("error: --rate must be > 0\n{USAGE}");
+                    std::process::exit(2);
+                }
             }
             "--out" => {
                 out = it
@@ -84,6 +110,7 @@ fn parse_args() -> Args {
         requests,
         shots,
         threads,
+        rate,
         out,
     }
 }
@@ -126,7 +153,30 @@ struct Phase {
     rps: f64,
     p50_ms: f64,
     p99_ms: f64,
+    p999_ms: f64,
     total_s: f64,
+}
+
+fn percentiles(mut lat: Vec<f64>, requests: usize, total_s: f64) -> Phase {
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let pct = |q: f64| lat[((lat.len() - 1) as f64 * q).round() as usize] * 1e3;
+    Phase {
+        rps: requests as f64 / total_s,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        p999_ms: pct(0.999),
+        total_s,
+    }
+}
+
+fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect: {e}");
+        std::process::exit(1);
+    });
+    stream.set_nodelay(true).expect("set TCP_NODELAY");
+    let write = stream.try_clone().expect("clone connection");
+    (write, BufReader::new(stream))
 }
 
 /// Closed-loop client: send a request, block for its response, repeat.
@@ -137,13 +187,7 @@ fn run_phase(config: ServerConfig, requests: usize, shots: usize, prewarm: bool)
         eprintln!("error: cannot start server: {e}");
         std::process::exit(1);
     });
-    let stream = TcpStream::connect(server.addr()).unwrap_or_else(|e| {
-        eprintln!("error: cannot connect: {e}");
-        std::process::exit(1);
-    });
-    stream.set_nodelay(true).expect("set TCP_NODELAY");
-    let mut write = stream.try_clone().expect("clone connection");
-    let mut read = BufReader::new(stream);
+    let (mut write, mut read) = connect(server.addr());
 
     let mut roundtrip = |req: &Request| -> f64 {
         let t0 = Instant::now();
@@ -169,20 +213,125 @@ fn run_phase(config: ServerConfig, requests: usize, shots: usize, prewarm: bool)
     }
 
     let t0 = Instant::now();
-    let mut lat: Vec<f64> = (0..requests)
+    let lat: Vec<f64> = (0..requests)
         .map(|i| roundtrip(&burst_request(i, shots)))
         .collect();
     let total_s = t0.elapsed().as_secs_f64();
     server.stop();
+    percentiles(lat, requests, total_s)
+}
 
-    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let pct = |q: f64| lat[((lat.len() - 1) as f64 * q).round() as usize] * 1e3;
-    Phase {
-        rps: requests as f64 / total_s,
-        p50_ms: pct(0.50),
-        p99_ms: pct(0.99),
-        total_s,
+/// Measures the metrics-on vs metrics-off warm burst against a single
+/// server instance, alternating bursts and keeping the best of each
+/// side. One instance means the comparison sees the same threads,
+/// cache, and sockets — run-to-run server variance (which dwarfs the
+/// few atomic ops the registry costs) cancels out.
+fn run_onoff(config: ServerConfig, requests: usize, shots: usize) -> (Phase, Phase) {
+    let server = start(config).unwrap_or_else(|e| {
+        eprintln!("error: cannot start server: {e}");
+        std::process::exit(1);
+    });
+    let (mut write, mut read) = connect(server.addr());
+    let mut roundtrip = |req: &Request| -> f64 {
+        let t0 = Instant::now();
+        writeln!(write, "{}", req.render_line()).expect("send request");
+        write.flush().expect("flush request");
+        let mut line = String::new();
+        let n = read.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection mid-phase");
+        let dt = t0.elapsed().as_secs_f64();
+        match parse_response(line.trim_end()).expect("parseable response") {
+            Response::Ler(r) => assert_eq!(r.shots, shots, "short-counted response"),
+            other => panic!("expected ler response, got {other:?}"),
+        }
+        dt
+    };
+    for i in 0..PS.len() * DECODERS.len() {
+        roundtrip(&burst_request(i, shots));
     }
+    // Pool the per-request latencies of three alternating bursts per
+    // side: the quantiles are then over ~3x`requests` samples, and the
+    // p50 in particular is insensitive to the occasional slow wakeup
+    // that dominates burst-total throughput on a 256-request burst.
+    let mut lat_on: Vec<f64> = Vec::with_capacity(3 * requests);
+    let mut lat_off: Vec<f64> = Vec::with_capacity(3 * requests);
+    let mut s_on = 0.0f64;
+    let mut s_off = 0.0f64;
+    for _ in 0..3 {
+        dqec_obs::metrics::set_enabled(false);
+        let t0 = Instant::now();
+        lat_off.extend((0..requests).map(|i| roundtrip(&burst_request(i, shots))));
+        s_off += t0.elapsed().as_secs_f64();
+        dqec_obs::metrics::set_enabled(true);
+        let t0 = Instant::now();
+        lat_on.extend((0..requests).map(|i| roundtrip(&burst_request(i, shots))));
+        s_on += t0.elapsed().as_secs_f64();
+    }
+    server.stop();
+    (
+        percentiles(lat_on, 3 * requests, s_on),
+        percentiles(lat_off, 3 * requests, s_off),
+    )
+}
+
+/// Open-loop client: a sender thread paces requests at a fixed arrival
+/// rate regardless of responses, so measured latency includes the
+/// queueing a steady client population would experience.
+fn run_open_loop(config: ServerConfig, requests: usize, shots: usize, rate: f64) -> Phase {
+    let server = start(config).unwrap_or_else(|e| {
+        eprintln!("error: cannot start server: {e}");
+        std::process::exit(1);
+    });
+    let (mut write, mut read) = connect(server.addr());
+
+    // Prewarm the compiled-experiment cache through the same socket.
+    for i in 0..PS.len() * DECODERS.len() {
+        writeln!(write, "{}", burst_request(i, shots).render_line()).expect("send prewarm");
+        write.flush().expect("flush prewarm");
+        let mut line = String::new();
+        assert!(read.read_line(&mut line).expect("read prewarm") > 0);
+    }
+
+    let t0 = Instant::now();
+    let sender = dqec_check::thread::spawn(move || -> Vec<Duration> {
+        let mut sent = Vec::with_capacity(requests);
+        for i in 0..requests {
+            let target = Duration::from_secs_f64(i as f64 / rate);
+            if let Some(wait) = target.checked_sub(t0.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            sent.push(t0.elapsed());
+            writeln!(write, "{}", burst_request(i, shots).render_line()).expect("send request");
+            write.flush().expect("flush request");
+        }
+        sent
+    });
+
+    // Responses may arrive out of order across ids; correlate by id.
+    let mut recv_at: Vec<Option<Duration>> = vec![None; requests];
+    for _ in 0..requests {
+        let mut line = String::new();
+        let n = read.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection mid-phase");
+        let at = t0.elapsed();
+        match parse_response(line.trim_end()).expect("parseable response") {
+            Response::Ler(r) => {
+                assert_eq!(r.shots, shots, "short-counted response");
+                recv_at[r.id as usize] = Some(at);
+            }
+            other => panic!("expected ler response, got {other:?}"),
+        }
+    }
+    let total_s = t0.elapsed().as_secs_f64();
+    let sent = sender.join().expect("sender thread");
+    server.stop();
+
+    let lat: Vec<f64> = sent
+        .iter()
+        .zip(&recv_at)
+        .map(|(s, r)| (r.expect("every id answered") - *s).as_secs_f64())
+        .collect();
+    percentiles(lat, requests, total_s)
 }
 
 fn main() {
@@ -191,6 +340,14 @@ fn main() {
         Some(n) => rayon::with_worker_cap(n, || bench(&args)),
         None => bench(&args),
     }
+}
+
+fn report(name: &str, ph: &Phase, requests: usize) {
+    eprintln!(
+        "{name}: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms, p999 {:.2} ms \
+         ({requests} requests, {:.2} s)",
+        ph.rps, ph.p50_ms, ph.p99_ms, ph.p999_ms, ph.total_s
+    );
 }
 
 fn bench(args: &Args) {
@@ -205,35 +362,49 @@ fn bench(args: &Args) {
         ..base.clone()
     };
     let cold = run_phase(cold_config, args.requests, args.shots, false);
-    eprintln!(
-        "cold: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms ({} requests, {:.2} s)",
-        cold.rps, cold.p50_ms, cold.p99_ms, args.requests, cold.total_s
-    );
+    report("cold", &cold, args.requests);
 
     let warm_config = ServerConfig {
         cache_capacity: 16,
-        ..base
+        ..base.clone()
     };
-    let warm = run_phase(warm_config, args.requests, args.shots, true);
-    eprintln!(
-        "warm: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms ({} requests, {:.2} s)",
-        warm.rps, warm.p50_ms, warm.p99_ms, args.requests, warm.total_s
-    );
+    let warm = run_phase(warm_config.clone(), args.requests, args.shots, true);
+    report("warm", &warm, args.requests);
     let speedup = warm.rps / cold.rps;
     eprintln!("speedup (warm/cold): {speedup:.1}x");
 
-    let rows = [
+    let (warm_on, warm_off) = run_onoff(warm_config.clone(), args.requests, args.shots);
+    report("warm_metrics_off", &warm_off, args.requests);
+    // Median service rate ratio: 1/p50 on over 1/p50 off. CI asserts
+    // >= 0.98 (instrumentation costs at most 2% of a median request).
+    let overhead_ratio = warm_off.p50_ms / warm_on.p50_ms;
+    eprintln!("overhead_ratio (metrics-on/metrics-off median rate): {overhead_ratio:.3}");
+
+    let open = run_open_loop(warm_config, args.requests, args.shots, args.rate);
+    report("open_loop", &open, args.requests);
+
+    let common = |ph: &Phase| {
         format!(
-            "{{\"phase\": \"cold\", \"d\": {D}, \"requests\": {}, \"shots\": {}, \
+            "\"d\": {D}, \"requests\": {}, \"shots\": {}, \
              \"requests_per_sec\": {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
-             \"total_s\": {:.3}}}",
-            args.requests, args.shots, cold.rps, cold.p50_ms, cold.p99_ms, cold.total_s
+             \"p999_ms\": {:.3}, \"total_s\": {:.3}",
+            args.requests, args.shots, ph.rps, ph.p50_ms, ph.p99_ms, ph.p999_ms, ph.total_s
+        )
+    };
+    let rows = [
+        format!("{{\"phase\": \"cold\", {}}}", common(&cold)),
+        format!(
+            "{{\"phase\": \"warm\", {}, \"speedup\": {speedup:.2}}}",
+            common(&warm)
         ),
         format!(
-            "{{\"phase\": \"warm\", \"d\": {D}, \"requests\": {}, \"shots\": {}, \
-             \"requests_per_sec\": {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
-             \"total_s\": {:.3}, \"speedup\": {speedup:.2}}}",
-            args.requests, args.shots, warm.rps, warm.p50_ms, warm.p99_ms, warm.total_s
+            "{{\"phase\": \"warm_metrics_off\", {}, \"overhead_ratio\": {overhead_ratio:.4}}}",
+            common(&warm_off)
+        ),
+        format!(
+            "{{\"phase\": \"open_loop\", {}, \"rate\": {:.1}}}",
+            common(&open),
+            args.rate
         ),
     ];
     let mut json = String::from("[\n");

@@ -77,8 +77,7 @@ impl Ranking {
                 patches[b].distance().cmp(&patches[a].distance()).then(
                     patches[a]
                         .shortest_logical_count()
-                        .partial_cmp(&patches[b].shortest_logical_count())
-                        .expect("finite counts"),
+                        .total_cmp(&patches[b].shortest_logical_count()),
                 )
             }),
             Ranking::FaultyCount => {

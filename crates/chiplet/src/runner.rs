@@ -443,6 +443,7 @@ impl CompiledExperiment {
     /// observable path, too few rounds) and rejects a `bad_qubit`
     /// coordinate that is not an active circuit qubit.
     pub fn new(spec: &ExperimentSpec) -> Result<Self, CoreError> {
+        let _span = dqec_obs::trace::span("chiplet.compile");
         let rounds = spec.effective_rounds();
         let exp = match spec.protocol {
             Protocol::Memory => memory_z(&spec.patch, rounds)?,
@@ -578,6 +579,7 @@ impl CompiledExperiment {
         shots_bound: usize,
         seed: u64,
     ) -> DecodeStats {
+        let _span = dqec_obs::trace::span("chiplet.sample");
         assert!(self.current_point.is_some(), "select_point before sampling");
         let noisy = self.noisy.as_ref().expect("noisy circuit built");
         let batch = batch.max(1);

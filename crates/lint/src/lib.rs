@@ -17,7 +17,10 @@
 //!   `lint-allowlist.tsv`, new ones are rejected, and shrinking a
 //!   file's count below its allowance produces a ratchet warning.
 //! * **`det-clock`** — `Instant::now` / `SystemTime::now` are
-//!   forbidden in the deterministic decode/sample crates.
+//!   forbidden in all library code: timestamps must flow through the
+//!   `dqec_obs` clock facade (monotonic in production, virtual under
+//!   `--cfg dqec_check`). Bench binaries, tests, and examples are
+//!   exempt, as are `crates/obs` itself and `vendor/criterion`.
 //! * **`det-hasher`** — default-hasher `HashMap`/`HashSet` in the
 //!   deterministic crates is ratcheted like `unwrap` (iteration order
 //!   must never leak into results; existing sites are allowlisted,
@@ -40,8 +43,15 @@ const DET_CRATES: [&str; 6] = [
 ];
 
 /// Directory prefixes exempt from the `raw-sync` rule: the facade
-/// implementation itself, and the shim it instruments.
-const RAW_SYNC_EXEMPT: [&str; 2] = ["vendor/rayon", "crates/check"];
+/// implementation itself, the shim it instruments, and the metrics
+/// substrate (whose relaxed counters are deliberately invisible to the
+/// model checker — instrumenting them would explode the schedule space
+/// without changing any checked invariant).
+const RAW_SYNC_EXEMPT: [&str; 3] = ["vendor/rayon", "crates/check", "crates/obs"];
+
+/// Directory prefixes exempt from the `det-clock` rule: the clock
+/// facade itself and the vendored benchmark harness.
+const CLOCK_EXEMPT: [&str; 2] = ["crates/obs", "vendor/criterion"];
 
 /// Name of the ratchet file at the workspace root.
 pub const ALLOWLIST_FILE: &str = "lint-allowlist.tsv";
@@ -391,6 +401,8 @@ pub struct FileClass {
     pub det: bool,
     /// Exempt from the `raw-sync` rule.
     pub raw_sync_exempt: bool,
+    /// Exempt from the `det-clock` rule.
+    pub clock_exempt: bool,
 }
 
 /// Classifies a workspace-relative path (forward slashes).
@@ -404,6 +416,7 @@ pub fn classify(rel: &str) -> FileClass {
             .iter()
             .any(|c| rel.starts_with(&format!("{c}/src"))),
         raw_sync_exempt: RAW_SYNC_EXEMPT.iter().any(|c| rel.starts_with(c)),
+        clock_exempt: CLOCK_EXEMPT.iter().any(|c| rel.starts_with(c)),
     }
 }
 
@@ -449,14 +462,14 @@ pub fn scan_source(rel: &str, src: &str, class: FileClass) -> (Vec<Finding>, Rat
                         rule: "raw-sync",
                         path: rel.to_string(),
                         line: t.line,
-                        message: "`std::thread::spawn` outside vendor/rayon + crates/check; use the dqec_check::thread facade".to_string(),
+                        message: "`std::thread::spawn` outside vendor/rayon + crates/check + crates/obs; use the dqec_check::thread facade".to_string(),
                     });
                 } else if seq_at(toks, i, &["std", "::", "sync", "::", "atomic"]) {
                     findings.push(Finding {
                         rule: "raw-sync",
                         path: rel.to_string(),
                         line: t.line,
-                        message: "raw `std::sync::atomic` outside vendor/rayon + crates/check; use the dqec_check::sync facade".to_string(),
+                        message: "raw `std::sync::atomic` outside vendor/rayon + crates/check + crates/obs; use the dqec_check::sync facade".to_string(),
                     });
                 }
             }
@@ -471,13 +484,20 @@ pub fn scan_source(rel: &str, src: &str, class: FileClass) -> (Vec<Finding>, Rat
                 unwraps += 1;
             }
             "Instant" | "SystemTime"
-                if class.det && seq_at(toks, i, &[&t.text.clone(), "::", "now"]) && !in_test[i] =>
+                if class.library
+                    && !class.clock_exempt
+                    && seq_at(toks, i, &[&t.text.clone(), "::", "now"])
+                    && !in_test[i] =>
             {
                 findings.push(Finding {
                     rule: "det-clock",
                     path: rel.to_string(),
                     line: t.line,
-                    message: format!("`{}::now` in a deterministic decode/sample path", t.text),
+                    message: format!(
+                        "raw `{}::now` in library code; use the dqec_obs clock facade \
+                         (obs::Clock::now_ns)",
+                        t.text
+                    ),
                 });
             }
             "HashMap" | "HashSet" if class.det && class.library && !in_test[i] => {
@@ -815,14 +835,28 @@ mod tests {
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "det-clock");
         assert_eq!(counts, vec![("det-hasher", 3)]);
-        // Same source outside the det crates: no findings, no counts.
+        // Outside the det crates the hasher ratchet does not apply, but
+        // raw clocks are still banned in library code.
         let (findings, counts) = scan_source(
             "crates/bench/src/lib.rs",
             src,
             classify("crates/bench/src/lib.rs"),
         );
-        assert!(findings.is_empty());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "det-clock");
         assert!(counts.is_empty());
+        // Bench binaries and the obs facade itself stay exempt.
+        for exempt in [
+            "crates/bench/src/bin/bench_serve.rs",
+            "crates/obs/src/clock.rs",
+            "vendor/criterion/src/lib.rs",
+        ] {
+            let (findings, _) = scan_source(exempt, src, classify(exempt));
+            assert!(
+                findings.iter().all(|f| f.rule != "det-clock"),
+                "{exempt} must be clock-exempt: {findings:?}"
+            );
+        }
     }
 
     #[test]

@@ -574,6 +574,28 @@ impl DecodeStats {
         let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
         ((center - half).max(0.0), (center + half).min(1.0))
     }
+
+    /// Publishes this tally into the process-global `dqec_obs` metrics
+    /// registry under `prefix`: shots/failures as counters (summed
+    /// across calls) and the syndrome-cache split as both counters and
+    /// a hit-rate gauge in basis points.
+    pub fn publish(&self, prefix: &str) {
+        let reg = dqec_obs::registry();
+        reg.counter(&format!("{prefix}.shots"))
+            .add(self.shots as u64);
+        let failures: usize = self.failures.iter().sum();
+        reg.counter(&format!("{prefix}.failures"))
+            .add(failures as u64);
+        reg.counter(&format!("{prefix}.syndrome_hits"))
+            .add(self.cache_hits);
+        reg.counter(&format!("{prefix}.syndrome_misses"))
+            .add(self.cache_misses);
+        let total = self.cache_hits + self.cache_misses;
+        if total > 0 {
+            let bp = (self.cache_hits as f64 / total as f64 * 10_000.0) as i64;
+            reg.gauge(&format!("{prefix}.syndrome_hit_rate_bp")).set(bp);
+        }
+    }
 }
 
 /// Reusable working memory for per-shot decoding: the flat matching

@@ -215,11 +215,14 @@ impl DecodingGraph {
         // Finalize edges: pick the dominant observable mask per edge.
         let mut paired = Vec::with_capacity(accum.len());
         for ((a, b), acc) in accum {
-            let (&obs, _) = acc
+            // Every accumulated edge carries at least one vote (it was
+            // created by `add_edge`); an empty map degrades to mask 0.
+            let obs = acc
                 .obs_votes
                 .iter()
-                .max_by(|x, y| x.1.partial_cmp(y.1).expect("finite votes"))
-                .expect("at least one vote");
+                .max_by(|x, y| x.1.total_cmp(y.1))
+                .map(|(&obs, _)| obs)
+                .unwrap_or(0);
             if acc.obs_votes.len() > 1 {
                 diagnostics.conflicting_observable_edges += 1;
             }
@@ -307,10 +310,7 @@ impl DecodingGraph {
             // Parents settled before children, so increasing old
             // distance is a topological order of the old tree.
             order.sort_unstable_by(|&a, &b| {
-                old[a as usize]
-                    .partial_cmp(&old[b as usize])
-                    .expect("finite distances")
-                    .then(a.cmp(&b))
+                old[a as usize].total_cmp(&old[b as usize]).then(a.cmp(&b))
             });
             let pred = &mut self.pred[row..row + total];
             for &t in order.iter() {
@@ -556,10 +556,7 @@ impl PartialOrd for HeapItem {
 }
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("finite weights")
-            .then(self.1.cmp(&other.1))
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
     }
 }
 

@@ -1,0 +1,104 @@
+//! Property coverage for the log-bucketed histogram: quantile bounds
+//! against a sorted reference, and shard-merge algebra.
+
+#![cfg(not(dqec_check))]
+
+use dqec_obs::metrics::HistSnapshot;
+use proptest::prelude::*;
+
+/// Deterministic value stream spanning many octaves.
+fn values(seed: u64, len: usize, bits: u32) -> Vec<u64> {
+    let mask = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
+    let mut x = seed;
+    (0..len)
+        .map(|_| {
+            // splitmix64 step
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) & mask
+        })
+        .collect()
+}
+
+fn snapshot_of(vals: &[u64]) -> HistSnapshot {
+    let mut h = HistSnapshot::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantile_bounds_bracket_sorted_reference(
+        case in (0u64..u64::MAX, 1usize..600, 1u32..=64)
+    ) {
+        let (seed, len, bits) = case;
+        let vals = values(seed, len, bits);
+        let h = snapshot_of(&vals);
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let target = ((q * len as f64).ceil() as usize).clamp(1, len);
+            let truth = sorted[target - 1];
+            let (lo, hi) = h.quantile_bounds(q).expect("non-empty histogram");
+            prop_assert!(
+                lo <= truth && truth <= hi,
+                "q={q} len={len}: reference {truth} outside bucket [{lo}, {hi}]"
+            );
+            // The reported point estimate (bucket hi) stays within the
+            // 1/32 relative-error guarantee of the true quantile.
+            prop_assert!(hi - lo <= lo / 32, "bucket wider than lo/32");
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_matches_direct_recording(
+        case in (1u64..u64::MAX, 1u64..u64::MAX, 0usize..300, 0usize..300, 1u32..=64)
+    ) {
+        let (sa, sb, la, lb, bits) = case;
+        let va = values(sa, la, bits);
+        let vb = values(sb, lb, bits);
+        let (a, b) = (snapshot_of(&va), snapshot_of(&vb));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba, "merge must be commutative");
+
+        // Merging shard snapshots equals recording the union directly.
+        let mut union = va.clone();
+        union.extend_from_slice(&vb);
+        prop_assert_eq!(&ab, &snapshot_of(&union));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        case in (1u64..u64::MAX, 1u64..u64::MAX, 1u64..u64::MAX, 0usize..200)
+    ) {
+        let (sa, sb, sc, len) = case;
+        let (a, b, c) = (
+            snapshot_of(&values(sa, len, 64)),
+            snapshot_of(&values(sb, len / 2 + 1, 48)),
+            snapshot_of(&values(sc, len / 3 + 1, 20)),
+        );
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right, "merge must be associative");
+    }
+}

@@ -1,0 +1,36 @@
+//! Under `--cfg dqec_check` the obs clock is virtual: spans recorded on
+//! one thread have durations that are a pure function of the number of
+//! clock reads, independent of wall time and host load.
+
+#![cfg(dqec_check)]
+
+use dqec_obs::clock::{Clock, VIRTUAL_QUANTUM_NS};
+use dqec_obs::trace;
+
+#[test]
+fn spans_are_deterministic_under_the_virtual_clock() {
+    // This file is its own test binary with a single test, so nothing
+    // else ticks the global virtual clock concurrently.
+    let t0 = Clock::now_ns();
+    let t1 = Clock::now_ns();
+    assert_eq!(t1 - t0, VIRTUAL_QUANTUM_NS, "one read advances one quantum");
+
+    trace::clear();
+    trace::set_enabled(true);
+    for _ in 0..4 {
+        let _s = trace::span("check.span");
+    }
+    trace::set_enabled(false);
+
+    // Every span performed exactly two reads (open, drop), so every
+    // exported duration is exactly one quantum — bit-identical across
+    // runs, hosts, and optimization levels.
+    let json = trace::export_chrome_trace();
+    let dur = format!("\"dur\":{:.3}", VIRTUAL_QUANTUM_NS as f64 / 1000.0);
+    assert_eq!(
+        json.matches(&dur).count(),
+        4,
+        "expected 4 one-quantum spans in {json}"
+    );
+    trace::clear();
+}

@@ -12,7 +12,8 @@ use std::net::TcpStream;
 
 const USAGE: &str = "\
 usage: dqec_serve [--addr A] [--threads N] [--cache N] [--queue N] [--batch N]
-                  [--max-clients N] [--oneshot FILE | --client FILE] [--help]
+                  [--max-clients N] [--trace-out FILE]
+                  [--oneshot FILE | --client FILE] [--help]
 
 Modes
   (default)        serve: listen on --addr and run until killed
@@ -29,6 +30,8 @@ Options
   --queue N        per-client admission queue capacity (default 64)
   --batch N        max requests coalesced per executor pass (default 32)
   --max-clients N  connection limit (default 64)
+  --trace-out FILE enable span tracing and write a Chrome trace-event
+                   JSON file on shutdown (serve and oneshot modes)
   --help           show this message";
 
 struct Args {
@@ -85,6 +88,13 @@ fn parse_args() -> Args {
             "--queue" => args.config.queue_capacity = usize_flag(&mut it, "--queue"),
             "--batch" => args.config.batch_max = usize_flag(&mut it, "--batch"),
             "--max-clients" => args.config.max_clients = usize_flag(&mut it, "--max-clients"),
+            "--trace-out" => {
+                let path = it.next().unwrap_or_else(|| {
+                    eprintln!("error: --trace-out requires a file\n{USAGE}");
+                    std::process::exit(2);
+                });
+                args.config.trace_out = Some(path.into());
+            }
             "--oneshot" | "--client" => {
                 let path = it.next().unwrap_or_else(|| {
                     eprintln!("error: {arg} requires a file\n{USAGE}");
@@ -119,7 +129,11 @@ fn main() {
 
 fn run(args: &Args) {
     if let Some(path) = &args.oneshot {
-        oneshot(path, args.config.cache_capacity);
+        oneshot(
+            path,
+            args.config.cache_capacity,
+            args.config.trace_out.as_deref(),
+        );
     } else if let Some(path) = &args.client {
         client(&args.config.addr, path);
     } else {
@@ -161,7 +175,10 @@ fn print_normalized(mut responses: Vec<(u64, usize, String)>) {
     }
 }
 
-fn oneshot(path: &std::path::Path, cache_capacity: usize) {
+fn oneshot(path: &std::path::Path, cache_capacity: usize, trace_out: Option<&std::path::Path>) {
+    if trace_out.is_some() {
+        dqec_obs::trace::set_enabled(true);
+    }
     let lines = read_request_lines(path);
     let mut cache = ExperimentCache::new(cache_capacity);
     let mut served = 0u64;
@@ -191,8 +208,10 @@ fn oneshot(path: &std::path::Path, cache_capacity: usize) {
                     syndrome_hits: c.syndrome_hits,
                     syndrome_misses: c.syndrome_misses,
                     pool_workers: 0,
+                    coalesce_hits: 0,
                 })
             }
+            Ok(Request::Metrics { id }) => Response::Metrics(dqec_serve::metrics_snapshot(id)),
             Ok(Request::Decode(req)) => match cache.execute(&req, 1) {
                 Ok((resp, _)) => {
                     served += 1;
@@ -207,6 +226,12 @@ fn oneshot(path: &std::path::Path, cache_capacity: usize) {
         responses.push((resp.id().unwrap_or(u64::MAX), idx, resp.normalized_line()));
     }
     print_normalized(responses);
+    if let Some(out) = trace_out {
+        dqec_obs::trace::set_enabled(false);
+        if let Err(e) = dqec_obs::trace::export_to_file(out) {
+            eprintln!("warning: cannot write trace to {}: {e}", out.display());
+        }
+    }
 }
 
 fn client(addr: &str, path: &std::path::Path) {

@@ -21,6 +21,7 @@ use dqec_chiplet::runner::{CompiledExperiment, ExperimentSpec, Fnv};
 use dqec_core::adapt::AdaptedPatch;
 use dqec_core::layout::PatchLayout;
 use dqec_matching::DecodeStats;
+use dqec_obs::Clock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -134,11 +135,16 @@ impl ExperimentCache {
             }
         }
         self.counters.misses += 1;
+        let _span = dqec_obs::trace::span("serve.compile");
+        let t0 = Clock::now_ns();
         let mut compiled = CompiledExperiment::new(spec).map_err(|e| ErrorResponse {
             id: Some(id),
             kind: ErrorKind::BadRequest,
             detail: format!("cannot compile experiment: {e}"),
         })?;
+        dqec_obs::registry()
+            .histogram("serve.stage.compile")
+            .record(Clock::now_ns().saturating_sub(t0));
         // Single-point spec: select once at insert so every request
         // sampled from this entry reuses the reweighted decoder and
         // noisy circuit.
@@ -198,9 +204,14 @@ impl ExperimentCache {
         let key = cache_key(&spec, req.decoder.name());
         let (exp, hit) = self.get_or_compile(key, &spec, req.id)?;
         let num_batches = req.shots.div_ceil(BATCH_SHOTS) as u64;
-        let stats = exp.sample_batches_with_seed(0..num_batches, BATCH_SHOTS, req.shots, req.seed);
+        let t0 = Clock::now_ns();
+        let stats = {
+            let _span = dqec_obs::trace::span("serve.decode");
+            exp.sample_batches_with_seed(0..num_batches, BATCH_SHOTS, req.shots, req.seed)
+        };
         self.counters.syndrome_hits += stats.cache_hits;
         self.counters.syndrome_misses += stats.cache_misses;
+        self.publish_metrics(&stats, Clock::now_ns().saturating_sub(t0));
         let resp = LerResponse {
             id: req.id,
             d: req.d,
@@ -214,6 +225,28 @@ impl ExperimentCache {
             batched,
         };
         Ok((resp, stats))
+    }
+
+    /// Folds one executed request into the obs registry: the decode
+    /// stage histogram, the tally bridge, and the hit-rate gauges of
+    /// both cache levels.
+    fn publish_metrics(&self, stats: &DecodeStats, decode_ns: u64) {
+        let reg = dqec_obs::registry();
+        reg.histogram("serve.stage.decode").record(decode_ns);
+        stats.publish("serve.decode");
+        let c = self.counters;
+        reg.gauge("serve.cache.entries")
+            .set(self.entries.len() as i64);
+        let lookups = c.hits + c.misses;
+        if lookups > 0 {
+            let bp = (c.hits as f64 / lookups as f64 * 10_000.0) as i64;
+            reg.gauge("serve.cache.hit_rate_bp").set(bp);
+        }
+        let syndrome = c.syndrome_hits + c.syndrome_misses;
+        if syndrome > 0 {
+            let bp = (c.syndrome_hits as f64 / syndrome as f64 * 10_000.0) as i64;
+            reg.gauge("serve.syndrome.hit_rate_bp").set(bp);
+        }
     }
 }
 

@@ -36,5 +36,5 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::ExperimentCache;
-pub use protocol::{DecodeRequest, ErrorKind, Request, Response};
-pub use server::{start, ServerConfig, ServerHandle};
+pub use protocol::{DecodeRequest, ErrorKind, MetricsResponse, Request, Response, StageSummary};
+pub use server::{metrics_snapshot, start, ServerConfig, ServerHandle};

@@ -9,6 +9,7 @@
 //!  "decoder":"mwpm","rounds":5,
 //!  "defects":{"data":[[3,3]],"synd":[[4,4]],"links":[[3,3,4,4]]}}
 //! {"op":"stats","id":2}
+//! {"op":"metrics","id":4}
 //! {"op":"ping","id":3}
 //! ```
 //!
@@ -25,6 +26,9 @@
 //!  "cache":"hit","batched":2}
 //! {"type":"error","id":1,"error":"backpressure","detail":"..."}
 //! {"type":"stats","id":2,"served":9,...}
+//! {"type":"metrics","id":4,"stages":[{"name":"serve.stage.decode",
+//!  "count":9,"p50_us":812.0,"p99_us":1427.0,"p999_us":1427.0},...],
+//!  "counters":{...},"gauges":{...},"prometheus":"..."}
 //! {"type":"pong","id":3}
 //! ```
 //!
@@ -52,6 +56,12 @@ pub enum Request {
     Decode(DecodeRequest),
     /// Server counters.
     Stats {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+    },
+    /// Observability snapshot: per-stage latency quantiles plus the
+    /// full metrics registry (JSON and Prometheus text).
+    Metrics {
         /// Client-chosen correlation id, echoed in the response.
         id: u64,
     },
@@ -226,6 +236,40 @@ pub struct StatsResponse {
     pub syndrome_misses: u64,
     /// Resident-pool worker threads currently spawned.
     pub pool_workers: u64,
+    /// Decode responses shared within a coalesced batch instead of
+    /// being recomputed (identical key, seed, and shots).
+    pub coalesce_hits: u64,
+}
+
+/// Latency quantiles of one pipeline stage, derived from the stage's
+/// log-bucketed histogram (microseconds; exact-bucket upper bounds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSummary {
+    /// Registry name of the stage histogram.
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// 50th-percentile latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile latency in microseconds.
+    pub p999_us: f64,
+}
+
+/// The observability snapshot answered to a `metrics` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// Per-stage latency quantiles, name-sorted.
+    pub stages: Vec<StageSummary>,
+    /// Every registry counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Every registry gauge, name-sorted.
+    pub gauges: Vec<(String, i64)>,
+    /// The same snapshot in Prometheus text exposition format.
+    pub prometheus: String,
 }
 
 /// One response line.
@@ -237,6 +281,8 @@ pub enum Response {
     Error(ErrorResponse),
     /// Server counters.
     Stats(StatsResponse),
+    /// Observability snapshot.
+    Metrics(MetricsResponse),
     /// Liveness reply.
     Pong {
         /// Echoed request id.
@@ -291,6 +337,10 @@ impl Request {
             ]),
             Request::Stats { id } => Json::Obj(vec![
                 ("op".to_string(), Json::Str("stats".to_string())),
+                ("id".to_string(), num(*id)),
+            ]),
+            Request::Metrics { id } => Json::Obj(vec![
+                ("op".to_string(), Json::Str("metrics".to_string())),
                 ("id".to_string(), num(*id)),
             ]),
             Request::Decode(r) => {
@@ -392,6 +442,9 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, String)> {
         "stats" => Ok(Request::Stats {
             id: get_u64(&obj, "id").map_err(fail)?,
         }),
+        "metrics" => Ok(Request::Metrics {
+            id: get_u64(&obj, "id").map_err(fail)?,
+        }),
         "decode" => {
             let decoder = match obj.get("decoder").and_then(Json::as_str) {
                 None => DecoderChoice::default(),
@@ -478,6 +531,47 @@ impl Response {
                 ("syndrome_hits".to_string(), num(s.syndrome_hits)),
                 ("syndrome_misses".to_string(), num(s.syndrome_misses)),
                 ("pool_workers".to_string(), num(s.pool_workers)),
+                ("coalesce_hits".to_string(), num(s.coalesce_hits)),
+            ]),
+            Response::Metrics(m) => Json::Obj(vec![
+                ("type".to_string(), Json::Str("metrics".to_string())),
+                ("id".to_string(), num(m.id)),
+                (
+                    "stages".to_string(),
+                    Json::Arr(
+                        m.stages
+                            .iter()
+                            .map(|s| {
+                                Json::Obj(vec![
+                                    ("name".to_string(), Json::Str(s.name.clone())),
+                                    ("count".to_string(), num(s.count)),
+                                    ("p50_us".to_string(), Json::Num(s.p50_us)),
+                                    ("p99_us".to_string(), Json::Num(s.p99_us)),
+                                    ("p999_us".to_string(), Json::Num(s.p999_us)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "counters".to_string(),
+                    Json::Obj(
+                        m.counters
+                            .iter()
+                            .map(|(k, v)| (k.clone(), num(*v)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "gauges".to_string(),
+                    Json::Obj(
+                        m.gauges
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                            .collect(),
+                    ),
+                ),
+                ("prometheus".to_string(), Json::Str(m.prometheus.clone())),
             ]),
         }
     }
@@ -493,7 +587,7 @@ impl Response {
     /// dropped.
     pub fn normalized_line(&self) -> String {
         match self {
-            Response::Pong { .. } | Response::Stats(_) => {
+            Response::Pong { .. } | Response::Stats(_) | Response::Metrics(_) => {
                 let keep = ["type", "id"];
                 let Json::Obj(fields) = self.to_json() else {
                     unreachable!("responses render as objects")
@@ -541,6 +635,7 @@ impl Response {
             Response::Ler(r) => Some(r.id),
             Response::Error(e) => e.id,
             Response::Stats(s) => Some(s.id),
+            Response::Metrics(m) => Some(m.id),
             Response::Pong { id } => Some(*id),
         }
     }
@@ -605,7 +700,65 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             syndrome_hits: get_u64(&obj, "syndrome_hits")?,
             syndrome_misses: get_u64(&obj, "syndrome_misses")?,
             pool_workers: get_u64(&obj, "pool_workers")?,
+            // Absent in pre-observability responses: default 0.
+            coalesce_hits: obj.get("coalesce_hits").and_then(Json::as_u64).unwrap_or(0),
         })),
+        "metrics" => {
+            let stages = obj
+                .get("stages")
+                .and_then(Json::as_arr)
+                .ok_or("missing array field \"stages\"")?
+                .iter()
+                .map(|s| {
+                    let f = |key: &str| {
+                        s.get(key)
+                            .and_then(Json::as_f64)
+                            .ok_or_else(|| format!("stage missing numeric {key:?}"))
+                    };
+                    Ok(StageSummary {
+                        name: s
+                            .get("name")
+                            .and_then(Json::as_str)
+                            .ok_or("stage missing string \"name\"")?
+                            .to_string(),
+                        count: get_u64(s, "count")?,
+                        p50_us: f("p50_us")?,
+                        p99_us: f("p99_us")?,
+                        p999_us: f("p999_us")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            let kv = |key: &str| -> Result<Vec<(String, f64)>, String> {
+                match obj.get(key) {
+                    Some(Json::Obj(fields)) => fields
+                        .iter()
+                        .map(|(k, v)| {
+                            v.as_f64()
+                                .map(|v| (k.clone(), v))
+                                .ok_or_else(|| format!("non-numeric entry in {key:?}"))
+                        })
+                        .collect(),
+                    _ => Err(format!("missing object field {key:?}")),
+                }
+            };
+            Ok(Response::Metrics(MetricsResponse {
+                id: get_u64(&obj, "id")?,
+                stages,
+                counters: kv("counters")?
+                    .into_iter()
+                    .map(|(k, v)| (k, v as u64))
+                    .collect(),
+                gauges: kv("gauges")?
+                    .into_iter()
+                    .map(|(k, v)| (k, v as i64))
+                    .collect(),
+                prometheus: obj
+                    .get("prometheus")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            }))
+        }
         other => Err(format!("unknown response type {other:?}")),
     }
 }
@@ -711,5 +864,32 @@ mod tests {
         let parsed = parse_response(&err.render_line()).unwrap();
         assert_eq!(parsed, err);
         assert!(!err.normalized_line().contains("detail"));
+    }
+
+    #[test]
+    fn metrics_round_trip_and_normalize() {
+        let req = Request::Metrics { id: 12 };
+        assert_eq!(parse_request(&req.render_line()).unwrap(), req);
+
+        let resp = Response::Metrics(MetricsResponse {
+            id: 12,
+            stages: vec![StageSummary {
+                name: "serve.stage.decode".to_string(),
+                count: 9,
+                p50_us: 812.0,
+                p99_us: 1427.5,
+                p999_us: 1427.5,
+            }],
+            counters: vec![("serve.decode.shots".to_string(), 4096)],
+            gauges: vec![("serve.cache.entries".to_string(), -1)],
+            prometheus: "# TYPE dqec_serve_decode_shots counter\n\
+                         dqec_serve_decode_shots 4096\n"
+                .to_string(),
+        });
+        let parsed = parse_response(&resp.render_line()).unwrap();
+        assert_eq!(parsed, resp);
+        // Normalized form keeps only type + id: the snapshot is pure
+        // diagnostics.
+        assert_eq!(resp.normalized_line(), "{\"type\":\"metrics\",\"id\":12}");
     }
 }

@@ -32,15 +32,17 @@
 use crate::cache::ExperimentCache;
 use crate::chan::{Bounded, Inbox, PushError};
 use crate::protocol::{
-    self, DecodeRequest, ErrorKind, ErrorResponse, Request, Response, StatsResponse,
+    self, DecodeRequest, ErrorKind, ErrorResponse, LerResponse, MetricsResponse, Request, Response,
+    StageSummary, StatsResponse,
 };
 use dqec_check::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use dqec_check::sync::Mutex;
 use dqec_check::thread;
+use dqec_obs::{trace, Clock};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::{Arc, PoisonError};
+use std::sync::{Arc, OnceLock, PoisonError};
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -57,6 +59,10 @@ pub struct ServerConfig {
     pub max_clients: usize,
     /// Per-connection response channel capacity.
     pub response_capacity: usize,
+    /// When set, span tracing is enabled for the server's lifetime and
+    /// a Chrome trace-event JSON file (loadable in Perfetto) is written
+    /// here on [`ServerHandle::stop`].
+    pub trace_out: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +74,7 @@ impl Default for ServerConfig {
             batch_max: 32,
             max_clients: 64,
             response_capacity: 1024,
+            trace_out: None,
         }
     }
 }
@@ -81,6 +88,9 @@ pub struct Metrics {
     pub rejected: AtomicUsize,
     /// Connections currently open.
     pub clients: AtomicUsize,
+    /// Decode responses shared within a coalesced batch instead of
+    /// recomputed.
+    pub coalesce_hits: AtomicUsize,
 }
 
 // Manual: the facade's instrumented atomics have no `Default`.
@@ -90,18 +100,41 @@ impl Default for Metrics {
             served: AtomicUsize::new(0),
             rejected: AtomicUsize::new(0),
             clients: AtomicUsize::new(0),
+            coalesce_hits: AtomicUsize::new(0),
         }
     }
+}
+
+/// Interned handles to the pipeline-stage latency histograms (ns).
+struct Stages {
+    queue_wait: &'static dqec_obs::Histogram,
+    serialize: &'static dqec_obs::Histogram,
+    write: &'static dqec_obs::Histogram,
+}
+
+fn stages() -> &'static Stages {
+    static STAGES: OnceLock<Stages> = OnceLock::new();
+    STAGES.get_or_init(|| {
+        let reg = dqec_obs::registry();
+        Stages {
+            queue_wait: reg.histogram("serve.stage.queue_wait"),
+            serialize: reg.histogram("serve.stage.serialize"),
+            write: reg.histogram("serve.stage.write"),
+        }
+    })
 }
 
 struct WorkItem {
     reply: Bounded<String>,
     kind: WorkKind,
+    /// Obs-clock timestamp at admission, for the queue-wait histogram.
+    admitted_ns: u64,
 }
 
 enum WorkKind {
     Decode(DecodeRequest),
     Stats { id: u64 },
+    Metrics { id: u64 },
 }
 
 struct Shared {
@@ -116,9 +149,14 @@ struct Shared {
 
 impl Shared {
     fn send_response(reply: &Bounded<String>, resp: &Response) {
+        let t0 = Clock::now_ns();
+        let line = resp.render_line();
+        stages()
+            .serialize
+            .record(Clock::now_ns().saturating_sub(t0));
         // A closed reply channel means the connection is gone; the
         // response is dropped, matching what TCP would do anyway.
-        let _ = reply.send(resp.render_line());
+        let _ = reply.send(line);
     }
 }
 
@@ -146,6 +184,7 @@ impl ServerHandle {
     /// down, drains the admitted backlog, and joins the service
     /// threads.
     pub fn stop(mut self) {
+        let trace_out = self.shared.config.trace_out.clone();
         self.shared.stop.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
@@ -169,6 +208,12 @@ impl ServerHandle {
         if let Some(h) = self.executor.take() {
             let _ = h.join();
         }
+        if let Some(path) = trace_out {
+            trace::set_enabled(false);
+            if let Err(e) = trace::export_to_file(&path) {
+                eprintln!("dqec_serve: cannot write trace {}: {e}", path.display());
+            }
+        }
     }
 
     /// Blocks until the server exits on its own (the foreground mode
@@ -191,6 +236,9 @@ impl ServerHandle {
 pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    if config.trace_out.is_some() {
+        trace::set_enabled(true);
+    }
     warm_pool();
     let shared = Arc::new(Shared {
         inbox: Inbox::new(config.queue_capacity),
@@ -258,10 +306,12 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 
 fn writer_loop(mut stream: TcpStream, reply: &Bounded<String>) {
     while let Some(line) = reply.recv() {
+        let t0 = Clock::now_ns();
         if writeln!(stream, "{line}").is_err() {
             break;
         }
         let _ = stream.flush();
+        stages().write.record(Clock::now_ns().saturating_sub(t0));
     }
 }
 
@@ -296,6 +346,9 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, reply: &Bounded<String>)
             Ok(Request::Stats { id }) => {
                 admit(shared, reply, slot, WorkKind::Stats { id }, Some(id));
             }
+            Ok(Request::Metrics { id }) => {
+                admit(shared, reply, slot, WorkKind::Metrics { id }, Some(id));
+            }
             Ok(Request::Decode(req)) => {
                 let id = req.id;
                 admit(shared, reply, slot, WorkKind::Decode(req), Some(id));
@@ -318,6 +371,7 @@ fn admit(
     let item = WorkItem {
         reply: reply.clone(),
         kind,
+        admitted_ns: Clock::now_ns(),
     };
     match shared.inbox.try_push(slot, item) {
         Ok(()) => {}
@@ -356,6 +410,7 @@ fn executor_loop(shared: &Arc<Shared>) {
         if batch.is_empty() {
             break; // inbox closed and drained
         }
+        let _batch_span = trace::span("serve.batch");
         // Coalescing pre-pass: count how many requests of this batch
         // share each compiled experiment, so one compile (or one cache
         // hit streak) serves the whole group and responses can report
@@ -373,16 +428,49 @@ fn executor_loop(shared: &Arc<Shared>) {
                 _ => keys.push(None),
             }
         }
+        // Within this batch, requests identical in (compiled key, seed,
+        // shots) are pure-function duplicates: compute once, share the
+        // response (re-correlated per request id) instead of repeating
+        // the Monte-Carlo run.
+        let mut computed: BTreeMap<(u64, u64, u64), Result<LerResponse, ErrorResponse>> =
+            BTreeMap::new();
         for (item, key) in batch.into_iter().zip(keys) {
+            stages()
+                .queue_wait
+                .record(Clock::now_ns().saturating_sub(item.admitted_ns));
             match item.kind {
                 WorkKind::Stats { id } => {
                     let resp = stats_snapshot(shared, &cache, id);
                     Shared::send_response(&item.reply, &Response::Stats(resp));
                 }
+                WorkKind::Metrics { id } => {
+                    let resp = metrics_snapshot(id);
+                    Shared::send_response(&item.reply, &Response::Metrics(resp));
+                }
                 WorkKind::Decode(req) => {
                     let batched = key.and_then(|k| group_sizes.get(&k).copied()).unwrap_or(1);
-                    match cache.execute(&req, batched) {
-                        Ok((resp, _stats)) => {
+                    let share_key = key.map(|k| (k, req.seed, req.shots as u64));
+                    let result = match share_key.and_then(|k| computed.get(&k).cloned()) {
+                        Some(mut prior) => {
+                            shared.metrics.coalesce_hits.fetch_add(1, Ordering::SeqCst);
+                            trace::instant("serve.coalesce_hit");
+                            match &mut prior {
+                                Ok(resp) => resp.id = req.id,
+                                Err(err) => err.id = Some(req.id),
+                            }
+                            prior
+                        }
+                        None => {
+                            let _span = trace::span("serve.execute");
+                            let result = cache.execute(&req, batched).map(|(resp, _stats)| resp);
+                            if let Some(k) = share_key {
+                                computed.insert(k, result.clone());
+                            }
+                            result
+                        }
+                    };
+                    match result {
+                        Ok(resp) => {
                             shared.metrics.served.fetch_add(1, Ordering::SeqCst);
                             Shared::send_response(&item.reply, &Response::Ler(resp));
                         }
@@ -394,6 +482,33 @@ fn executor_loop(shared: &Arc<Shared>) {
                 }
             }
         }
+    }
+}
+
+/// Builds the observability snapshot answered to a `metrics` request:
+/// per-stage latency quantiles from every registry histogram, plus all
+/// counters and gauges, plus the Prometheus text rendering. Usable
+/// outside a running server (the one-shot CLI mode answers with it
+/// too).
+pub fn metrics_snapshot(id: u64) -> MetricsResponse {
+    let snap = dqec_obs::registry().snapshot();
+    let stages = snap
+        .histograms
+        .iter()
+        .map(|(name, h)| StageSummary {
+            name: name.clone(),
+            count: h.count,
+            p50_us: h.quantile(0.5) as f64 / 1000.0,
+            p99_us: h.quantile(0.99) as f64 / 1000.0,
+            p999_us: h.quantile(0.999) as f64 / 1000.0,
+        })
+        .collect();
+    MetricsResponse {
+        id,
+        stages,
+        counters: snap.counters.clone(),
+        gauges: snap.gauges.clone(),
+        prometheus: snap.prometheus(),
     }
 }
 
@@ -410,6 +525,7 @@ fn stats_snapshot(shared: &Arc<Shared>, cache: &ExperimentCache, id: u64) -> Sta
         syndrome_hits: c.syndrome_hits,
         syndrome_misses: c.syndrome_misses,
         pool_workers: pool_workers() as u64,
+        coalesce_hits: shared.metrics.coalesce_hits.load(Ordering::SeqCst) as u64,
     }
 }
 

@@ -119,6 +119,7 @@ fn error_and_admin_responses_round_trip() {
             syndrome_hits: 8,
             syndrome_misses: 9,
             pool_workers: 10,
+            coalesce_hits: 11,
         }),
     ] {
         let parsed = parse_response(&resp.render_line()).expect("parses");

@@ -17,6 +17,7 @@ fn test_config() -> ServerConfig {
         batch_max: 16,
         max_clients: 4,
         response_capacity: 256,
+        trace_out: None,
     }
 }
 
@@ -269,6 +270,117 @@ fn two_clients_interleave_fairly() {
         }
     }
     server.stop();
+}
+
+#[test]
+fn metrics_request_reports_stage_histograms() {
+    let server = start(test_config()).expect("start");
+    let mut client = Client::connect(server.addr());
+
+    // Drive every pipeline stage at least once before asking.
+    client.send_line(&decode_line(1, 3, 5e-3, 512, 0, "mwpm"));
+    client.send_line(&decode_line(2, 3, 5e-3, 512, 3, "mwpm"));
+    for _ in 0..2 {
+        match client.recv() {
+            Response::Ler(_) => {}
+            other => panic!("expected ler, got {other:?}"),
+        }
+    }
+
+    client.send_line("{\"op\":\"metrics\",\"id\":7}");
+    match client.recv() {
+        Response::Metrics(m) => {
+            assert_eq!(m.id, 7);
+            for stage in [
+                "serve.stage.compile",
+                "serve.stage.decode",
+                "serve.stage.queue_wait",
+            ] {
+                let s = m
+                    .stages
+                    .iter()
+                    .find(|s| s.name == stage)
+                    .unwrap_or_else(|| panic!("stage {stage} missing from {:?}", m.stages));
+                assert!(s.count > 0, "{stage} must have samples");
+                assert!(
+                    s.p50_us <= s.p99_us && s.p99_us <= s.p999_us,
+                    "quantiles must be ordered for {stage}: {s:?}"
+                );
+            }
+            assert!(
+                m.prometheus
+                    .contains("# TYPE dqec_serve_stage_decode summary"),
+                "prometheus text must cover the decode stage"
+            );
+        }
+        other => panic!("expected metrics, got {other:?}"),
+    }
+    server.stop();
+}
+
+#[test]
+fn identical_requests_in_one_batch_share_one_computation() {
+    let server = start(test_config()).expect("start");
+    let mut client = Client::connect(server.addr());
+
+    // A slow opener occupies the executor so the identical burst backs
+    // up in the inbox and drains as one batch behind it.
+    client.send_line(&decode_line(0, 3, 8e-3, 20_000, 42, "mwpm"));
+    let burst = 8u64;
+    for id in 1..=burst {
+        client.send_line(&decode_line(id, 3, 5e-3, 1024, 5, "mwpm"));
+    }
+    let mut tallies: Vec<(u64, u64)> = Vec::new();
+    for _ in 0..=burst {
+        match client.recv() {
+            Response::Ler(r) if r.id == 0 => {}
+            Response::Ler(r) => tallies.push((r.id, r.failures)),
+            other => panic!("expected ler, got {other:?}"),
+        }
+    }
+    tallies.sort_unstable();
+    assert_eq!(tallies.len(), burst as usize);
+    // Shared or not, identical (key, seed, shots) must tally identically.
+    assert!(
+        tallies.windows(2).all(|w| w[0].1 == w[1].1),
+        "identical requests diverged: {tallies:?}"
+    );
+
+    client.send_line("{\"op\":\"stats\",\"id\":99}");
+    match client.recv() {
+        Response::Stats(s) => assert!(
+            s.coalesce_hits >= 1,
+            "an 8-deep identical burst behind a slow request must share: {s:?}"
+        ),
+        other => panic!("expected stats, got {other:?}"),
+    }
+    server.stop();
+}
+
+#[test]
+fn trace_out_writes_perfetto_loadable_json() {
+    let path = std::env::temp_dir().join(format!("dqec_e2e_trace_{}.json", std::process::id()));
+    let config = ServerConfig {
+        trace_out: Some(path.clone()),
+        ..test_config()
+    };
+    let server = start(config).expect("start");
+    let mut client = Client::connect(server.addr());
+    client.send_line(&decode_line(1, 3, 5e-3, 256, 0, "mwpm"));
+    match client.recv() {
+        Response::Ler(_) => {}
+        other => panic!("expected ler, got {other:?}"),
+    }
+    server.stop();
+
+    let text = std::fs::read_to_string(&path).expect("trace file written on stop");
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        text.starts_with("{\"traceEvents\":["),
+        "chrome trace envelope: {text:.>40}"
+    );
+    assert!(text.contains("\"serve.batch\""), "batch spans recorded");
+    assert!(text.contains("\"ph\":\"X\""), "complete events present");
 }
 
 #[test]

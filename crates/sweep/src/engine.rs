@@ -240,6 +240,8 @@ impl SweepEngine {
             }
         }
 
+        let run_t0 = dqec_obs::clock::now_ns();
+        let mut batches_run = 0u64;
         loop {
             // Allocate this round: per point, a range of new batches.
             let mut allocs: Vec<Vec<(usize, Range<u64>)>> = vec![Vec::new(); exps.len()];
@@ -257,12 +259,29 @@ impl SweepEngine {
                 break;
             }
             if cfg.checkpoint.is_some() || cfg.precision.is_some() {
+                // ETA from this run's observed throughput, against the
+                // shot-cap upper bound on remaining batches (adaptive
+                // CI targeting may finish sooner, so it is a ceiling).
+                let remaining: u64 = points
+                    .iter()
+                    .map(|pt| pt.total_batches.saturating_sub(pt.tally.next_batch))
+                    .sum();
+                let eta = if batches_run > 0 {
+                    let elapsed_s = dqec_obs::clock::now_ns().saturating_sub(run_t0) as f64 / 1e9;
+                    format!(
+                        ", ETA <= {:.0}s",
+                        remaining as f64 * elapsed_s / batches_run as f64
+                    )
+                } else {
+                    String::new()
+                };
                 eprintln!(
-                    "[sweep] round {}: {allocated} batches x {batch} shots across {} points",
+                    "[sweep] round {}: {allocated} batches x {batch} shots across {} points{eta}",
                     rounds_done + 1,
                     allocs.iter().map(Vec::len).sum::<usize>()
                 );
             }
+            let round_t0 = dqec_obs::clock::now_ns();
 
             // Execute: specs fan out over the stealing pool; each
             // point's batches fan out again inside `sample_batches`,
@@ -287,13 +306,20 @@ impl SweepEngine {
                 .collect();
 
             // Merge tallies and advance cursors.
+            let mut round_shots = 0u64;
             exps = Vec::with_capacity(ran.len());
             for (s, (exp, results)) in ran.into_iter().enumerate() {
                 for (point, new_batches, shots, failures) in results {
+                    round_shots += shots as u64;
                     let pt = points
                         .iter_mut()
                         .find(|pt| pt.spec == s && pt.point == point)
-                        .expect("allocated point exists");
+                        .ok_or_else(|| CoreError::Sweep {
+                            detail: format!(
+                                "round {rounds_done}: allocation references unknown \
+                                 point (spec {s}, point {point})"
+                            ),
+                        })?;
                     pt.tally.next_batch += new_batches;
                     pt.tally.shots += shots;
                     pt.tally.failures += failures;
@@ -301,6 +327,13 @@ impl SweepEngine {
                 exps.push(exp);
             }
             rounds_done += 1;
+            batches_run += allocated;
+            let reg = dqec_obs::registry();
+            reg.counter("sweep.rounds").inc();
+            reg.counter("sweep.batches").add(allocated);
+            reg.counter("sweep.shots").add(round_shots);
+            reg.histogram("sweep.round_duration")
+                .record(dqec_obs::clock::now_ns().saturating_sub(round_t0));
 
             if let Some(path) = &cfg.checkpoint {
                 self.snapshot(&exps, &points, fingerprint, batch, rounds_done)

@@ -19,7 +19,10 @@
 //!   adaptive CI-targeted shot allocation, checkpoint/resume;
 //! * [`estimator`] — application-level resource and fidelity estimates;
 //! * [`serve`] — decode-as-a-service: the resident TCP decode server
-//!   with a compiled-experiment cache and batched request pipeline.
+//!   with a compiled-experiment cache and batched request pipeline;
+//! * [`obs`] — observability: the lock-free metrics registry, span
+//!   tracing with Chrome trace export, and the sanctioned clock
+//!   facade.
 //!
 //! # Quick start
 //!
@@ -60,6 +63,7 @@ pub use dqec_chiplet as chiplet;
 pub use dqec_core as core;
 pub use dqec_estimator as estimator;
 pub use dqec_matching as matching;
+pub use dqec_obs as obs;
 pub use dqec_serve as serve;
 pub use dqec_sim as sim;
 pub use dqec_sweep as sweep;

@@ -56,6 +56,38 @@ pub mod prelude {
 
 pub mod resident;
 
+/// Interned `dqec_obs` handles for the pool's hot paths. Interning once
+/// through a `OnceLock` keeps the per-event cost to one atomic op — the
+/// registry's name lookup (a mutex + BTreeMap walk) happens only on the
+/// first touch.
+pub(crate) mod obs_hooks {
+    use std::sync::OnceLock;
+
+    /// Blocks claimed by stealing from another worker's deque.
+    pub(crate) fn steals() -> &'static dqec_obs::Counter {
+        static H: OnceLock<&'static dqec_obs::Counter> = OnceLock::new();
+        H.get_or_init(|| dqec_obs::registry().counter("rayon.steals"))
+    }
+
+    /// Participation-job closures that panicked inside a worker.
+    pub(crate) fn panics() -> &'static dqec_obs::Counter {
+        static H: OnceLock<&'static dqec_obs::Counter> = OnceLock::new();
+        H.get_or_init(|| dqec_obs::registry().counter("rayon.job_panics"))
+    }
+
+    /// Jobs currently queued on the resident pool (post-submit depth).
+    pub(crate) fn queue_depth() -> &'static dqec_obs::Gauge {
+        static H: OnceLock<&'static dqec_obs::Gauge> = OnceLock::new();
+        H.get_or_init(|| dqec_obs::registry().gauge("rayon.queue_depth"))
+    }
+
+    /// Resident worker threads currently alive.
+    pub(crate) fn workers() -> &'static dqec_obs::Gauge {
+        static H: OnceLock<&'static dqec_obs::Gauge> = OnceLock::new();
+        H.get_or_init(|| dqec_obs::registry().gauge("rayon.workers"))
+    }
+}
+
 /// Process-wide budget of extra worker threads for *uncapped* fan-outs.
 /// Real rayon shares one work-stealing pool; without a budget, nested
 /// `par_iter` calls (an outer sweep whose items each fan out again)
@@ -421,6 +453,8 @@ impl<T: Send> Steal<T> {
             drop(v);
             let first = stolen.remove(0);
             self.unclaimed.fetch_sub(1, Ordering::AcqRel);
+            crate::obs_hooks::steals().inc();
+            dqec_obs::trace::instant("rayon.steal");
             if !stolen.is_empty() {
                 let mut mine = self.deques[me]
                     .lock()

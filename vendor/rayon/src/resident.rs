@@ -155,6 +155,7 @@ impl<P: Send, B: Fn(usize) -> P + Sync + ?Sized> FanCtx<'_, P, B> {
             match result {
                 Ok(part) => sink.parts.push(part),
                 Err(payload) => {
+                    crate::obs_hooks::panics().inc();
                     sink.panic.get_or_insert(payload);
                 }
             }
@@ -204,6 +205,7 @@ impl ResidentPool {
             }
             let from = st.spawned;
             st.spawned = want;
+            crate::obs_hooks::workers().set(want as i64);
             from
         };
         for _ in spawn_from..want {
@@ -217,6 +219,7 @@ impl ResidentPool {
     fn submit_all(&self, jobs: Vec<Job>) {
         let mut st = self.lock_state();
         st.jobs.extend(jobs);
+        crate::obs_hooks::queue_depth().set(st.jobs.len() as i64);
         drop(st);
         self.shared.work.notify_all();
     }
@@ -305,7 +308,10 @@ impl ResidentPool {
                         return;
                     }
                     match st.jobs.pop_front() {
-                        Some(job) => break job,
+                        Some(job) => {
+                            crate::obs_hooks::queue_depth().set(st.jobs.len() as i64);
+                            break job;
+                        }
                         None => {
                             st = self
                                 .shared
@@ -363,6 +369,7 @@ fn worker_loop(shared: &PoolShared) {
             let mut st = shared.lock();
             loop {
                 if let Some(job) = st.jobs.pop_front() {
+                    crate::obs_hooks::queue_depth().set(st.jobs.len() as i64);
                     break Some(job);
                 }
                 if st.shutdown {
