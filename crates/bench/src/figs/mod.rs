@@ -29,9 +29,12 @@ use dqec_chiplet::criteria::QualityTarget;
 use dqec_chiplet::defect_model::DefectModel;
 use dqec_chiplet::record::{Record, Sink, YieldRecord};
 use dqec_chiplet::yields::{
-    overhead_factor, sample_indicators, yield_from_indicators, SampleConfig,
+    overhead_factor, sample_indicators, sample_indicators_range, yield_from_indicators,
+    SampleConfig, YieldEstimate,
 };
 use dqec_core::layout::PatchLayout;
+use dqec_sweep::checkpoint::PointTally;
+use dqec_sweep::Precision;
 
 /// One figure/table reproduction: its binary name, a one-line
 /// description, and the record-emitting run function.
@@ -143,6 +146,10 @@ pub const ALL: &[Reproduction] = &[
 /// `baseline_l` and super-stabilizer chiplets of `sizes`, against a
 /// `target_d` quality target. Each sweep point becomes one
 /// [`Record::Yield`] carrying both the yield and the overhead factor.
+///
+/// Under `--precision` the chiplet population per point grows
+/// adaptively instead of always fabricating `--samples` chiplets; see
+/// [`adaptive_yield`].
 pub(crate) fn yield_overhead_figure(
     cfg: &RunConfig,
     sink: &mut dyn Sink,
@@ -167,8 +174,13 @@ pub(crate) fn yield_overhead_figure(
                 seed: cfg.seed,
                 ..SampleConfig::new(l, model, rate)
             };
-            let inds = sample_indicators(&config);
-            let estimate = yield_from_indicators(&inds, &target);
+            let estimate = match cfg.precision {
+                Some(w) => adaptive_yield(&config, &target, &Precision::new(w), cfg.samples),
+                None => {
+                    let inds = sample_indicators(&config);
+                    yield_from_indicators(&inds, &target)
+                }
+            };
             sink.emit(&Record::Yield(
                 YieldRecord::sampled(format!("l={l}"), rate, estimate.kept, estimate.total)
                     .with_overhead(overhead_factor(l, estimate.fraction(), target_d)),
@@ -176,4 +188,113 @@ pub(crate) fn yield_overhead_figure(
         }
     }
     Ok(())
+}
+
+/// Adaptive chiplet sampling for one `(l, rate)` yield point: fabricate
+/// in rounds, stopping once the yield estimate's 95% Wilson interval is
+/// narrower than the controller's relative-width target or the `cap`
+/// (`--samples`) budget is spent.
+///
+/// Reuses the sweep engine's [`Precision`] controller with "kept
+/// chiplets" standing in for the tally's event count. Because every
+/// chiplet index owns an independent RNG stream, each round's draw via
+/// [`sample_indicators_range`] extends the previous rounds bit-exactly:
+/// the adaptive population is always a prefix of the uniform
+/// `--samples` population, so `--precision` changes the cost of a
+/// point, never which chiplets it would have fabricated.
+fn adaptive_yield(
+    config: &SampleConfig,
+    target: &QualityTarget,
+    ctl: &Precision,
+    cap: usize,
+) -> YieldEstimate {
+    let batch = 200.min(cap).max(1);
+    let mut drawn = 0usize;
+    let mut kept = 0usize;
+    loop {
+        let tally = PointTally {
+            shots: drawn,
+            failures: kept,
+            next_batch: 0,
+        };
+        let add = ctl.allocate(&tally, cap, batch);
+        if add == 0 {
+            return YieldEstimate { kept, total: drawn };
+        }
+        let inds = sample_indicators_range(config, drawn..drawn + add);
+        kept += yield_from_indicators(&inds, target).kept;
+        drawn += add;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqec_chiplet::record::MemorySink;
+
+    /// The adaptive population is a bit-exact prefix of the uniform
+    /// one: at a zero-defect rate every chiplet is kept, the estimate
+    /// matches the same-length uniform draw, and far fewer than `cap`
+    /// chiplets are fabricated.
+    #[test]
+    fn adaptive_yield_is_a_prefix_of_the_uniform_draw() {
+        let config = SampleConfig {
+            samples: 2_000,
+            seed: 7,
+            ..SampleConfig::new(7, DefectModel::LinkAndQubit, 0.005)
+        };
+        let target = QualityTarget::defect_free(5);
+        let est = adaptive_yield(&config, &target, &Precision::new(0.2), config.samples);
+        assert!(est.total <= config.samples);
+        assert!(est.total > 0);
+        let prefix = sample_indicators_range(&config, 0..est.total);
+        let uniform = yield_from_indicators(&prefix, &target);
+        assert_eq!((est.kept, est.total), (uniform.kept, uniform.total));
+        // A loose target at a benign rate converges well under budget.
+        assert!(
+            est.total < config.samples,
+            "adaptive run spent the whole budget: {}",
+            est.total
+        );
+    }
+
+    /// `--precision` flows through the shared figure shape: the run is
+    /// deterministic and never fabricates more than `--samples`
+    /// chiplets per point.
+    #[test]
+    fn precision_flag_drives_yield_figures() {
+        let cfg = RunConfig {
+            samples: 800,
+            precision: Some(0.3),
+            ..RunConfig::default()
+        };
+        let run = |cfg: &RunConfig| {
+            let mut sink = MemorySink::default();
+            yield_overhead_figure(
+                cfg,
+                &mut sink,
+                DefectModel::LinkOnly,
+                9,
+                9,
+                &[11, 13],
+                &[0.001, 0.01],
+            )
+            .expect("figure runs");
+            sink
+        };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(
+            a.records, b.records,
+            "adaptive yield run is nondeterministic"
+        );
+        for record in &a.records {
+            if let Record::Yield(y) = record {
+                if let Some((_, total)) = y.counts {
+                    assert!(total <= cfg.samples, "budget exceeded: {total}");
+                    assert!(total > 0);
+                }
+            }
+        }
+    }
 }

@@ -40,7 +40,7 @@ use dqec_core::adapt::AdaptedPatch;
 use dqec_core::indicators::PatchIndicators;
 use dqec_core::layout::PatchLayout;
 use dqec_core::{CoreError, DefectSet};
-use dqec_sweep::{EngineConfig, Precision, SweepEngine, SweepPlan};
+use dqec_sweep::{EngineConfig, Precision, Shard, SweepEngine, SweepPlan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -66,13 +66,21 @@ pub struct RunConfig {
     /// Worker-thread cap for every parallel fan-out
     /// (`rayon::with_worker_cap`); `None` uses the machine budget.
     pub threads: Option<usize>,
-    /// Adaptive sweeps: target relative width of each LER point's 95%
-    /// Wilson interval. `None` allocates the full `--shots` uniformly.
+    /// Adaptive allocation: target relative width of each point's 95%
+    /// Wilson interval — LER sweeps spend shots (capped by `--shots`),
+    /// yield figures fabricate chiplets (capped by `--samples`).
+    /// `None` spends the budgets uniformly.
     pub precision: Option<f64>,
     /// Directory for sweep engine state files (one per sweep plan).
     pub checkpoint: Option<PathBuf>,
     /// Resume engine sweeps from their state files.
     pub resume: bool,
+    /// Run only shard `i/N` of every engine sweep: each plan covers its
+    /// slice of the per-point batch streams and checkpoints to
+    /// `DIR/<tag>.shard<i>of<N>.sweep.json`; `dqec_dist merge` combines
+    /// the slices bit-exactly. Requires `--checkpoint` (the state file
+    /// *is* the shard's output) and uniform allocation.
+    pub shard: Option<Shard>,
     /// Testing hook (no CLI flag): make every engine sweep stop with an
     /// error after this many allocation rounds, checkpoint saved —
     /// deterministic mid-sweep "kill" for resume tests.
@@ -101,6 +109,7 @@ impl Default for RunConfig {
             precision: None,
             checkpoint: None,
             resume: false,
+            shard: None,
             halt_after_rounds: None,
             sweep_batch: None,
             sweep_round_batches: None,
@@ -112,7 +121,7 @@ impl Default for RunConfig {
 pub const USAGE: &str = "\
 usage: <bin> [--full] [--samples N] [--shots N] [--seed N] [--decoder NAME]
              [--threads N] [--precision W] [--checkpoint DIR] [--resume]
-             [--json] [--out DIR] [--help]
+             [--shard I/N] [--json] [--out DIR] [--help]
 
   --full          paper-scale parameters (slow; hours for Monte-Carlo figures)
   --samples N     chiplet samples per sweep point
@@ -124,12 +133,18 @@ usage: <bin> [--full] [--samples N] [--shots N] [--seed N] [--decoder NAME]
                   several times faster, slightly less accurate)
   --threads N     cap every parallel fan-out at N worker threads
                   (N >= 1; results are identical for any N)
-  --precision W   adaptive sweeps: allocate shots per point until its
-                  95% Wilson CI is narrower than W x its LER (e.g. 0.2),
-                  instead of spending --shots uniformly
+  --precision W   adaptive allocation to a relative 95% Wilson CI width
+                  of W (e.g. 0.2): LER sweeps allocate shots per point
+                  up to the --shots cap, and the yield figures
+                  (fig12/13/17) fabricate chiplets per point up to the
+                  --samples cap, instead of spending the budgets uniformly
   --checkpoint DIR  persist sweep state to DIR/<plan>.sweep.json after
                   every allocation round
   --resume        resume engine sweeps from their state files
+  --shard I/N     run only shard I of an N-way deterministic partition of
+                  every sweep (batch-range split; requires --checkpoint,
+                  incompatible with --precision); shard state lands in
+                  DIR/<plan>.shardIofN.sweep.json for dqec_dist merge
   --json          emit a JSON array of records instead of TSV
   --out DIR       write to DIR/<bin>.tsv (or .json) instead of stdout
   --help          show this message";
@@ -154,6 +169,7 @@ impl RunConfig {
         let mut precision: Option<f64> = None;
         let mut checkpoint: Option<PathBuf> = None;
         let mut resume = false;
+        let mut shard: Option<Shard> = None;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let mut value = |flag: &str| -> Result<&String, String> {
@@ -201,11 +217,25 @@ impl RunConfig {
                 }
                 "--checkpoint" => checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
                 "--resume" => resume = true,
+                "--shard" => {
+                    let v = value("--shard")?;
+                    shard = Some(v.parse().map_err(|e| format!("bad --shard value: {e}"))?);
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
         if resume && checkpoint.is_none() {
             return Err("--resume requires --checkpoint DIR".into());
+        }
+        if shard.is_some() && checkpoint.is_none() {
+            return Err("--shard requires --checkpoint DIR (the state file is the output)".into());
+        }
+        if shard.is_some() && precision.is_some() {
+            return Err(
+                "--shard is incompatible with --precision: adaptive stopping depends on \
+                 the global tally no single shard can see"
+                    .into(),
+            );
         }
         let defaults = RunConfig::default();
         Ok(RunConfig {
@@ -220,6 +250,7 @@ impl RunConfig {
             precision,
             checkpoint,
             resume,
+            shard,
             halt_after_rounds: None,
             sweep_batch: None,
             sweep_round_batches: None,
@@ -300,13 +331,19 @@ impl RunConfig {
             batch: self.sweep_batch.unwrap_or(defaults.batch),
             round_batches: self.sweep_round_batches.unwrap_or(defaults.round_batches),
             precision: self.precision.map(Precision::new),
-            checkpoint: self
-                .checkpoint
-                .as_ref()
-                .map(|dir| dir.join(format!("{tag}.sweep.json"))),
+            checkpoint: self.checkpoint.as_ref().map(|dir| {
+                // Shard workers each own a distinct state file; the
+                // merged whole-plan state takes the unsuffixed name, so
+                // a `--resume` run after `dqec_dist merge` finds it.
+                dir.join(match &self.shard {
+                    None => format!("{tag}.sweep.json"),
+                    Some(shard) => format!("{tag}.shard{}.sweep.json", shard.file_tag()),
+                })
+            }),
             resume: self.resume,
             halt_after_rounds: self.halt_after_rounds,
             salt,
+            shard: self.shard,
         })
     }
 
@@ -661,6 +698,58 @@ mod tests {
         assert_eq!(
             ck.engine("fig05_slopes.slopes").config().checkpoint,
             Some(PathBuf::from("ckpts/fig05_slopes.slopes.sweep.json"))
+        );
+    }
+
+    #[test]
+    fn parse_accepts_and_validates_shard() {
+        let cfg = RunConfig::parse(&args(&["--shard", "1/4", "--checkpoint", "state"])).unwrap();
+        let shard = cfg.shard.unwrap();
+        assert_eq!((shard.index(), shard.count()), (1, 4));
+        // The flag is useless without a state file to carry the result.
+        let err = RunConfig::parse(&args(&["--shard", "1/4"])).unwrap_err();
+        assert!(err.contains("--checkpoint"), "{err}");
+        // Adaptive allocation cannot be sharded.
+        let err = RunConfig::parse(&args(&[
+            "--shard",
+            "1/4",
+            "--checkpoint",
+            "state",
+            "--precision",
+            "0.2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--precision"), "{err}");
+        // Garbage fails loudly (the binary front-end exits 2).
+        for bad in ["4/4", "x/2", "2", ""] {
+            assert!(
+                RunConfig::parse(&args(&["--shard", bad, "--checkpoint", "s"])).is_err(),
+                "accepted --shard {bad:?}"
+            );
+        }
+        assert!(USAGE.contains("--shard"));
+        // Shard workers get per-shard state files sharing the tag.
+        let ck = RunConfig {
+            checkpoint: Some(PathBuf::from("ckpts")),
+            shard: Some("0/2".parse().unwrap()),
+            ..RunConfig::default()
+        };
+        assert_eq!(
+            ck.engine("fig06_ler_curves.defective").config().checkpoint,
+            Some(PathBuf::from(
+                "ckpts/fig06_ler_curves.defective.shard0of2.sweep.json"
+            ))
+        );
+        // All shards of one plan share the engine fingerprint salt.
+        assert_eq!(
+            ck.engine("fig06_ler_curves.defective").config().salt,
+            RunConfig {
+                checkpoint: Some(PathBuf::from("ckpts")),
+                ..RunConfig::default()
+            }
+            .engine("fig06_ler_curves.defective")
+            .config()
+            .salt
         );
     }
 

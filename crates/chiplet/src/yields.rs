@@ -57,8 +57,21 @@ impl SampleConfig {
 /// population is a pure function of the config — independent of thread
 /// count and machine.
 pub fn sample_indicators(config: &SampleConfig) -> Vec<PatchIndicators> {
+    sample_indicators_range(config, 0..config.samples)
+}
+
+/// Samples only the chiplets with indices in `range` — a bit-exact
+/// slice of the population [`sample_indicators`] draws, because every
+/// index owns an independent ChaCha8 stream keyed by `(seed, index)`.
+/// Adaptive callers grow their sample count incrementally
+/// (`0..n`, then `n..m`, ...) and the concatenation equals a single
+/// `0..m` draw; `config.samples` is ignored here.
+pub fn sample_indicators_range(
+    config: &SampleConfig,
+    range: std::ops::Range<usize>,
+) -> Vec<PatchIndicators> {
     let layout = PatchLayout::memory(config.l);
-    (0..config.samples)
+    range
         .into_par_iter()
         .map(|i| {
             let mut rng = ChaCha8Rng::seed_from_u64(
@@ -250,6 +263,23 @@ mod tests {
         assert!((f - 1.0).abs() < 1e-12);
         let f = overhead_factor(11, 1.0, 9);
         assert!((f - (241.0 / 161.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_sampling_concatenates_to_the_full_draw() {
+        // The property adaptive callers rely on: stitching together
+        // disjoint index ranges reproduces the one-shot population
+        // bit-exactly, regardless of where the cuts fall.
+        let config = SampleConfig {
+            samples: 48,
+            ..SampleConfig::new(5, DefectModel::LinkAndQubit, 0.02)
+        };
+        let whole = sample_indicators(&config);
+        for cut in [0usize, 1, 17, 47, 48] {
+            let mut stitched = sample_indicators_range(&config, 0..cut);
+            stitched.extend(sample_indicators_range(&config, cut..48));
+            assert_eq!(stitched, whole, "cut at {cut} changed the population");
+        }
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! The distributed-sweep CLI: coordinator (`run`), recombiner
+//! (`merge`), and worker daemon (`agent`).
+//!
+//! ```text
+//! # split fig06 across 2 local worker processes, merge, and emit the
+//! # records exactly as one process would have:
+//! dqec_dist run --bin target/release/fig06_ler_curves --shards 2 \
+//!     --checkpoint ckpts --emit -- --shots 20000
+//!
+//! # the same, across two remote agents:
+//! dqec_dist agent --addr 0.0.0.0:7462 --bins target/release &   # on each worker
+//! dqec_dist run --bin fig06_ler_curves --shards 4 --checkpoint ckpts \
+//!     --agents hostA:7462,hostB:7462 --emit -- --shots 20000
+//! ```
+
+use dqec_dist::{
+    merge_dir, run_local, run_remote, AgentConfig, DistReport, LocalOptions, RemoteJob,
+    RemoteOptions, ShardJob,
+};
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+usage: dqec_dist run   --bin PATH|NAME --shards N --checkpoint DIR
+                       [--workers K] [--retries R] [--worker-threads T]
+                       [--agents HOST:PORT,...] [--timeout-ms MS]
+                       [--resume] [--emit] [-- ARGS...]
+       dqec_dist merge --checkpoint DIR
+       dqec_dist agent [--addr A] [--bins DIR] [--scratch DIR]
+                       [--heartbeat-ms MS]
+
+run    coordinate an N-way sharded sweep of one figure binary and merge
+       the shard states bit-exactly. Everything after `--` is passed
+       through to the binary (e.g. --shots, --seed, --decoder).
+  --bin PATH|NAME   the figure binary: a path for local runs, a bare
+                    name (resolved in each agent's --bins) for remote
+  --shards N        partition width
+  --checkpoint DIR  where shard states land and the merge writes
+  --workers K       concurrent local shard processes (default 2)
+  --retries R       per-shard crash/straggler retry budget (default 2)
+  --worker-threads T  --threads cap passed to each local shard process
+  --agents LIST     dispatch to these agents instead of local processes
+  --timeout-ms MS   straggler threshold for remote dispatch (default 5000)
+  --resume          resume an earlier partial distributed run
+  --emit            after merging, run the binary once with --resume on
+                    the merged state (stdout inherited): emits records
+                    byte-identical to a single-process run
+
+merge  recombine existing DIR/<tag>.shard<i>of<N>.sweep.json files
+       into DIR/<tag>.sweep.json (verifies fingerprints and partition
+       completeness; rejects incomplete shards)
+
+agent  run the worker daemon: executes `shard` requests from a
+       coordinator, heartbeats while working, ships state files inline
+  --addr A          listen address (default 127.0.0.1:7462)
+  --bins DIR        directory holding the figure binaries (default .)
+  --scratch DIR     per-job checkpoint scratch (default dist-scratch)
+  --heartbeat-ms MS progress-frame period (default 500)";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
+    it.next()
+        .unwrap_or_else(|| fail(&format!("{flag} requires a value")))
+        .clone()
+}
+
+fn numeric<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
+    let v = value(it, flag);
+    v.parse()
+        .unwrap_or_else(|_| fail(&format!("bad {flag} value {v:?}")))
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    match argv.first().map(String::as_str) {
+        Some("run") => cmd_run(&argv[1..]),
+        Some("merge") => cmd_merge(&argv[1..]),
+        Some("agent") => cmd_agent(&argv[1..]),
+        Some(other) => fail(&format!("unknown subcommand {other:?}")),
+        None => fail("a subcommand is required"),
+    }
+}
+
+fn cmd_run(args: &[String]) {
+    let mut bin: Option<String> = None;
+    let mut shards: Option<u32> = None;
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut workers = 2usize;
+    let mut retries = 2u32;
+    let mut worker_threads: Option<usize> = None;
+    let mut agents: Vec<String> = Vec::new();
+    let mut timeout_ms = 5_000u64;
+    let mut resume = false;
+    let mut emit = false;
+    let mut passthrough: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bin" => bin = Some(value(&mut it, "--bin")),
+            "--shards" => shards = Some(numeric(&mut it, "--shards")),
+            "--checkpoint" => checkpoint = Some(PathBuf::from(value(&mut it, "--checkpoint"))),
+            "--workers" => workers = numeric(&mut it, "--workers"),
+            "--retries" => retries = numeric(&mut it, "--retries"),
+            "--worker-threads" => worker_threads = Some(numeric(&mut it, "--worker-threads")),
+            "--agents" => {
+                agents = value(&mut it, "--agents")
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--timeout-ms" => timeout_ms = numeric(&mut it, "--timeout-ms"),
+            "--resume" => resume = true,
+            "--emit" => emit = true,
+            "--" => {
+                passthrough = it.cloned().collect();
+                break;
+            }
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    let bin = bin.unwrap_or_else(|| fail("run requires --bin"));
+    let shards = shards.unwrap_or_else(|| fail("run requires --shards N"));
+    if shards == 0 {
+        fail("--shards must be >= 1");
+    }
+    let checkpoint = checkpoint.unwrap_or_else(|| fail("run requires --checkpoint DIR"));
+    for owned in ["--shard", "--checkpoint", "--resume", "--out"] {
+        if passthrough.iter().any(|a| a == owned) {
+            fail(&format!(
+                "{owned} is coordinator-owned; do not pass it after --"
+            ));
+        }
+    }
+
+    let report = if agents.is_empty() {
+        let job = ShardJob {
+            bin: PathBuf::from(&bin),
+            args: passthrough.clone(),
+            count: shards,
+            checkpoint: checkpoint.clone(),
+            resume,
+        };
+        let opts = LocalOptions {
+            workers,
+            max_retries: retries,
+            threads_per_worker: worker_threads,
+        };
+        let report = run_local(&job, &opts).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        if emit {
+            dqec_dist::coordinator::emit_merged(&job).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+        }
+        report
+    } else {
+        let job = RemoteJob {
+            bin: bin.clone(),
+            args: passthrough.clone(),
+            count: shards,
+            checkpoint: checkpoint.clone(),
+        };
+        let opts = RemoteOptions {
+            agents,
+            max_retries: retries,
+            heartbeat_timeout_ms: timeout_ms,
+        };
+        let report = run_remote(&job, &opts).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        if emit {
+            // Remote --bin is a bare name; the emission run happens
+            // locally, so the binary must also exist here (same layout
+            // as an agent's --bins is the caller's responsibility).
+            dqec_dist::coordinator::emit_merged(&ShardJob {
+                bin: PathBuf::from(&bin),
+                args: passthrough,
+                count: shards,
+                checkpoint,
+                resume,
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+        }
+        report
+    };
+    print_report(&report);
+}
+
+fn print_report(report: &DistReport) {
+    for outcome in &report.outcomes {
+        eprintln!(
+            "[dist] shard {} done in {:.2}s ({} attempt{})",
+            outcome.index,
+            outcome.duration_ns as f64 / 1e9,
+            outcome.attempts,
+            if outcome.attempts == 1 { "" } else { "s" },
+        );
+    }
+    for merged in &report.merged {
+        eprintln!(
+            "[dist] merged {} ({} shards, {} points, {} shots) -> {}",
+            merged.tag,
+            merged.shards,
+            merged.points,
+            merged.shots,
+            merged.out.display()
+        );
+    }
+    eprintln!(
+        "[dist] dispatch {:.2}s, merge {:.3}s",
+        report.dispatch_ns as f64 / 1e9,
+        report.merge_ns as f64 / 1e9
+    );
+}
+
+fn cmd_merge(args: &[String]) {
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--checkpoint" => checkpoint = Some(PathBuf::from(value(&mut it, "--checkpoint"))),
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    let checkpoint = checkpoint.unwrap_or_else(|| fail("merge requires --checkpoint DIR"));
+    match merge_dir(&checkpoint) {
+        Ok(reports) => {
+            for merged in &reports {
+                println!(
+                    "merged {} ({} shards, {} points, {} shots) -> {}",
+                    merged.tag,
+                    merged.shards,
+                    merged.points,
+                    merged.shots,
+                    merged.out.display()
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_agent(args: &[String]) {
+    let mut config = AgentConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = value(&mut it, "--addr"),
+            "--bins" => config.bin_dir = PathBuf::from(value(&mut it, "--bins")),
+            "--scratch" => config.scratch = PathBuf::from(value(&mut it, "--scratch")),
+            "--heartbeat-ms" => config.heartbeat_ms = numeric(&mut it, "--heartbeat-ms"),
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    let handle = dqec_dist::start_agent(config).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("dqec_dist agent: listening on {}", handle.addr());
+    handle.wait();
+}

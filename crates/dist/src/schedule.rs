@@ -1,0 +1,124 @@
+//! Makespan-aware shard assignment.
+//!
+//! The coordinator knows (or estimates) a cost for each shard and wants
+//! the slowest worker to finish as early as possible. Optimal makespan
+//! partitioning is NP-hard; the classical Longest-Processing-Time
+//! heuristic — sort jobs by descending cost, give each to the currently
+//! least-loaded worker — is a 4/3-approximation and, with the
+//! deterministic tie-breaks used here (lowest index first on equal cost
+//! and on equal load), yields the same assignment on every run.
+
+/// One worker's share of an [`lpt_assign`] schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerPlan {
+    /// Shard indices assigned to this worker, in dispatch order.
+    pub shards: Vec<usize>,
+    /// Sum of the assigned shards' costs.
+    pub load: f64,
+}
+
+/// Assigns `costs.len()` shards to `workers` workers with the LPT
+/// heuristic. Returns one [`WorkerPlan`] per worker; every shard index
+/// appears in exactly one plan. `workers` is clamped to at least 1.
+/// Deterministic: equal costs dispatch in ascending shard order, equal
+/// loads fill the lowest-numbered worker first.
+pub fn lpt_assign(costs: &[f64], workers: usize) -> Vec<WorkerPlan> {
+    let workers = workers.max(1);
+    let mut plans = vec![
+        WorkerPlan {
+            shards: Vec::new(),
+            load: 0.0,
+        };
+        workers
+    ];
+    for &shard in &dispatch_order(costs) {
+        let target = plans
+            .iter()
+            .enumerate()
+            .min_by(|(i, a), (j, b)| {
+                a.load
+                    .partial_cmp(&b.load)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(i.cmp(j))
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        plans[target].shards.push(shard);
+        plans[target].load += costs[shard].max(0.0);
+    }
+    plans
+}
+
+/// The order in which a shared work queue should feed shards to
+/// whichever worker frees up next: descending cost, ties by ascending
+/// index. Feeding the longest shards first bounds the tail — the last
+/// shard dispatched is the cheapest, so no worker idles long waiting
+/// for a straggler that started late.
+pub fn dispatch_order(costs: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| {
+        costs[b]
+            .partial_cmp(&costs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// The makespan (maximum worker load) of a schedule.
+pub fn makespan(plans: &[WorkerPlan]) -> f64 {
+    plans.iter().map(|p| p.load).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_shard_lands_exactly_once() {
+        let costs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let plans = lpt_assign(&costs, 3);
+        assert_eq!(plans.len(), 3);
+        let mut all: Vec<usize> = plans.iter().flat_map(|p| p.shards.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..costs.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lpt_beats_naive_contiguous_split_on_skewed_costs() {
+        // One huge shard and seven small ones: a contiguous 2-way split
+        // puts the giant with three smalls on one worker (makespan 13),
+        // LPT isolates it (makespan 10 vs the ideal 8.5).
+        let costs = [10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let plans = lpt_assign(&costs, 2);
+        assert_eq!(makespan(&plans), 10.0);
+        assert_eq!(plans[0].shards, vec![0]);
+        assert_eq!(plans[1].shards.len(), 7);
+    }
+
+    #[test]
+    fn dispatch_order_is_descending_cost_with_stable_ties() {
+        assert_eq!(dispatch_order(&[2.0, 5.0, 2.0, 7.0]), vec![3, 1, 0, 2]);
+        assert_eq!(dispatch_order(&[]), Vec::<usize>::new());
+        // All-equal costs preserve shard order.
+        assert_eq!(dispatch_order(&[1.0, 1.0, 1.0]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        // Zero workers clamps to one; more workers than shards leaves
+        // the extras empty.
+        let plans = lpt_assign(&[1.0, 2.0], 0);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].load, 3.0);
+        let plans = lpt_assign(&[1.0], 4);
+        assert_eq!(plans.iter().filter(|p| p.shards.is_empty()).count(), 3);
+        assert_eq!(makespan(&lpt_assign(&[], 3)), 0.0);
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let costs: Vec<f64> = (0..16).map(|i| ((i * 7919) % 13) as f64).collect();
+        assert_eq!(lpt_assign(&costs, 4), lpt_assign(&costs, 4));
+    }
+}

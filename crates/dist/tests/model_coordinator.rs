@@ -1,0 +1,101 @@
+//! Model suite for the coordinator's dispatch/retry state machine
+//! (`RUSTFLAGS="--cfg dqec_check"`): `drive_shards` with an injected
+//! executor in place of real processes, explored under the
+//! deterministic concurrency checker. Every schedule must run every
+//! shard to completion exactly once, absorb injected crashes through
+//! the retry path, and terminate (no lost wakeups between the dispatch
+//! queue, the executor threads, and the result loop).
+
+#![cfg(dqec_check)]
+
+use dqec_check::sync::Mutex;
+use dqec_check::{check, Config};
+use dqec_dist::drive_shards;
+use std::sync::Arc;
+
+/// Clean runs: whatever the interleaving of executors and the retry
+/// loop, each shard executes exactly once and the outcomes come back
+/// complete and ordered.
+#[test]
+fn every_schedule_runs_each_shard_exactly_once() {
+    let outcome = check(&Config::random(300).max_steps(200_000), || {
+        let runs = Arc::new(Mutex::new(vec![0u32; 3]));
+        let log = Arc::clone(&runs);
+        let outcomes = drive_shards(3, 2, 0, move |index, _attempt| {
+            log.lock().expect("run log")[index as usize] += 1;
+            Ok(())
+        })
+        .expect("clean run succeeds");
+        assert_eq!(outcomes.len(), 3, "missing outcomes");
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.index as usize, i, "outcomes out of shard order");
+            assert_eq!(o.attempts, 1, "clean shard re-ran");
+        }
+        assert_eq!(
+            *runs.lock().expect("run log"),
+            vec![1, 1, 1],
+            "a shard ran zero or multiple times"
+        );
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "coordinator lost or duplicated shards: {}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    eprintln!(
+        "coordinator exactly-once: {} executions",
+        outcome.executions
+    );
+}
+
+/// Crash-retry: a shard that fails once is re-dispatched (the process
+/// backend adds `--resume`) and the run still completes under every
+/// schedule, with the retry visible in the outcome.
+#[test]
+fn injected_crash_is_retried_under_every_schedule() {
+    let outcome = check(&Config::random(300).max_steps(200_000), || {
+        let outcomes = drive_shards(2, 2, 1, |index, attempt| {
+            if index == 1 && attempt == 0 {
+                Err("injected crash".into())
+            } else {
+                Ok(())
+            }
+        })
+        .expect("retry absorbs the crash");
+        assert_eq!(outcomes[0].attempts, 1);
+        assert_eq!(outcomes[1].attempts, 2, "crash retry not recorded");
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "retry path lost work or deadlocked: {}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    eprintln!("coordinator retry: {} executions", outcome.executions);
+}
+
+/// Exhausted budgets terminate: when a shard can never succeed the
+/// coordinator must error out and join its executors — not hang — under
+/// every schedule.
+#[test]
+fn exhausted_retries_terminate_cleanly() {
+    let outcome = check(&Config::random(300).max_steps(200_000), || {
+        let err = drive_shards(2, 2, 1, |index, _attempt| {
+            if index == 0 {
+                Err("permanently broken".into())
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("budget exhausts");
+        assert!(
+            err.to_string().contains("permanently broken"),
+            "diagnostic lost: {err}"
+        );
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "failure path hung or panicked: {}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    eprintln!("coordinator exhaustion: {} executions", outcome.executions);
+}

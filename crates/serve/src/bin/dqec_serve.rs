@@ -222,6 +222,16 @@ fn oneshot(path: &std::path::Path, cache_capacity: usize, trace_out: Option<&std
                     Response::Error(err)
                 }
             },
+            Ok(Request::Shard(req)) => {
+                rejected += 1;
+                Response::Error(protocol::ErrorResponse {
+                    id: Some(req.id),
+                    kind: dqec_serve::ErrorKind::BadRequest,
+                    detail: "this is the decode server; shard jobs go to a \
+                             `dqec_dist agent` endpoint"
+                        .to_string(),
+                })
+            }
         };
         responses.push((resp.id().unwrap_or(u64::MAX), idx, resp.normalized_line()));
     }

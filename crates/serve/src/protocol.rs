@@ -48,6 +48,8 @@ use dqec_sweep::json::{self, Json};
 pub const MAX_DISTANCE: u32 = 21;
 /// Largest accepted per-request shot count.
 pub const MAX_SHOTS: usize = 10_000_000;
+/// Largest accepted shard count in a `shard` dispatch.
+pub const MAX_SHARDS: u32 = 4096;
 
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +72,70 @@ pub enum Request {
         /// Client-chosen correlation id, echoed in the response.
         id: u64,
     },
+    /// Dispatch of one sweep shard to a `dqec_dist` agent. The decode
+    /// server answers this op with a `bad-request` error naming the
+    /// agent — the frame lives here so coordinator and agent share the
+    /// decode service's wire format (and its conformance tooling).
+    Shard(ShardRequest),
+}
+
+/// A shard-dispatch job: run shard `index/count` of the named figure
+/// binary and return its sweep state files inline (agent and
+/// coordinator share no filesystem).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRequest {
+    /// Client-chosen correlation id, echoed in every response frame.
+    pub id: u64,
+    /// Figure binary name (e.g. `fig06_ler_curves`), resolved by the
+    /// agent next to its own executable — never a path.
+    pub bin: String,
+    /// Shard index, in `0..count`.
+    pub index: u32,
+    /// Shard count of the partition.
+    pub count: u32,
+    /// Extra arguments passed through to the binary (`--shots`,
+    /// `--seed`, ...). The agent owns `--shard`/`--checkpoint`/
+    /// `--resume`/`--out`, so those are rejected here.
+    pub args: Vec<String>,
+}
+
+impl ShardRequest {
+    /// Checks ranges and argument hygiene before any process spawns.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when a field is out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bin.is_empty()
+            || !self
+                .bin
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            return Err(format!(
+                "bin must be a bare binary name ([A-Za-z0-9_]+), got {:?}",
+                self.bin
+            ));
+        }
+        if self.count == 0 || self.count > MAX_SHARDS {
+            return Err(format!(
+                "shard count must be in 1..={MAX_SHARDS}, got {}",
+                self.count
+            ));
+        }
+        if self.index >= self.count {
+            return Err(format!(
+                "shard index {} out of range for {} shards",
+                self.index, self.count
+            ));
+        }
+        for owned in ["--shard", "--checkpoint", "--resume", "--out"] {
+            if self.args.iter().any(|a| a == owned) {
+                return Err(format!("{owned} is agent-owned and cannot appear in args"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A decode job: estimate the logical error rate of a (possibly
@@ -272,6 +338,27 @@ pub struct MetricsResponse {
     pub prometheus: String,
 }
 
+/// One sweep state file produced by a shard job, shipped inline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStateFile {
+    /// The state file's base name (e.g.
+    /// `fig06_ler_curves.defective.shard0of2.sweep.json`).
+    pub file: String,
+    /// The file's JSON document, verbatim.
+    pub doc: String,
+}
+
+/// Completion of a shard-dispatch job: every sweep state file the shard
+/// wrote, shipped back verbatim for the coordinator's merge step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardDoneResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// The shard's state files. Deterministic: a pure function of the
+    /// request, byte for byte, so the whole frame is normalized.
+    pub states: Vec<ShardStateFile>,
+}
+
 /// One response line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -288,6 +375,14 @@ pub enum Response {
         /// Echoed request id.
         id: u64,
     },
+    /// Heartbeat from an agent while a shard job runs: the coordinator
+    /// uses frame arrival (not content) for straggler detection.
+    ShardProgress {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Shard-job completion with the shard's state files.
+    ShardDone(ShardDoneResponse),
 }
 
 fn num(v: u64) -> Json {
@@ -342,6 +437,19 @@ impl Request {
             Request::Metrics { id } => Json::Obj(vec![
                 ("op".to_string(), Json::Str("metrics".to_string())),
                 ("id".to_string(), num(*id)),
+            ]),
+            Request::Shard(r) => Json::Obj(vec![
+                ("op".to_string(), Json::Str("shard".to_string())),
+                ("id".to_string(), num(r.id)),
+                ("bin".to_string(), Json::Str(r.bin.clone())),
+                (
+                    "shard".to_string(),
+                    Json::Str(format!("{}/{}", r.index, r.count)),
+                ),
+                (
+                    "args".to_string(),
+                    Json::Arr(r.args.iter().cloned().map(Json::Str).collect()),
+                ),
             ]),
             Request::Decode(r) => {
                 let mut fields = vec![
@@ -477,6 +585,42 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, String)> {
             req.validate().map_err(fail)?;
             Ok(Request::Decode(req))
         }
+        "shard" => {
+            let spec = obj
+                .get("shard")
+                .and_then(Json::as_str)
+                .ok_or_else(|| fail("missing string field \"shard\" (\"I/N\")".to_string()))?;
+            let (index, count) = spec
+                .split_once('/')
+                .and_then(|(i, n)| Some((i.parse().ok()?, n.parse().ok()?)))
+                .ok_or_else(|| fail(format!("shard spec {spec:?} is not of the form I/N")))?;
+            let args = match obj.get("args") {
+                None | Some(Json::Null) => Vec::new(),
+                Some(v) => v
+                    .as_arr()
+                    .ok_or_else(|| fail("\"args\" must be an array of strings".to_string()))?
+                    .iter()
+                    .map(|a| {
+                        a.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| fail("\"args\" must be an array of strings".to_string()))
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            let req = ShardRequest {
+                id: get_u64(&obj, "id").map_err(fail)?,
+                bin: obj
+                    .get("bin")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| fail("missing string field \"bin\"".to_string()))?
+                    .to_string(),
+                index,
+                count,
+                args,
+            };
+            req.validate().map_err(fail)?;
+            Ok(Request::Shard(req))
+        }
         other => Err(fail(format!("unknown op {other:?}"))),
     }
 }
@@ -489,6 +633,28 @@ impl Response {
             Response::Pong { id } => Json::Obj(vec![
                 ("type".to_string(), Json::Str("pong".to_string())),
                 ("id".to_string(), num(*id)),
+            ]),
+            Response::ShardProgress { id } => Json::Obj(vec![
+                ("type".to_string(), Json::Str("shard-progress".to_string())),
+                ("id".to_string(), num(*id)),
+            ]),
+            Response::ShardDone(r) => Json::Obj(vec![
+                ("type".to_string(), Json::Str("shard-done".to_string())),
+                ("id".to_string(), num(r.id)),
+                (
+                    "states".to_string(),
+                    Json::Arr(
+                        r.states
+                            .iter()
+                            .map(|s| {
+                                Json::Obj(vec![
+                                    ("file".to_string(), Json::Str(s.file.clone())),
+                                    ("doc".to_string(), Json::Str(s.doc.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
             Response::Error(e) => {
                 let mut fields = vec![("type".to_string(), Json::Str("error".to_string()))];
@@ -587,7 +753,10 @@ impl Response {
     /// dropped.
     pub fn normalized_line(&self) -> String {
         match self {
-            Response::Pong { .. } | Response::Stats(_) | Response::Metrics(_) => {
+            Response::Pong { .. }
+            | Response::Stats(_)
+            | Response::Metrics(_)
+            | Response::ShardProgress { .. } => {
                 let keep = ["type", "id"];
                 let Json::Obj(fields) = self.to_json() else {
                     unreachable!("responses render as objects")
@@ -613,6 +782,9 @@ impl Response {
                 )
                 .render()
             }
+            // Shard state files are bit-exact by construction, so the
+            // whole frame is a pure function of the request.
+            Response::ShardDone(_) => self.to_json().render(),
             Response::Ler(_) => {
                 let drop = ["cache", "batched"];
                 let Json::Obj(fields) = self.to_json() else {
@@ -637,6 +809,8 @@ impl Response {
             Response::Stats(s) => Some(s.id),
             Response::Metrics(m) => Some(m.id),
             Response::Pong { id } => Some(*id),
+            Response::ShardProgress { id } => Some(*id),
+            Response::ShardDone(r) => Some(r.id),
         }
     }
 }
@@ -656,6 +830,30 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
         "pong" => Ok(Response::Pong {
             id: get_u64(&obj, "id")?,
         }),
+        "shard-progress" => Ok(Response::ShardProgress {
+            id: get_u64(&obj, "id")?,
+        }),
+        "shard-done" => Ok(Response::ShardDone(ShardDoneResponse {
+            id: get_u64(&obj, "id")?,
+            states: obj
+                .get("states")
+                .and_then(Json::as_arr)
+                .ok_or("missing array field \"states\"")?
+                .iter()
+                .map(|s| {
+                    let field = |key: &str| {
+                        s.get(key)
+                            .and_then(Json::as_str)
+                            .map(str::to_string)
+                            .ok_or_else(|| format!("state entry missing string {key:?}"))
+                    };
+                    Ok(ShardStateFile {
+                        file: field("file")?,
+                        doc: field("doc")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+        })),
         "error" => Ok(Response::Error(ErrorResponse {
             id: obj.get("id").and_then(Json::as_u64),
             kind: ErrorKind::parse(
@@ -864,6 +1062,65 @@ mod tests {
         let parsed = parse_response(&err.render_line()).unwrap();
         assert_eq!(parsed, err);
         assert!(!err.normalized_line().contains("detail"));
+    }
+
+    #[test]
+    fn shard_frames_round_trip_and_validate() {
+        let req = Request::Shard(ShardRequest {
+            id: 7,
+            bin: "fig06_ler_curves".to_string(),
+            index: 1,
+            count: 2,
+            args: vec!["--shots".to_string(), "4000".to_string()],
+        });
+        assert_eq!(parse_request(&req.render_line()).unwrap(), req);
+
+        // Hostile / malformed dispatches fail loudly.
+        for (line, needle) in [
+            (
+                r#"{"op":"shard","id":1,"bin":"../evil","shard":"0/2"}"#,
+                "bare binary name",
+            ),
+            (
+                r#"{"op":"shard","id":1,"bin":"fig06_ler_curves","shard":"2/2"}"#,
+                "out of range",
+            ),
+            (
+                r#"{"op":"shard","id":1,"bin":"fig06_ler_curves","shard":"0/0"}"#,
+                "count must",
+            ),
+            (
+                r#"{"op":"shard","id":1,"bin":"fig06_ler_curves","shard":"half"}"#,
+                "I/N",
+            ),
+            (
+                r#"{"op":"shard","id":1,"bin":"f","shard":"0/2","args":["--checkpoint","x"]}"#,
+                "agent-owned",
+            ),
+        ] {
+            let (id, msg) = parse_request(line).unwrap_err();
+            assert_eq!(id, Some(1), "{line}");
+            assert!(msg.contains(needle), "{line} -> {msg}");
+        }
+
+        // The done frame carries state documents verbatim (embedded
+        // JSON survives string escaping) and normalizes to itself.
+        let done = Response::ShardDone(ShardDoneResponse {
+            id: 7,
+            states: vec![ShardStateFile {
+                file: "fig06.shard1of2.sweep.json".to_string(),
+                doc: "{\"version\":2,\"fingerprint\":\"0x00000000000000ab\"}".to_string(),
+            }],
+        });
+        assert_eq!(parse_response(&done.render_line()).unwrap(), done);
+        assert_eq!(done.normalized_line(), done.render_line());
+
+        let beat = Response::ShardProgress { id: 7 };
+        assert_eq!(parse_response(&beat.render_line()).unwrap(), beat);
+        assert_eq!(
+            beat.normalized_line(),
+            "{\"type\":\"shard-progress\",\"id\":7}"
+        );
     }
 
     #[test]

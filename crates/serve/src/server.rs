@@ -353,6 +353,22 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, reply: &Bounded<String>)
                 let id = req.id;
                 admit(shared, reply, slot, WorkKind::Decode(req), Some(id));
             }
+            Ok(Request::Shard(req)) => {
+                // Shard dispatch is the dqec_dist agent's job; the
+                // decode server shares the frame format but not the
+                // role.
+                shared.metrics.rejected.fetch_add(1, Ordering::SeqCst);
+                Shared::send_response(
+                    reply,
+                    &Response::Error(ErrorResponse {
+                        id: Some(req.id),
+                        kind: ErrorKind::BadRequest,
+                        detail: "this is the decode server; shard jobs go to a \
+                                 `dqec_dist agent` endpoint"
+                            .to_string(),
+                    }),
+                );
+            }
         }
     }
     shared.inbox.deregister(slot);

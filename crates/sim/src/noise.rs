@@ -140,6 +140,14 @@ impl NoiseModel {
     /// rate is zero under this model are skipped in both outputs, so
     /// build the template at `p > 0` when the parametrization matters.
     pub fn apply_with_params(&self, clean: &Circuit) -> (Circuit, Vec<NoiseParam>) {
+        // Every op replayed below was validated when `clean` was built
+        // and the noisy circuit has the same qubit count, so rebuilding
+        // cannot fail; the one expect documents that invariant.
+        self.build(clean)
+            .expect("replaying a validated circuit cannot fail")
+    }
+
+    fn build(&self, clean: &Circuit) -> Result<(Circuit, Vec<NoiseParam>), crate::SimError> {
         let mut noisy = Circuit::new(clean.num_qubits());
         let mut params = Vec::new();
         let scaled = |ratio: f64, qubits: &[u32], params: &mut Vec<NoiseParam>| -> f64 {
@@ -155,32 +163,32 @@ impl NoiseModel {
         for op in clean.ops() {
             match *op {
                 Op::Gate1 { kind, q } => {
-                    push_gate1(&mut noisy, kind, q);
+                    push_gate1(&mut noisy, kind, q)?;
                     let r = scaled(ONE_QUBIT_RATIO, &[q], &mut params);
-                    noisy.noise1(Noise1::Depolarize1, q, r).expect("validated");
+                    noisy.noise1(Noise1::Depolarize1, q, r)?;
                 }
                 Op::Gate2 { kind, a, b } => {
-                    push_gate2(&mut noisy, kind, a, b);
+                    push_gate2(&mut noisy, kind, a, b)?;
                     let r = scaled(1.0, &[a, b], &mut params);
-                    noisy.depolarize2(a, b, r).expect("validated");
+                    noisy.depolarize2(a, b, r)?;
                 }
                 Op::Reset { q } => {
-                    noisy.reset(q).expect("validated");
+                    noisy.reset(q)?;
                     let r = scaled(READOUT_RATIO, &[q], &mut params);
-                    noisy.noise1(Noise1::XError, q, r).expect("validated");
+                    noisy.noise1(Noise1::XError, q, r)?;
                 }
                 Op::Measure { q } => {
                     let r = scaled(READOUT_RATIO, &[q], &mut params);
-                    noisy.noise1(Noise1::XError, q, r).expect("validated");
-                    noisy.measure(q).expect("validated");
+                    noisy.noise1(Noise1::XError, q, r)?;
+                    noisy.measure(q)?;
                 }
                 Op::Noise1 { kind, q, p } => {
                     params.push(NoiseParam::Fixed(p));
-                    noisy.noise1(kind, q, p).expect("validated");
+                    noisy.noise1(kind, q, p)?;
                 }
                 Op::Depolarize2 { a, b, p } => {
                     params.push(NoiseParam::Fixed(p));
-                    noisy.depolarize2(a, b, p).expect("validated");
+                    noisy.depolarize2(a, b, p)?;
                 }
                 Op::Tick => noisy.tick(),
             }
@@ -191,33 +199,29 @@ impl NoiseModel {
                 .iter()
                 .map(|&r| crate::circuit::MeasRecord(r))
                 .collect();
-            noisy
-                .add_detector(&records, det.basis, det.coord)
-                .expect("records preserved");
+            noisy.add_detector(&records, det.basis, det.coord)?;
         }
         for (o, obs) in clean.observables().iter().enumerate() {
             let records: Vec<_> = obs.iter().map(|&r| crate::circuit::MeasRecord(r)).collect();
-            noisy
-                .include_observable(o as u32, &records)
-                .expect("records preserved");
+            noisy.include_observable(o as u32, &records)?;
         }
-        (noisy, params)
+        Ok((noisy, params))
     }
 }
 
-fn push_gate1(c: &mut Circuit, kind: Gate1, q: u32) {
+fn push_gate1(c: &mut Circuit, kind: Gate1, q: u32) -> Result<(), crate::SimError> {
     match kind {
-        Gate1::H => c.h(q).expect("validated"),
-        Gate1::S => c.s(q).expect("validated"),
-        Gate1::X => c.x(q).expect("validated"),
-        Gate1::Z => c.z(q).expect("validated"),
+        Gate1::H => c.h(q),
+        Gate1::S => c.s(q),
+        Gate1::X => c.x(q),
+        Gate1::Z => c.z(q),
     }
 }
 
-fn push_gate2(c: &mut Circuit, kind: Gate2, a: u32, b: u32) {
+fn push_gate2(c: &mut Circuit, kind: Gate2, a: u32, b: u32) -> Result<(), crate::SimError> {
     match kind {
-        Gate2::Cx => c.cx(a, b).expect("validated"),
-        Gate2::Cz => c.cz(a, b).expect("validated"),
+        Gate2::Cx => c.cx(a, b),
+        Gate2::Cz => c.cz(a, b),
     }
 }
 

@@ -12,11 +12,15 @@
 //! different plan.
 
 use crate::json::{parse, Json};
+use crate::shard::Shard;
 use dqec_core::CoreError;
 use std::path::Path;
 
-/// The state-file format version this build reads and writes.
-pub const STATE_VERSION: u64 = 1;
+/// The state-file format version this build writes. Version 2 adds the
+/// optional shard identity and the per-point batch totals that the
+/// distributed merge step needs; version 1 files (whole-plan, no shard)
+/// are still read.
+pub const STATE_VERSION: u64 = 2;
 
 /// Accumulated Monte-Carlo state of one sweep point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,6 +47,12 @@ pub struct PointEntry {
     pub series: String,
     /// The physical error rate (consistency-checked on resume).
     pub p: f64,
+    /// The point's *whole-plan* batch total (shot target divided by the
+    /// batch size, rounded up) — the same number on every shard of a
+    /// partitioned run, so a merge can verify shard completeness and
+    /// set the merged cursor without re-deriving the plan. Zero in
+    /// version-1 files, meaning "unknown".
+    pub total_batches: u64,
     /// The accumulated tally.
     pub tally: PointTally,
 }
@@ -57,6 +67,9 @@ pub struct SweepState {
     pub batch: usize,
     /// The adaptive precision target, if the run is adaptive.
     pub precision: Option<f64>,
+    /// When the state belongs to one shard of a partitioned run, that
+    /// shard's identity; `None` for a whole-plan run or a merged state.
+    pub shard: Option<Shard>,
     /// Completed allocation rounds.
     pub rounds_done: u64,
     /// Per-point tallies, in (spec, point) order.
@@ -75,6 +88,7 @@ impl SweepState {
                     ("point".into(), Json::Num(e.point as f64)),
                     ("series".into(), Json::Str(e.series.clone())),
                     ("p".into(), Json::Num(e.p)),
+                    ("total_batches".into(), Json::Num(e.total_batches as f64)),
                     ("shots".into(), Json::Num(e.tally.shots as f64)),
                     ("failures".into(), Json::Num(e.tally.failures as f64)),
                     ("next_batch".into(), Json::Num(e.tally.next_batch as f64)),
@@ -91,6 +105,15 @@ impl SweepState {
             (
                 "precision".into(),
                 self.precision.map_or(Json::Null, Json::Num),
+            ),
+            (
+                "shard".into(),
+                self.shard.map_or(Json::Null, |s| {
+                    Json::Obj(vec![
+                        ("index".into(), Json::Num(s.index() as f64)),
+                        ("count".into(), Json::Num(s.count() as f64)),
+                    ])
+                }),
             ),
             ("rounds_done".into(), Json::Num(self.rounds_done as f64)),
             ("points".into(), Json::Arr(points)),
@@ -110,9 +133,9 @@ impl SweepState {
             .get("version")
             .and_then(Json::as_u64)
             .ok_or_else(|| bad("checkpoint has no version".into()))?;
-        if version != STATE_VERSION {
+        if version == 0 || version > STATE_VERSION {
             return Err(bad(format!(
-                "checkpoint version {version} unsupported (this build reads {STATE_VERSION})"
+                "checkpoint version {version} unsupported (this build reads 1..={STATE_VERSION})"
             )));
         }
         let fingerprint = doc
@@ -130,6 +153,21 @@ impl SweepState {
                 v.as_f64()
                     .ok_or_else(|| bad("checkpoint precision is not a number".into()))?,
             ),
+        };
+        let shard = match doc.get("shard") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let part = |name: &str| {
+                    v.get(name)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad(format!("checkpoint shard: missing field {name:?}")))
+                };
+                Some(
+                    Shard::new(part("index")? as u32, part("count")? as u32).map_err(|e| {
+                        bad(format!("checkpoint shard is not a valid partition: {e}"))
+                    })?,
+                )
+            }
         };
         let rounds_done = doc.get("rounds_done").and_then(Json::as_u64).unwrap_or(0);
         let mut points = Vec::new();
@@ -158,6 +196,11 @@ impl SweepState {
                     .get("p")
                     .and_then(Json::as_f64)
                     .ok_or_else(|| bad(format!("point {i}: missing field \"p\"")))?,
+                // Absent in version-1 files; zero means "unknown".
+                total_batches: entry
+                    .get("total_batches")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
                 tally: PointTally {
                     shots: field("shots")? as usize,
                     failures: field("failures")? as usize,
@@ -169,6 +212,7 @@ impl SweepState {
             fingerprint,
             batch,
             precision,
+            shard,
             rounds_done,
             points,
         })
@@ -224,6 +268,7 @@ mod tests {
             fingerprint: 0xdead_beef_1234_5678,
             batch: 4096,
             precision: Some(0.1),
+            shard: Some(Shard::new(1, 4).unwrap()),
             rounds_done: 3,
             points: vec![
                 PointEntry {
@@ -231,6 +276,7 @@ mod tests {
                     point: 0,
                     series: "d=3".into(),
                     p: 3e-3,
+                    total_batches: 8,
                     tally: PointTally {
                         shots: 8192,
                         failures: 37,
@@ -242,6 +288,7 @@ mod tests {
                     point: 2,
                     series: "defective d=9".into(),
                     p: 6.75e-3,
+                    total_batches: 8,
                     tally: PointTally::default(),
                 },
             ],
@@ -269,9 +316,31 @@ mod tests {
 
     #[test]
     fn unknown_version_is_rejected() {
-        let text = state().render().replace("\"version\":1", "\"version\":999");
+        let text = state().render().replace("\"version\":2", "\"version\":999");
         let err = SweepState::from_text(&text).unwrap_err();
         assert!(err.to_string().contains("version 999"), "{err}");
+    }
+
+    #[test]
+    fn version_1_files_still_read() {
+        // A pre-shard (PR 5) state document: no shard, no total_batches.
+        let text = r#"{"version":1,"fingerprint":"0x00000000000000ab","batch":512,
+            "precision":null,"rounds_done":2,"points":[{"spec":0,"point":0,
+            "series":"d=3","p":0.003,"shots":1024,"failures":9,"next_batch":2}]}"#;
+        let s = SweepState::from_text(text).unwrap();
+        assert_eq!(s.shard, None);
+        assert_eq!(s.points[0].total_batches, 0);
+        assert_eq!(s.points[0].tally.next_batch, 2);
+    }
+
+    #[test]
+    fn malformed_shard_is_rejected() {
+        let text = state().render().replace(
+            "\"shard\":{\"index\":1,\"count\":4}",
+            "\"shard\":{\"index\":4,\"count\":4}",
+        );
+        let err = SweepState::from_text(&text).unwrap_err();
+        assert!(err.to_string().contains("valid partition"), "{err}");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 use crate::adaptive::Precision;
 use crate::checkpoint::{PointEntry, PointTally, SweepState};
+use crate::shard::Shard;
 use dqec_chiplet::experiment::{fit_loglog, LerPoint};
 use dqec_chiplet::record::{LerRecord, Record, Sink, SlopeFitRecord};
 use dqec_chiplet::runner::{CompiledExperiment, ExperimentSpec, RunOutcome};
@@ -118,6 +119,14 @@ pub struct EngineConfig {
     /// Extra fingerprint salt covering anything spec fingerprints
     /// cannot see (the decoder backend, the driving figure's name).
     pub salt: u64,
+    /// Run only this shard's slice of every point's batch stream
+    /// ([`Shard::batch_range`]). Shard identity is *not* part of the
+    /// engine fingerprint — all shards of one plan share it, which is
+    /// what lets the merge step verify they belong together and lets a
+    /// merged state resume under a whole-plan engine. Requires uniform
+    /// allocation (`precision: None`): adaptive stopping depends on the
+    /// global tally no single shard can see.
+    pub shard: Option<Shard>,
 }
 
 impl Default for EngineConfig {
@@ -130,6 +139,7 @@ impl Default for EngineConfig {
             resume: false,
             halt_after_rounds: None,
             salt: 0,
+            shard: None,
         }
     }
 }
@@ -146,7 +156,11 @@ struct PointState {
     point: usize,
     p: f64,
     cap: usize,
+    /// Whole-plan batch total (independent of any shard slice).
     total_batches: u64,
+    /// This run's batch slice: `0..total_batches` for a whole-plan run,
+    /// [`Shard::batch_range`] of it for a shard worker.
+    slice: Range<u64>,
     tally: PointTally,
 }
 
@@ -181,6 +195,13 @@ impl SweepEngine {
         let cfg = &self.cfg;
         let batch = cfg.batch.max(1);
         let fingerprint = self.fingerprint(plan);
+        if cfg.shard.is_some() && cfg.precision.is_some() {
+            return Err(CoreError::Sweep {
+                detail: "sharded sweeps require uniform allocation: adaptive (--precision) \
+                         stopping depends on the global tally no single shard can see"
+                    .into(),
+            });
+        }
 
         // Compile every spec in parallel (circuit + decoder are the
         // expensive parts; mixed distances make this fan-out skewed,
@@ -201,13 +222,24 @@ impl SweepEngine {
             let spec = exp.spec();
             let cap = spec.target_shots();
             for (j, &p) in spec.sweep_ps().iter().enumerate() {
+                let total_batches = cap.div_ceil(batch) as u64;
+                let slice = match &cfg.shard {
+                    None => 0..total_batches,
+                    Some(shard) => shard.batch_range(total_batches),
+                };
                 points.push(PointState {
                     spec: s,
                     point: j,
                     p,
                     cap,
-                    total_batches: cap.div_ceil(batch) as u64,
-                    tally: PointTally::default(),
+                    total_batches,
+                    tally: PointTally {
+                        // A fresh shard's cursor starts at its slice,
+                        // not at batch zero.
+                        next_batch: slice.start,
+                        ..PointTally::default()
+                    },
+                    slice,
                 });
             }
         }
@@ -222,7 +254,7 @@ impl SweepEngine {
                 rounds_done = state.rounds_done;
                 let done = points
                     .iter()
-                    .filter(|pt| self.point_done(&pt.tally, pt.cap, pt.total_batches))
+                    .filter(|pt| self.point_done(&pt.tally, pt.cap, pt.slice.end))
                     .count();
                 eprintln!(
                     "[sweep] resumed {} after {rounds_done} rounds ({done}/{} points finished)",
@@ -247,7 +279,7 @@ impl SweepEngine {
             let mut allocs: Vec<Vec<(usize, Range<u64>)>> = vec![Vec::new(); exps.len()];
             let mut allocated = 0u64;
             for pt in &points {
-                let n = self.allocate_batches(&pt.tally, pt.cap, pt.total_batches, batch);
+                let n = self.allocate_batches(&pt.tally, pt.cap, pt.slice.end, batch);
                 if n == 0 {
                     continue;
                 }
@@ -264,7 +296,7 @@ impl SweepEngine {
                 // CI targeting may finish sooner, so it is a ceiling).
                 let remaining: u64 = points
                     .iter()
-                    .map(|pt| pt.total_batches.saturating_sub(pt.tally.next_batch))
+                    .map(|pt| pt.slice.end.saturating_sub(pt.tally.next_batch))
                     .sum();
                 let eta = if batches_run > 0 {
                     let elapsed_s = dqec_obs::clock::now_ns().saturating_sub(run_t0) as f64 / 1e9;
@@ -334,6 +366,18 @@ impl SweepEngine {
             reg.counter("sweep.shots").add(round_shots);
             reg.histogram("sweep.round_duration")
                 .record(dqec_obs::clock::now_ns().saturating_sub(round_t0));
+            if let Some(shard) = &cfg.shard {
+                // Shard-progress metrics for the coordinator: which
+                // slice this worker holds and how much is left of it.
+                reg.gauge("sweep.shard.index").set(shard.index() as i64);
+                reg.gauge("sweep.shard.count").set(shard.count() as i64);
+                reg.counter("sweep.shard.batches").add(allocated);
+                let left: u64 = points
+                    .iter()
+                    .map(|pt| pt.slice.end.saturating_sub(pt.tally.next_batch))
+                    .sum();
+                reg.gauge("sweep.shard.remaining_batches").set(left as i64);
+            }
 
             if let Some(path) = &cfg.checkpoint {
                 self.snapshot(&exps, &points, fingerprint, batch, rounds_done)
@@ -349,6 +393,15 @@ impl SweepEngine {
                     });
                 }
             }
+        }
+
+        // Final snapshot even when the loop allocated nothing: a shard
+        // whose slice is empty (more shards than batches) must still
+        // leave a state file, or the merge step cannot verify the
+        // partition is complete.
+        if let Some(path) = &cfg.checkpoint {
+            self.snapshot(&exps, &points, fingerprint, batch, rounds_done)
+                .save(path)?;
         }
 
         // Emit and collect, in plan order.
@@ -405,11 +458,12 @@ impl SweepEngine {
         h
     }
 
-    /// Whether a point needs no further batches.
-    fn point_done(&self, tally: &PointTally, cap: usize, total_batches: u64) -> bool {
+    /// Whether a point needs no further batches (its cursor reached the
+    /// end of this run's batch slice, or adaptive allocation converged).
+    fn point_done(&self, tally: &PointTally, cap: usize, slice_end: u64) -> bool {
         match &self.cfg.precision {
-            None => tally.next_batch >= total_batches,
-            Some(precision) => tally.next_batch >= total_batches || precision.converged(tally, cap),
+            None => tally.next_batch >= slice_end,
+            Some(precision) => tally.next_batch >= slice_end || precision.converged(tally, cap),
         }
     }
 
@@ -420,13 +474,13 @@ impl SweepEngine {
         &self,
         tally: &PointTally,
         cap: usize,
-        total_batches: u64,
+        slice_end: u64,
         batch: usize,
     ) -> u64 {
-        if self.point_done(tally, cap, total_batches) {
+        if self.point_done(tally, cap, slice_end) {
             return 0;
         }
-        let remaining = total_batches - tally.next_batch;
+        let remaining = slice_end - tally.next_batch;
         let want = match &self.cfg.precision {
             None => {
                 // Uniform tallies are round-boundary independent, so
@@ -460,6 +514,7 @@ impl SweepEngine {
             fingerprint,
             batch,
             precision: self.cfg.precision.map(|p| p.rel_width),
+            shard: self.cfg.shard,
             rounds_done,
             points: points
                 .iter()
@@ -468,6 +523,7 @@ impl SweepEngine {
                     point: pt.point,
                     series: exps[pt.spec].spec().series().to_string(),
                     p: pt.p,
+                    total_batches: pt.total_batches,
                     tally: pt.tally,
                 })
                 .collect(),
@@ -497,6 +553,17 @@ impl SweepEngine {
                 state.batch
             )));
         }
+        if state.shard != self.cfg.shard {
+            let name = |s: &Option<Shard>| {
+                s.map_or("whole-plan".to_string(), |shard| format!("shard {shard}"))
+            };
+            return Err(bad(format!(
+                "checkpoint belongs to {} but this engine runs {}; \
+                 refusing to mix shard slices",
+                name(&state.shard),
+                name(&self.cfg.shard)
+            )));
+        }
         if state.points.len() != points.len() {
             return Err(bad(format!(
                 "checkpoint has {} points, plan has {}",
@@ -505,6 +572,13 @@ impl SweepEngine {
             )));
         }
         for (pt, entry) in points.iter_mut().zip(&state.points) {
+            if entry.total_batches != 0 && entry.total_batches != pt.total_batches {
+                return Err(bad(format!(
+                    "checkpoint point (spec {}, point {}) records {} total batches, \
+                     plan derives {}",
+                    entry.spec, entry.point, entry.total_batches, pt.total_batches
+                )));
+            }
             if entry.spec != pt.spec
                 || entry.point != pt.point
                 || entry.p.to_bits() != pt.p.to_bits()

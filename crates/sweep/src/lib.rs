@@ -54,7 +54,9 @@ pub mod adaptive;
 pub mod checkpoint;
 pub mod engine;
 pub mod json;
+pub mod shard;
 
 pub use adaptive::Precision;
 pub use checkpoint::{PointTally, SweepState};
 pub use engine::{EngineConfig, SweepEngine, SweepPlan};
+pub use shard::Shard;

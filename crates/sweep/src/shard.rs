@@ -1,0 +1,155 @@
+//! Deterministic sweep partitioning: splits a sweep's per-point batch
+//! streams into `N` contiguous, non-overlapping ranges so independent
+//! worker processes can run disjoint slices of one plan and a merge
+//! step can recombine them bit-exactly.
+//!
+//! # Determinism contract
+//!
+//! Batches are independent seeded ChaCha8 streams
+//! ([`dqec_chiplet::runner::batch_seed`]) and tallies are sums over the
+//! set of completed batches, so *any* partition of `[0, total)` yields
+//! the same merged tally. [`Shard::batch_range`] fixes one canonical
+//! partition — the balanced contiguous split — as a pure function of
+//! `(index, count, total)`, so shard assignment needs no coordination:
+//! every worker derives its own ranges from the plan alone, and any
+//! shard can be re-run independently (straggler re-dispatch, crash
+//! resume) without consulting the others.
+
+use dqec_core::CoreError;
+use std::fmt;
+use std::ops::Range;
+use std::str::FromStr;
+
+/// One slice of an `N`-way sweep partition: shard `index` of `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    index: u32,
+    count: u32,
+}
+
+impl Shard {
+    /// Shard `index` of `count`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `count == 0` and `index >= count`.
+    pub fn new(index: u32, count: u32) -> Result<Shard, CoreError> {
+        if count == 0 {
+            return Err(CoreError::Sweep {
+                detail: "shard count must be at least 1".into(),
+            });
+        }
+        if index >= count {
+            return Err(CoreError::Sweep {
+                detail: format!("shard index {index} out of range for {count} shards"),
+            });
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// This shard's index, in `0..count`.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Total number of shards in the partition.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// The canonical batch range of this shard for a point with
+    /// `total` batches: the balanced contiguous split
+    /// `total*i/N .. total*(i+1)/N`. The `count` ranges exactly
+    /// partition `[0, total)` and any two differ in length by at most
+    /// one batch.
+    pub fn batch_range(&self, total: u64) -> Range<u64> {
+        let (i, n) = (self.index as u64, self.count as u64);
+        // u64*u32 cannot overflow u128, so the split is exact even for
+        // absurd batch counts.
+        let lo = (total as u128 * i as u128 / n as u128) as u64;
+        let hi = (total as u128 * (i + 1) as u128 / n as u128) as u64;
+        lo..hi
+    }
+
+    /// A filesystem-safe tag (`"0of4"`) for shard-suffixed file names.
+    pub fn file_tag(&self) -> String {
+        format!("{}of{}", self.index, self.count)
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl FromStr for Shard {
+    type Err = CoreError;
+
+    /// Parses the `"i/N"` form used by `--shard` (e.g. `"0/4"`).
+    fn from_str(s: &str) -> Result<Shard, CoreError> {
+        let bad = || CoreError::Sweep {
+            detail: format!("shard spec {s:?} is not of the form I/N (e.g. 0/4)"),
+        };
+        let (i, n) = s.split_once('/').ok_or_else(bad)?;
+        let index: u32 = i.trim().parse().map_err(|_| bad())?;
+        let count: u32 = n.trim().parse().map_err(|_| bad())?;
+        Shard::new(index, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_every_total() {
+        for count in 1u32..=7 {
+            for total in 0u64..50 {
+                let mut next = 0u64;
+                for index in 0..count {
+                    let r = Shard::new(index, count).unwrap().batch_range(total);
+                    assert_eq!(r.start, next, "gap at shard {index}/{count}, total {total}");
+                    assert!(r.end >= r.start);
+                    next = r.end;
+                }
+                assert_eq!(next, total, "partition of {total} over {count} incomplete");
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_are_balanced() {
+        for count in 1u32..=6 {
+            for total in 0u64..40 {
+                let lens: Vec<u64> = (0..count)
+                    .map(|i| {
+                        let r = Shard::new(i, count).unwrap().batch_range(total);
+                        r.end - r.start
+                    })
+                    .collect();
+                let lo = lens.iter().min().unwrap();
+                let hi = lens.iter().max().unwrap();
+                assert!(hi - lo <= 1, "unbalanced split: {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_garbage() {
+        let s: Shard = "2/4".parse().unwrap();
+        assert_eq!((s.index(), s.count()), (2, 4));
+        assert_eq!(s.to_string(), "2/4");
+        assert_eq!(s.file_tag(), "2of4");
+        for bad in ["", "3", "4/4", "5/4", "a/b", "1/0", "-1/2", "1/2/3"] {
+            assert!(bad.parse::<Shard>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn single_shard_is_the_whole_range() {
+        let s = Shard::new(0, 1).unwrap();
+        assert_eq!(s.batch_range(17), 0..17);
+        assert_eq!(s.batch_range(0), 0..0);
+    }
+}

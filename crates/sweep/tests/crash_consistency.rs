@@ -9,12 +9,14 @@
 use std::path::PathBuf;
 
 use dqec_sweep::checkpoint::{PointEntry, PointTally, SweepState};
+use dqec_sweep::shard::Shard;
 
 fn state(rounds_done: u64, shots: usize) -> SweepState {
     SweepState {
         fingerprint: 0xfeed_f00d_0bad_cafe,
         batch: 2048,
         precision: Some(0.05),
+        shard: Some(Shard::new(0, 2).expect("valid shard")),
         rounds_done,
         points: vec![
             PointEntry {
@@ -22,6 +24,7 @@ fn state(rounds_done: u64, shots: usize) -> SweepState {
                 point: 0,
                 series: "d=5".into(),
                 p: 1e-3,
+                total_batches: 16,
                 tally: PointTally {
                     shots,
                     failures: shots / 100,
@@ -33,6 +36,7 @@ fn state(rounds_done: u64, shots: usize) -> SweepState {
                 point: 1,
                 series: "d=5".into(),
                 p: 2e-3,
+                total_batches: 16,
                 tally: PointTally {
                     shots: shots * 2,
                     failures: shots / 10,

@@ -61,6 +61,7 @@
 
 pub use dqec_chiplet as chiplet;
 pub use dqec_core as core;
+pub use dqec_dist as dist;
 pub use dqec_estimator as estimator;
 pub use dqec_matching as matching;
 pub use dqec_obs as obs;
